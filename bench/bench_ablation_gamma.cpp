@@ -1,0 +1,76 @@
+/// \file bench_ablation_gamma.cpp
+/// \brief Ablation for the Sec. 3.3.2 claim: R-MATEX "is not very
+///        sensitive to gamma, once it is set to around the order of the
+///        time steps used in transient simulation".
+///
+/// Sweeps gamma over four decades around the 10 ps output grid on one
+/// synthetic power grid and reports basis sizes, runtime, and accuracy
+/// against a golden TR run at h = 1 ps.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/mna.hpp"
+#include "core/input_view.hpp"
+#include "core/matex_solver.hpp"
+#include "pgbench/pg_generator.hpp"
+#include "solver/dc.hpp"
+#include "solver/fixed_step.hpp"
+#include "solver/observer.hpp"
+
+int main() {
+  using namespace matex;
+  const double scale = bench::env_scale();
+
+  const auto spec = pgbench::table_benchmark_spec(2, scale);
+  const auto netlist = pgbench::generate_power_grid(spec);
+  const circuit::MnaSystem mna(netlist);
+  const double t_end = spec.t_window;
+  const auto grid = solver::uniform_grid(0.0, t_end, 1e-11);
+  const auto dc = solver::dc_operating_point(mna);
+
+  // Golden reference once: TR at h = 1 ps, sampled on the 10 ps grid.
+  solver::StateRecorder golden;
+  {
+    solver::FixedStepOptions opt;
+    opt.t_end = t_end;
+    opt.h = 1e-12;
+    std::size_t step = 0;
+    run_fixed_step(mna, dc.x, solver::StepMethod::kTrapezoidal, opt,
+                   [&](double t, std::span<const double> x) {
+                     if (step % 10 == 0) golden(t, x);
+                     ++step;
+                   });
+  }
+
+  std::printf(
+      "gamma ablation on %s (n=%d), R-MATEX, tol=1e-7, grid 10 ps\n\n",
+      spec.name.c_str(), mna.dimension());
+  std::printf("%10s %8s %8s %10s %12s %12s\n", "gamma", "m_avg", "m_peak",
+              "solves", "transient(s)", "max err (V)");
+  bench::rule(66);
+
+  const core::FullInput input(mna);
+  for (double gamma : {1e-12, 1e-11, 1e-10, 1e-9, 1e-8}) {
+    core::MatexOptions opt;
+    opt.kind = krylov::KrylovKind::kRational;
+    opt.gamma = gamma;
+    opt.tolerance = 1e-7;
+    opt.max_dim = 150;
+    core::MatexCircuitSolver solver(mna, opt, dc.g_factors);
+    solver::StateRecorder rec;
+    const auto stats =
+        solver.run(dc.x, 0.0, t_end, input, grid, rec.observer());
+    solver::ErrorStats err;
+    for (std::size_t i = 0; i < rec.sample_count(); ++i)
+      err.accumulate(rec.state(i), golden.state(i));
+    std::printf("%10.0e %8.1f %8d %10lld %12.3f %12.2e\n", gamma,
+                stats.krylov_dim_avg(), stats.krylov_dim_peak, stats.solves,
+                stats.transient_seconds, err.max_abs);
+  }
+  bench::rule(66);
+  std::printf(
+      "\nShape check vs Sec. 3.3.2: accuracy stays flat across the sweep;\n"
+      "basis sizes stay small near the step-size order and grow only for\n"
+      "gamma far from it.\n");
+  return 0;
+}

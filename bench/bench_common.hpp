@@ -1,0 +1,42 @@
+/// \file bench_common.hpp
+/// \brief Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace matex::bench {
+
+/// Global scale factor for benchmark sizes (node counts, source counts).
+/// Override with MATEX_BENCH_SCALE=2.0 etc.; default 1.0 runs every
+/// harness in a few minutes on one core.
+inline double env_scale() {
+  if (const char* s = std::getenv("MATEX_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+/// Prints a rule line of the given width.
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Formats seconds with stable width.
+inline std::string fmt_s(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.3f", seconds);
+  return buf;
+}
+
+/// Formats a speedup ratio ("x" suffix).
+inline std::string fmt_x(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%6.1fX", ratio);
+  return buf;
+}
+
+}  // namespace matex::bench

@@ -1,0 +1,174 @@
+/// \file bench_kernels.cpp
+/// \brief google-benchmark microbenchmarks for the cost-model constants of
+///        Sec. 3.4: T_bs (substitution pair), T_H (small expm), T_e (basis
+///        combination), factorization costs, and the Krylov building
+///        blocks. These are the inputs to the Eq. (11)/(12) model in
+///        bench_ablation_grouping.
+#include <benchmark/benchmark.h>
+
+#include "circuit/mna.hpp"
+#include "core/input_view.hpp"
+#include "krylov/arnoldi.hpp"
+#include "krylov/operator.hpp"
+#include "la/expm.hpp"
+#include "la/sparse_lu.hpp"
+#include "la/vector_ops.hpp"
+#include "pgbench/pg_generator.hpp"
+#include "solver/dc.hpp"
+
+namespace {
+
+using namespace matex;
+
+/// Shared fixture matrices (built once; benchmarks only time the kernel).
+struct Grid {
+  circuit::Netlist netlist;
+  std::unique_ptr<circuit::MnaSystem> mna;
+  std::unique_ptr<la::SparseLU> g_lu;
+
+  Grid() {
+    auto spec = pgbench::table_benchmark_spec(2, 1.0);
+    netlist = pgbench::generate_power_grid(spec);
+    mna = std::make_unique<circuit::MnaSystem>(netlist);
+    g_lu = std::make_unique<la::SparseLU>(mna->g());
+  }
+};
+
+Grid& grid() {
+  static Grid g;
+  return g;
+}
+
+void BM_Spmv(benchmark::State& state) {
+  auto& g = grid();
+  const std::size_t n = static_cast<std::size_t>(g.mna->dimension());
+  std::vector<double> x(n, 1.0), y(n);
+  for (auto _ : state) {
+    g.mna->g().multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Spmv);
+
+void BM_SubstitutionPair_Tbs(benchmark::State& state) {
+  auto& g = grid();
+  const std::size_t n = static_cast<std::size_t>(g.mna->dimension());
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x = b;
+    g.g_lu->solve_in_place(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SubstitutionPair_Tbs);
+
+void BM_FactorizeG(benchmark::State& state) {
+  auto& g = grid();
+  for (auto _ : state) {
+    la::SparseLU lu(g.mna->g());
+    benchmark::DoNotOptimize(lu.nnz_l());
+  }
+}
+BENCHMARK(BM_FactorizeG);
+
+void BM_FactorizeShifted(benchmark::State& state) {
+  auto& g = grid();
+  const auto shifted = la::add_scaled(1.0, g.mna->c(), 1e-10, g.mna->g());
+  for (auto _ : state) {
+    la::SparseLU lu(shifted);
+    benchmark::DoNotOptimize(lu.nnz_l());
+  }
+}
+BENCHMARK(BM_FactorizeShifted);
+
+void BM_OrderingMinDegree(benchmark::State& state) {
+  auto& g = grid();
+  for (auto _ : state) {
+    auto p = la::compute_ordering(g.mna->g(), la::Ordering::kMinDegree);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_OrderingMinDegree);
+
+void BM_RationalArnoldi(benchmark::State& state) {
+  auto& g = grid();
+  const std::size_t n = static_cast<std::size_t>(g.mna->dimension());
+  const krylov::CircuitOperator op(g.mna->c(), g.mna->g(),
+                                   krylov::KrylovKind::kRational, 1e-10);
+  const auto dc = solver::dc_operating_point(*g.mna);
+  std::vector<double> v = dc.x;
+  la::scale(1.0 / la::norm2(v), v);
+  krylov::ArnoldiOptions opt;
+  opt.max_dim = static_cast<int>(state.range(0));
+  opt.tolerance = 1e-300;  // force the full dimension
+  for (auto _ : state) {
+    auto space = krylov::arnoldi(op, v, 1e-10, opt);
+    benchmark::DoNotOptimize(space.dim());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_RationalArnoldi)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_HessenbergExpm_TH(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  la::DenseMatrix h(m, m);
+  std::uint64_t s = 99;
+  for (std::size_t j = 0; j < m; ++j)
+    for (std::size_t i = 0; i <= std::min(j + 1, m - 1); ++i) {
+      s ^= s << 13;
+      s ^= s >> 7;
+      s ^= s << 17;
+      h(i, j) = -static_cast<double>(s % 1000) / 500.0;
+    }
+  for (auto _ : state) {
+    auto w = la::expm_e1(h, 1.0);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_HessenbergExpm_TH)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SubspaceReuseEvaluate_Te(benchmark::State& state) {
+  auto& g = grid();
+  const std::size_t n = static_cast<std::size_t>(g.mna->dimension());
+  const krylov::CircuitOperator op(g.mna->c(), g.mna->g(),
+                                   krylov::KrylovKind::kRational, 1e-10);
+  const auto dc = solver::dc_operating_point(*g.mna);
+  std::vector<double> v = dc.x;
+  krylov::ArnoldiOptions opt;
+  opt.max_dim = static_cast<int>(state.range(0));
+  opt.tolerance = 1e-300;
+  const auto space = krylov::arnoldi(op, v, 1e-10, opt);
+  std::vector<double> y(n);
+  double h = 1e-11;
+  for (auto _ : state) {
+    // Alg. 2 line 11: reuse with a rescaled step (exp + combination).
+    h = h < 9e-9 ? h * 1.01 : 1e-11;
+    space.evaluate(h, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SubspaceReuseEvaluate_Te)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SuperpositionAccumulate(benchmark::State& state) {
+  auto& g = grid();
+  const std::size_t n = static_cast<std::size_t>(g.mna->dimension());
+  std::vector<double> acc(n, 0.0), contrib(n, 1e-3);
+  for (auto _ : state) {
+    la::axpy(1.0, contrib, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_SuperpositionAccumulate);
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+  auto& g = grid();
+  for (auto _ : state) {
+    auto dc = solver::dc_operating_point(*g.mna);
+    benchmark::DoNotOptimize(dc.x.data());
+  }
+}
+BENCHMARK(BM_DcOperatingPoint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

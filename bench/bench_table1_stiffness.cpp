@@ -1,0 +1,145 @@
+/// \file bench_table1_stiffness.cpp
+/// \brief Reproduces Table 1: MEXP vs I-MATEX vs R-MATEX on stiff RC
+///        meshes of increasing stiffness.
+///
+/// Protocol (Sec. 4.1): RC meshes whose stiffness is tuned through the
+/// spread of the C entries; transient over [0, 0.3 ns] with a fixed 5 ps
+/// step (every method regenerates its subspace at every step, so the
+/// Krylov dimensions m_a / m_p are per-step costs); error measured
+/// against backward Euler with a 0.05 ps step; speedups are transient
+/// runtimes relative to MEXP.
+///
+/// Expected shape (paper): MEXP needs m in the hundreds (capped by the
+/// mesh size here) and is orders of magnitude slower; I-MATEX and
+/// R-MATEX sit at m ~ 5-15 with equal accuracy; stiffness does not
+/// degrade them.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "circuit/mna.hpp"
+#include "core/input_view.hpp"
+#include "core/matex_solver.hpp"
+#include "pgbench/rc_mesh.hpp"
+#include "pgbench/stiffness.hpp"
+#include "solver/dc.hpp"
+#include "solver/fixed_step.hpp"
+#include "solver/observer.hpp"
+
+namespace {
+
+using namespace matex;
+
+struct MethodRow {
+  const char* name;
+  double ma = 0.0;
+  int mp = 0;
+  double err_pct = 0.0;
+  double seconds = 0.0;
+};
+
+double relative_error_pct(const solver::StateRecorder& sol,
+                          const solver::StateRecorder& ref,
+                          std::size_t ref_stride) {
+  double max_diff = 0.0, max_ref = 0.0;
+  for (std::size_t i = 0; i < sol.sample_count(); ++i) {
+    const auto a = sol.state(i);
+    const auto b = ref.state(i * ref_stride);
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      max_diff = std::max(max_diff, std::abs(a[j] - b[j]));
+      max_ref = std::max(max_ref, std::abs(b[j]));
+    }
+  }
+  return max_ref == 0.0 ? 0.0 : 100.0 * max_diff / max_ref;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::env_scale();
+  std::printf("Table 1: MEXP vs I-MATEX vs R-MATEX on stiff RC meshes\n");
+  std::printf("(mesh %.0fx%.0f, span [0, 0.3ns], fixed 5ps steps, error vs "
+              "BE @ 0.05ps)\n\n",
+              10 * std::sqrt(scale), 10 * std::sqrt(scale));
+
+  const double t_end = 0.3e-9;
+  const double h = 5e-12;
+  const double h_ref = 5e-14;  // 0.05 ps BE reference (paper protocol)
+  const auto grid = solver::uniform_grid(0.0, t_end, h);
+  const std::size_t ref_stride = static_cast<std::size_t>(h / h_ref + 0.5);
+
+  std::printf("%-10s %-9s %7s %7s %10s %9s %11s\n", "Method", "Stiffness",
+              "ma", "mp", "Err(%)", "Spdp", "Transient(s)");
+  bench::rule();
+
+  for (const double decades : {14.0, 10.0, 6.0}) {
+    pgbench::StiffRcSpec spec;
+    spec.rows = spec.cols = std::max<la::index_t>(
+        4, static_cast<la::index_t>(std::lround(10 * std::sqrt(scale))));
+    spec.cap_decades = decades;
+    spec.cap_max = 1e-12;
+    spec.seed = 17 + static_cast<std::uint64_t>(decades);
+    const auto netlist = pgbench::generate_stiff_rc_mesh(spec);
+    const circuit::MnaSystem mna(netlist);
+    const auto stiff = pgbench::estimate_stiffness(mna.c(), mna.g());
+
+    const auto dc = solver::dc_operating_point(mna);
+    // BE reference with the paper's tiny step.
+    solver::FixedStepOptions ref_opt;
+    ref_opt.t_end = t_end;
+    ref_opt.h = h_ref;
+    solver::StateRecorder ref;
+    run_fixed_step(mna, dc.x, solver::StepMethod::kBackwardEuler, ref_opt,
+                   ref.observer());
+
+    const core::FullInput input(mna);
+    std::vector<MethodRow> rows;
+    struct Cfg {
+      const char* name;
+      krylov::KrylovKind kind;
+      double gamma;
+      int max_dim;
+    };
+    const int n = static_cast<int>(mna.dimension());
+    const Cfg cfgs[] = {
+        {"MEXP", krylov::KrylovKind::kStandard, 0.0, n},
+        {"I-MATEX", krylov::KrylovKind::kInverted, 0.0, std::min(n, 60)},
+        {"R-MATEX", krylov::KrylovKind::kRational, 5e-12, std::min(n, 60)},
+    };
+    for (const Cfg& cfg : cfgs) {
+      core::MatexOptions opt;
+      opt.kind = cfg.kind;
+      opt.gamma = cfg.gamma;
+      opt.tolerance = 1e-8;
+      opt.max_dim = cfg.max_dim;
+      opt.stall_extension = 1.0;
+      opt.regenerate_at_eval_points = true;  // fixed 5 ps stepping
+      core::MatexCircuitSolver solver(mna, opt, dc.g_factors);
+      solver::StateRecorder rec;
+      const auto stats =
+          solver.run(dc.x, 0.0, t_end, input, grid, rec.observer());
+      MethodRow row;
+      row.name = cfg.name;
+      row.ma = stats.krylov_dim_avg();
+      row.mp = stats.krylov_dim_peak;
+      row.err_pct = relative_error_pct(rec, ref, ref_stride);
+      row.seconds = stats.transient_seconds;
+      rows.push_back(row);
+    }
+    for (const MethodRow& row : rows) {
+      const double spdp = rows[0].seconds / std::max(row.seconds, 1e-9);
+      std::printf("%-10s %9.2e %7.1f %7d %10.4f %9s %11.3f\n", row.name,
+                  stiff.stiffness, row.ma, row.mp, row.err_pct,
+                  row.name == rows[0].name ? "--" : bench::fmt_x(spdp).c_str(),
+                  row.seconds);
+    }
+    bench::rule();
+  }
+  std::printf(
+      "\nShape check vs paper Table 1: MEXP's basis saturates (m ~ system\n"
+      "dimension) while I-MATEX/R-MATEX stay small and accurate at every\n"
+      "stiffness; their speedup over MEXP grows with stiffness.\n");
+  return 0;
+}

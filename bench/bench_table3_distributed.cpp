@@ -1,0 +1,110 @@
+/// \file bench_table3_distributed.cpp
+/// \brief Reproduces Table 3: distributed MATEX (R-MATEX nodes) vs the
+///        fixed-step TR baseline (h = 10 ps, 1000 steps).
+///
+/// Protocol (Sec. 4.3): TR factorizes (C/h + G/2) once and performs 1000
+/// substitution pairs; distributed MATEX decomposes the sources by bump
+/// shape, each node simulates its group against its own LTS, and the
+/// scheduler superposes. t1000/tr_matex compare the pure transient parts;
+/// tt_total/tr_total the full runs. Errors are measured against a golden
+/// TR run at h = 1 ps (standing in for the benchmark-provided waveforms).
+///
+/// Expected shape (paper): ~13X transient speedup, ~7X total, max error
+/// ~1e-4 V, group counts bounded by the distinct bump shapes.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/mna.hpp"
+#include "core/scheduler.hpp"
+#include "pgbench/pg_generator.hpp"
+#include "solver/dc.hpp"
+#include "solver/fixed_step.hpp"
+#include "solver/observer.hpp"
+
+int main() {
+  using namespace matex;
+  const double scale = bench::env_scale();
+
+  std::printf(
+      "Table 3: distributed MATEX (R-MATEX) vs TR (h=10ps, 1000 steps)\n\n");
+  std::printf("%-10s %6s | %9s %9s | %4s %9s %9s | %9s %9s | %6s %6s\n",
+              "Design", "n", "t1000", "tt_total", "Grp", "trmatex",
+              "tr_total", "MaxErr", "AvgErr", "Spdp4", "Spdp5");
+  bench::rule(108);
+
+  double spdp4_sum = 0.0, spdp5_sum = 0.0;
+  for (int design = 1; design <= 6; ++design) {
+    const auto spec = pgbench::table_benchmark_spec(design, scale);
+    const auto netlist = pgbench::generate_power_grid(spec);
+    const circuit::MnaSystem mna(netlist);
+    const double t_end = spec.t_window;
+    const double h = 1e-11;
+    const auto grid = solver::uniform_grid(0.0, t_end, h);
+
+    // --- baseline: fixed-step TR (includes its own DC via operating
+    // point; tt_total = DC + LU + stepping, as in the paper).
+    const auto dc = solver::dc_operating_point(mna);
+    solver::FixedStepOptions tr_opt;
+    tr_opt.t_end = t_end;
+    tr_opt.h = h;
+    solver::StateRecorder tr;
+    const auto tr_stats = run_fixed_step(
+        mna, dc.x, solver::StepMethod::kTrapezoidal, tr_opt, tr.observer());
+    const double t1000 = tr_stats.transient_seconds;
+    const double tt_total = tr_stats.total_seconds + dc.seconds;
+
+    // --- distributed MATEX.
+    core::SchedulerOptions opt;
+    opt.t_end = t_end;
+    opt.solver.kind = krylov::KrylovKind::kRational;
+    opt.solver.gamma = 1e-10;
+    opt.solver.tolerance = 1e-7;
+    opt.solver.max_dim = 120;
+    opt.decomposition.max_groups = 100;
+    opt.output_times = grid;
+    solver::StateRecorder mx;
+    const auto result = core::run_distributed_matex(mna, opt, mx.observer());
+    const double trmatex = result.max_node_transient_seconds;
+    const double tr_total = result.max_node_total_seconds +
+                            result.dc_seconds +
+                            result.superposition_seconds;
+
+    // --- golden reference: TR at h = 1 ps, compared online at the 10 ps
+    // grid (keeps memory bounded on the bigger designs).
+    solver::ErrorStats err_mx;
+    {
+      solver::FixedStepOptions gold_opt;
+      gold_opt.t_end = t_end;
+      gold_opt.h = 1e-12;
+      std::size_t step = 0;
+      run_fixed_step(mna, dc.x, solver::StepMethod::kTrapezoidal, gold_opt,
+                     [&](double, std::span<const double> x) {
+                       if (step % 10 == 0)
+                         err_mx.accumulate(mx.state(step / 10), x);
+                       ++step;
+                     });
+    }
+
+    const double spdp4 = t1000 / std::max(trmatex, 1e-9);
+    const double spdp5 = tt_total / std::max(tr_total, 1e-9);
+    spdp4_sum += spdp4;
+    spdp5_sum += spdp5;
+    std::printf(
+        "%-10s %6d | %9.3f %9.3f | %4zu %9.3f %9.3f | %9.1e %9.1e | %6.1fX "
+        "%5.1fX\n",
+        spec.name.c_str(), mna.dimension(), t1000, tt_total,
+        result.group_count, trmatex, tr_total, err_mx.max_abs,
+        err_mx.mean_abs(), spdp4, spdp5);
+  }
+  bench::rule(108);
+  std::printf("average transient speedup (Spdp4): %.1fX   paper: ~13X\n",
+              spdp4_sum / 6.0);
+  std::printf("average total speedup     (Spdp5): %.1fX   paper: ~7X\n",
+              spdp5_sum / 6.0);
+  std::printf(
+      "\nShape check vs paper Table 3: large transient speedups, smaller\n"
+      "total speedups (serial LU/DC amortize less), errors ~1e-4 V or\n"
+      "below, group counts set by the distinct bump shapes.\n");
+  return 0;
+}

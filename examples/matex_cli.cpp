@@ -1,0 +1,236 @@
+/// \file matex_cli.cpp
+/// \brief Command-line transient simulator over SPICE decks.
+///
+/// Usage:
+///   matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|dist]
+///             [--tstep S] [--tstop S] [--gamma S] [--tol EPS]
+///             [--probe NODE]... [--out FILE]
+///
+/// Defaults: method=rmatex, .tran card from the deck (or 10ps/10ns),
+/// gamma=tstep*10, probes = first few nodes, out = stdout table.
+/// With no arguments a built-in demo deck is simulated.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/spice.hpp"
+#include "core/input_view.hpp"
+#include "core/matex_solver.hpp"
+#include "core/scheduler.hpp"
+#include "solver/dc.hpp"
+#include "solver/fixed_step.hpp"
+#include "solver/observer.hpp"
+#include "solver/tr_adaptive.hpp"
+#include "solver/waveform_io.hpp"
+
+namespace {
+
+using namespace matex;
+
+constexpr const char* kDemoDeck = R"(* matex_cli demo deck
+Vdd vdd 0 1.8
+Rp1 vdd g11 0.05
+Rp2 vdd g33 0.05
+R1 g11 g12 0.2
+R2 g12 g13 0.2
+R3 g21 g22 0.2
+R4 g22 g23 0.2
+R5 g31 g32 0.2
+R6 g32 g33 0.2
+R7 g11 g21 0.2
+R8 g21 g31 0.2
+R9 g12 g22 0.2
+R10 g22 g32 0.2
+R11 g13 g23 0.2
+R12 g23 g33 0.2
+C1 g11 0 2p
+C2 g12 0 2p
+C3 g13 0 2p
+C4 g21 0 2p
+C5 g22 0 2p
+C6 g23 0 2p
+C7 g31 0 2p
+C8 g32 0 2p
+C9 g33 0 2p
+I1 g22 0 PULSE(0 5m 1n 0.1n 0.1n 1n 0)
+I2 g13 0 PULSE(0 3m 3n 0.2n 0.2n 0.5n 0)
+.tran 10p 10n
+.end
+)";
+
+struct CliOptions {
+  std::string deck_path;
+  std::string method = "rmatex";
+  double tstep = 0.0;
+  double tstop = 0.0;
+  double gamma = 0.0;
+  double tol = 1e-7;
+  std::vector<std::string> probes;
+  std::string out_path;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|"
+      "dist]\n"
+      "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
+      "                 [--probe NODE]... [--out FILE]\n");
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (arg == "--method") {
+      opt.method = next();
+    } else if (arg == "--tstep") {
+      opt.tstep = circuit::parse_spice_value(next());
+    } else if (arg == "--tstop") {
+      opt.tstop = circuit::parse_spice_value(next());
+    } else if (arg == "--gamma") {
+      opt.gamma = circuit::parse_spice_value(next());
+    } else if (arg == "--tol") {
+      opt.tol = circuit::parse_spice_value(next());
+    } else if (arg == "--probe") {
+      opt.probes.push_back(next());
+    } else if (arg == "--out") {
+      opt.out_path = next();
+    } else if (arg.rfind("--", 0) == 0) {
+      usage_and_exit();
+    } else if (opt.deck_path.empty()) {
+      opt.deck_path = arg;
+    } else {
+      usage_and_exit();
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliOptions cli = parse_args(argc, argv);
+
+  const circuit::SpiceDeck deck =
+      cli.deck_path.empty() ? circuit::read_spice_string(kDemoDeck)
+                            : circuit::read_spice_file(cli.deck_path);
+  if (cli.deck_path.empty())
+    std::fprintf(stderr, "(no deck given: simulating the built-in demo)\n");
+
+  const double tstep = cli.tstep > 0.0
+                           ? cli.tstep
+                           : deck.tran_step.value_or(1e-11);
+  const double tstop =
+      cli.tstop > 0.0 ? cli.tstop : deck.tran_stop.value_or(1e-8);
+  const double gamma = cli.gamma > 0.0 ? cli.gamma : tstep * 10.0;
+
+  const circuit::MnaSystem mna(deck.netlist);
+  std::fprintf(stderr, "deck: %zu elements, %d unknowns, %d inputs\n",
+               deck.netlist.element_count(), mna.dimension(),
+               mna.input_count());
+
+  // Probe selection: user-specified nodes or the first three unknowns.
+  std::vector<std::string> probe_names = cli.probes;
+  std::vector<la::index_t> probe_idx;
+  if (probe_names.empty()) {
+    for (la::index_t node = 0;
+         node < deck.netlist.node_count() && probe_idx.size() < 3; ++node)
+      if (mna.unknown_index(node) >= 0) {
+        probe_idx.push_back(mna.unknown_index(node));
+        probe_names.push_back(deck.netlist.node_name(node));
+      }
+  } else {
+    for (const auto& name : probe_names) {
+      const auto idx = mna.unknown_index(deck.netlist.find_node(name));
+      if (idx < 0) {
+        std::fprintf(stderr, "probe %s is ground or a fixed rail\n",
+                     name.c_str());
+        return 2;
+      }
+      probe_idx.push_back(idx);
+    }
+  }
+
+  const auto grid = solver::uniform_grid(0.0, tstop, tstep);
+  const auto dc = solver::dc_operating_point(mna);
+  solver::ProbeRecorder recorder(probe_idx);
+  auto observer = recorder.observer();
+
+  solver::TransientStats stats;
+  if (cli.method == "tr" || cli.method == "be") {
+    solver::FixedStepOptions opt;
+    opt.t_end = tstop;
+    opt.h = tstep;
+    stats = run_fixed_step(mna, dc.x,
+                           cli.method == "tr"
+                               ? solver::StepMethod::kTrapezoidal
+                               : solver::StepMethod::kBackwardEuler,
+                           opt, observer);
+  } else if (cli.method == "tradpt") {
+    solver::AdaptiveTrOptions opt;
+    opt.t_end = tstop;
+    opt.h_init = tstep / 10.0;
+    opt.lte_tol = cli.tol;
+    opt.output_times = grid;
+    stats = run_adaptive_trapezoidal(mna, dc.x, opt, observer);
+  } else if (cli.method == "dist") {
+    core::SchedulerOptions opt;
+    opt.t_end = tstop;
+    opt.solver.gamma = gamma;
+    opt.solver.tolerance = cli.tol;
+    opt.output_times = grid;
+    const auto result = core::run_distributed_matex(mna, opt, observer);
+    std::fprintf(stderr,
+                 "distributed: %zu nodes, max node transient %.4f s\n",
+                 result.group_count, result.max_node_transient_seconds);
+    stats = result.aggregate;
+  } else {
+    core::MatexOptions opt;
+    opt.tolerance = cli.tol;
+    opt.gamma = gamma;
+    if (cli.method == "rmatex") {
+      opt.kind = krylov::KrylovKind::kRational;
+    } else if (cli.method == "imatex") {
+      opt.kind = krylov::KrylovKind::kInverted;
+    } else if (cli.method == "mexp") {
+      opt.kind = krylov::KrylovKind::kStandard;
+      opt.c_regularization = 1e-18;
+      opt.max_dim = 300;
+    } else {
+      usage_and_exit();
+    }
+    core::MatexCircuitSolver solver(mna, opt, dc.g_factors);
+    const core::FullInput input(mna);
+    stats = solver.run(dc.x, 0.0, tstop, input, grid, observer);
+  }
+
+  std::fprintf(stderr,
+               "method=%s steps=%lld solves=%lld factorizations=%lld "
+               "subspaces=%lld (avg dim %.1f) transient=%.4fs\n",
+               cli.method.c_str(), stats.steps, stats.solves,
+               stats.factorizations, stats.krylov_subspaces,
+               stats.krylov_dim_avg(), stats.transient_seconds);
+
+  const auto table =
+      solver::WaveformTable::from_recorder(recorder, probe_names);
+  if (cli.out_path.empty()) {
+    std::ostringstream buf;
+    solver::write_waveform_table(table, buf);
+    std::fputs(buf.str().c_str(), stdout);
+  } else {
+    solver::write_waveform_table_file(table, cli.out_path);
+    std::fprintf(stderr, "wrote %s\n", cli.out_path.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "matex_cli: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,61 @@
+/// \file stiff_circuit.cpp
+/// \brief The stiffness story of Sec. 3.3 / Table 1: on a stiff RC mesh
+///        the standard Krylov basis (MEXP) needs a huge dimension while
+///        the inverted and rational bases stay tiny.
+#include <cstdio>
+
+#include "circuit/mna.hpp"
+#include "core/input_view.hpp"
+#include "core/matex_solver.hpp"
+#include "pgbench/rc_mesh.hpp"
+#include "pgbench/stiffness.hpp"
+#include "solver/dc.hpp"
+#include "solver/observer.hpp"
+
+int main() {
+  using namespace matex;
+
+  pgbench::StiffRcSpec spec;
+  spec.rows = spec.cols = 8;
+  spec.cap_decades = 5.0;  // node time constants span 5 decades
+  const auto netlist = pgbench::generate_stiff_rc_mesh(spec);
+  const circuit::MnaSystem mna(netlist);
+  const auto est = pgbench::estimate_stiffness(mna.c(), mna.g());
+  std::printf("stiff RC mesh: %d nodes, stiffness = %.2e\n",
+              mna.dimension(), est.stiffness);
+
+  const auto dc = solver::dc_operating_point(mna);
+  const core::FullInput input(mna);
+  const double t_end = 3e-10;
+  const auto grid = solver::uniform_grid(0.0, t_end, 5e-12);
+
+  struct Config {
+    const char* name;
+    krylov::KrylovKind kind;
+    double gamma;
+    int max_dim;
+  };
+  const Config configs[] = {
+      {"MEXP    (standard)", krylov::KrylovKind::kStandard, 0.0, 80},
+      {"I-MATEX (inverted)", krylov::KrylovKind::kInverted, 0.0, 40},
+      {"R-MATEX (rational)", krylov::KrylovKind::kRational, 5e-12, 40},
+  };
+  std::printf("\n  method               m_avg   m_peak   solves   time\n");
+  for (const Config& cfg : configs) {
+    core::MatexOptions opt;
+    opt.kind = cfg.kind;
+    opt.gamma = cfg.gamma;
+    opt.tolerance = 1e-6;
+    opt.max_dim = cfg.max_dim;
+    opt.regenerate_at_eval_points = true;  // Table 1's fixed-step mode
+    core::MatexCircuitSolver solver(mna, opt, dc.g_factors);
+    const auto stats = solver.run(dc.x, 0.0, t_end, input, grid, nullptr);
+    std::printf("  %-18s  %6.1f  %6d  %7lld  %.3fs\n", cfg.name,
+                stats.krylov_dim_avg(), stats.krylov_dim_peak, stats.solves,
+                stats.transient_seconds);
+  }
+  std::printf(
+      "\nThe small-magnitude eigenvalues dominate the circuit response;\n"
+      "the inverted/rational bases capture them first (Sec. 3.3).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// \file transition_spots.cpp
+/// \brief Reproduces the decomposition illustrations of Fig. 1 and Fig. 3:
+///        three pulsed sources, their Local Transition Spots (LTS), the
+///        Global Transition Spots (GTS), the Snapshots each subtask must
+///        track, and the bump-shape grouping.
+#include <cstdio>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "core/decomposition.hpp"
+#include "core/input_view.hpp"
+
+int main() {
+  using namespace matex;
+
+  // The Fig. 1 setup: three input sources with different pulse timing.
+  // Source #1 fires two bumps (Fig. 3 splits them into separate groups
+  // when their shapes differ; here bump #1.2 matches #3's shape).
+  circuit::Netlist n;
+  n.add_resistor("R1", "a", "0", 1.0);
+  n.add_capacitor("C1", "a", "0", 1.0);
+  const auto pulse = [](double delay, double rise, double width, double fall,
+                        double period = 0.0) {
+    circuit::PulseSpec s;
+    s.v1 = 0.0;
+    s.v2 = 1.0;
+    s.delay = delay;
+    s.rise = rise;
+    s.width = width;
+    s.fall = fall;
+    s.period = period;
+    return circuit::Waveform::pulse(s);
+  };
+  // #1: periodic pulse -> bumps at t=1 and t=7 (same shape repeats).
+  n.add_current_source("I1", "a", "0", pulse(1.0, 0.2, 0.6, 0.2, 6.0));
+  // #2: one bump with a different shape.
+  n.add_current_source("I2", "a", "0", pulse(2.5, 0.4, 1.0, 0.4));
+  // #3: same bump shape as #2 but could start elsewhere; keep Fig. 3's
+  // "same (t_delay, t_rise, t_fall, t_width)" grouping rule visible.
+  n.add_current_source("I3", "a", "0", pulse(2.5, 0.4, 1.0, 0.4));
+
+  const circuit::MnaSystem mna(n);
+  const double t_end = 10.0;
+
+  std::printf("Local Transition Spots (LTS) per source:\n");
+  for (la::index_t k = 0; k < mna.input_count(); ++k) {
+    std::printf("  %-4s:", mna.input_name(k).c_str());
+    for (double t : mna.input_waveform(k).transition_spots(0.0, t_end))
+      std::printf(" %5.2f", t);
+    std::printf("\n");
+  }
+
+  const auto gts = mna.global_transition_spots(0.0, t_end);
+  std::printf("\nGlobal Transition Spots (GTS, union, %zu points):\n ",
+              gts.size());
+  for (double t : gts) std::printf(" %5.2f", t);
+  std::printf("\n");
+
+  core::DecompositionOptions dopt;
+  dopt.t_end = t_end;
+  const auto d = core::decompose_sources(mna, dopt);
+  std::printf("\nBump-shape groups (Fig. 3): %zu groups\n",
+              d.groups.size());
+  for (std::size_t g = 0; g < d.groups.size(); ++g) {
+    std::printf("  group %zu:", g + 1);
+    for (la::index_t k : d.groups[g].members)
+      std::printf(" %s", mna.input_name(k).c_str());
+    const core::GroupInput input(mna, {d.groups[g].members.begin(),
+                                       d.groups[g].members.end()},
+                                 0.0);
+    const auto lts = input.transition_spots(0.0, t_end);
+    std::printf("   (LTS: %zu points, Snapshots to track: %zu)\n",
+                lts.size(), gts.size() - lts.size());
+  }
+  std::printf(
+      "\nEach group regenerates Krylov subspaces only at its own LTS and\n"
+      "reuses them at every Snapshot -- the cost drops from |GTS| to "
+      "|LTS|\nper node (Sec. 3.4).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "la/error.hpp"
+
+namespace matex::circuit {
+namespace {
+
+bool is_ground_name(std::string_view name) {
+  if (name == "0") return true;
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower == "gnd";
+}
+
+}  // namespace
+
+NodeId Netlist::intern(std::string_view name) {
+  if (is_ground_name(name)) return kGroundNode;
+  const auto it = node_ids_.find(std::string(name));
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.emplace_back(name);
+  node_ids_.emplace(node_names_.back(), id);
+  return id;
+}
+
+NodeId Netlist::node(std::string_view name) { return intern(name); }
+
+NodeId Netlist::find_node(std::string_view name) const {
+  if (is_ground_name(name)) return kGroundNode;
+  const auto it = node_ids_.find(std::string(name));
+  MATEX_CHECK(it != node_ids_.end(),
+              "unknown node name: " + std::string(name));
+  return it->second;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  static const std::string kGround = "0";
+  if (id == kGroundNode) return kGround;
+  MATEX_CHECK(id >= 0 && static_cast<std::size_t>(id) < node_names_.size(),
+              "node id out of range");
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+void Netlist::add_resistor(std::string name, std::string_view n1,
+                           std::string_view n2, double ohms) {
+  MATEX_CHECK(ohms > 0.0, "resistance must be positive: " + name);
+  resistors_.push_back({std::move(name), intern(n1), intern(n2), ohms});
+}
+
+void Netlist::add_capacitor(std::string name, std::string_view n1,
+                            std::string_view n2, double farads) {
+  MATEX_CHECK(farads > 0.0, "capacitance must be positive: " + name);
+  capacitors_.push_back({std::move(name), intern(n1), intern(n2), farads});
+}
+
+void Netlist::add_inductor(std::string name, std::string_view n1,
+                           std::string_view n2, double henries) {
+  MATEX_CHECK(henries > 0.0, "inductance must be positive: " + name);
+  inductors_.push_back({std::move(name), intern(n1), intern(n2), henries});
+}
+
+void Netlist::add_current_source(std::string name, std::string_view n1,
+                                 std::string_view n2, Waveform waveform) {
+  current_sources_.push_back(
+      {std::move(name), intern(n1), intern(n2), std::move(waveform)});
+}
+
+void Netlist::add_voltage_source(std::string name, std::string_view n1,
+                                 std::string_view n2, Waveform waveform) {
+  voltage_sources_.push_back(
+      {std::move(name), intern(n1), intern(n2), std::move(waveform)});
+}
+
+}  // namespace matex::circuit

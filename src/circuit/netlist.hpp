@@ -1,0 +1,100 @@
+/// \file netlist.hpp
+/// \brief Flat linear netlist: R, C, L, independent I and V sources.
+///
+/// PDNs are linear circuits (Sec. 2.1): resistive grid, decoupling and
+/// parasitic capacitance, package inductance, DC supply pads and
+/// time-varying current loads. Node names follow SPICE conventions with
+/// "0" (or "gnd") as ground.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/waveform.hpp"
+#include "la/sparse_csc.hpp"
+
+namespace matex::circuit {
+
+/// Index of a circuit node; kGroundNode marks the reference node.
+using NodeId = la::index_t;
+inline constexpr NodeId kGroundNode = -1;
+
+/// Two-terminal passive element (R, C or L).
+struct Passive {
+  std::string name;
+  NodeId n1 = kGroundNode;
+  NodeId n2 = kGroundNode;
+  double value = 0.0;
+};
+
+/// Independent source (current or voltage) with a PWL waveform.
+struct Source {
+  std::string name;
+  NodeId n1 = kGroundNode;  ///< positive terminal
+  NodeId n2 = kGroundNode;  ///< negative terminal
+  Waveform waveform = Waveform::dc(0.0);
+};
+
+/// A flat linear circuit. Elements are added by node *name*; the netlist
+/// interns names into dense node indices.
+class Netlist {
+ public:
+  /// Returns the node id for a name, creating it on first use. "0" and
+  /// "gnd" (case-insensitive) map to kGroundNode.
+  NodeId node(std::string_view name);
+
+  /// Looks up an existing node; throws InvalidArgument if unknown.
+  NodeId find_node(std::string_view name) const;
+
+  /// Name of a node id (for reporting).
+  const std::string& node_name(NodeId id) const;
+
+  /// Number of non-ground nodes.
+  la::index_t node_count() const {
+    return static_cast<la::index_t>(node_names_.size());
+  }
+
+  // --- element insertion -------------------------------------------------
+  void add_resistor(std::string name, std::string_view n1,
+                    std::string_view n2, double ohms);
+  void add_capacitor(std::string name, std::string_view n1,
+                     std::string_view n2, double farads);
+  void add_inductor(std::string name, std::string_view n1,
+                    std::string_view n2, double henries);
+  void add_current_source(std::string name, std::string_view n1,
+                          std::string_view n2, Waveform waveform);
+  void add_voltage_source(std::string name, std::string_view n1,
+                          std::string_view n2, Waveform waveform);
+
+  // --- element access ----------------------------------------------------
+  const std::vector<Passive>& resistors() const { return resistors_; }
+  const std::vector<Passive>& capacitors() const { return capacitors_; }
+  const std::vector<Passive>& inductors() const { return inductors_; }
+  const std::vector<Source>& current_sources() const {
+    return current_sources_;
+  }
+  const std::vector<Source>& voltage_sources() const {
+    return voltage_sources_;
+  }
+
+  /// Total element count (for reporting).
+  std::size_t element_count() const {
+    return resistors_.size() + capacitors_.size() + inductors_.size() +
+           current_sources_.size() + voltage_sources_.size();
+  }
+
+ private:
+  NodeId intern(std::string_view name);
+
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::string> node_names_;
+  std::vector<Passive> resistors_;
+  std::vector<Passive> capacitors_;
+  std::vector<Passive> inductors_;
+  std::vector<Source> current_sources_;
+  std::vector<Source> voltage_sources_;
+};
+
+}  // namespace matex::circuit

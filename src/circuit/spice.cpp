@@ -1,0 +1,301 @@
+#include "circuit/spice.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "la/error.hpp"
+
+namespace matex::circuit {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw ParseError("spice deck line " + std::to_string(line_no) + ": " +
+                   message);
+}
+
+/// Splits a card into tokens, treating '(' ')' ',' '=' as separators.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+        c == ')' || c == ',' || c == '=') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool parse_value_impl(std::string_view token, double& out) {
+  const std::string lower = to_lower(token);
+  std::size_t pos = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(lower, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  const std::string suffix = lower.substr(pos);
+  double mult = 1.0;
+  if (suffix.empty()) {
+    mult = 1.0;
+  } else if (suffix.rfind("meg", 0) == 0) {
+    mult = 1e6;
+  } else {
+    switch (suffix[0]) {
+      case 'f': mult = 1e-15; break;
+      case 'p': mult = 1e-12; break;
+      case 'n': mult = 1e-9; break;
+      case 'u': mult = 1e-6; break;
+      case 'm': mult = 1e-3; break;
+      case 'k': mult = 1e3; break;
+      case 'g': mult = 1e9; break;
+      case 't': mult = 1e12; break;
+      default: return false;
+    }
+  }
+  out = base * mult;
+  return true;
+}
+
+/// Parses the waveform portion of a source card (tokens after the nodes).
+Waveform parse_source_waveform(const std::vector<std::string>& tokens,
+                               std::size_t first, std::size_t line_no) {
+  if (first >= tokens.size())
+    fail(line_no, "source card is missing its value");
+  std::string head = to_lower(tokens[first]);
+  if (head == "dc") {
+    if (first + 1 >= tokens.size()) fail(line_no, "DC without a value");
+    return Waveform::dc(parse_spice_value(tokens[first + 1]));
+  }
+  if (head == "pulse") {
+    std::vector<double> p;
+    for (std::size_t i = first + 1; i < tokens.size(); ++i)
+      p.push_back(parse_spice_value(tokens[i]));
+    if (p.size() < 7) fail(line_no, "PULSE needs 7 parameters");
+    PulseSpec spec;
+    spec.v1 = p[0];
+    spec.v2 = p[1];
+    spec.delay = p[2];
+    spec.rise = p[3];
+    spec.fall = p[4];
+    spec.width = p[5];
+    spec.period = p[6];
+    return Waveform::pulse(spec);
+  }
+  if (head == "sin") {
+    std::vector<double> p;
+    for (std::size_t i = first + 1; i < tokens.size(); ++i)
+      p.push_back(parse_spice_value(tokens[i]));
+    if (p.size() < 3) fail(line_no, "SIN needs at least vo va freq");
+    SinSpec spec;
+    spec.offset = p[0];
+    spec.amplitude = p[1];
+    spec.frequency = p[2];
+    if (p.size() > 3) spec.delay = p[3];
+    if (p.size() > 4) spec.damping = p[4];
+    return Waveform::sin(spec);
+  }
+  if (head == "pwl") {
+    std::vector<double> p;
+    for (std::size_t i = first + 1; i < tokens.size(); ++i)
+      p.push_back(parse_spice_value(tokens[i]));
+    if (p.size() < 2 || p.size() % 2 != 0)
+      fail(line_no, "PWL needs an even number of parameters (t v pairs)");
+    std::vector<double> ts, vs;
+    for (std::size_t i = 0; i < p.size(); i += 2) {
+      ts.push_back(p[i]);
+      vs.push_back(p[i + 1]);
+    }
+    return Waveform::pwl(std::move(ts), std::move(vs));
+  }
+  // Bare numeric value: DC source.
+  return Waveform::dc(parse_spice_value(tokens[first]));
+}
+
+}  // namespace
+
+double parse_spice_value(std::string_view token) {
+  double v = 0.0;
+  if (!parse_value_impl(token, v))
+    throw ParseError("malformed value: " + std::string(token));
+  return v;
+}
+
+SpiceDeck read_spice(std::istream& in) {
+  SpiceDeck deck;
+  std::string raw;
+  std::vector<std::pair<std::size_t, std::string>> cards;
+  std::size_t line_no = 0;
+  bool first_line = true;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip trailing comments and whitespace.
+    if (const auto pos = raw.find('$'); pos != std::string::npos)
+      raw.erase(pos);
+    while (!raw.empty() &&
+           std::isspace(static_cast<unsigned char>(raw.back())))
+      raw.pop_back();
+    if (raw.empty()) continue;
+    if (raw[0] == '*') {
+      if (first_line) deck.title = raw.substr(1);
+      first_line = false;
+      continue;
+    }
+    first_line = false;
+    if (raw[0] == '+') {
+      if (cards.empty()) fail(line_no, "continuation with no previous card");
+      cards.back().second += " " + raw.substr(1);
+    } else {
+      cards.emplace_back(line_no, raw);
+    }
+  }
+
+  for (const auto& [no, card] : cards) {
+    const auto tokens = tokenize(card);
+    if (tokens.empty()) continue;
+    const std::string head = to_lower(tokens[0]);
+    if (head[0] == '.') {
+      if (head == ".tran") {
+        if (tokens.size() >= 3) {
+          deck.tran_step = parse_spice_value(tokens[1]);
+          deck.tran_stop = parse_spice_value(tokens[2]);
+        }
+      }
+      // .op/.print/.end/.options are accepted and ignored.
+      continue;
+    }
+    if (tokens.size() < 4) fail(no, "element card needs name, 2 nodes, value");
+    const std::string& name = tokens[0];
+    const std::string& n1 = tokens[1];
+    const std::string& n2 = tokens[2];
+    switch (head[0]) {
+      case 'r':
+        deck.netlist.add_resistor(name, n1, n2, parse_spice_value(tokens[3]));
+        break;
+      case 'c':
+        deck.netlist.add_capacitor(name, n1, n2,
+                                   parse_spice_value(tokens[3]));
+        break;
+      case 'l':
+        deck.netlist.add_inductor(name, n1, n2, parse_spice_value(tokens[3]));
+        break;
+      case 'v':
+        deck.netlist.add_voltage_source(
+            name, n1, n2, parse_source_waveform(tokens, 3, no));
+        break;
+      case 'i':
+        deck.netlist.add_current_source(
+            name, n1, n2, parse_source_waveform(tokens, 3, no));
+        break;
+      default:
+        fail(no, "unsupported element type '" + std::string(1, head[0]) +
+                     "' (only R, C, L, V, I)");
+    }
+  }
+  return deck;
+}
+
+SpiceDeck read_spice_string(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return read_spice(in);
+}
+
+SpiceDeck read_spice_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open deck file: " + path);
+  return read_spice(in);
+}
+
+namespace {
+
+void write_waveform(std::ostream& out, const Waveform& w) {
+  if (const auto s = w.sin_spec()) {
+    out << "SIN(" << s->offset << " " << s->amplitude << " "
+        << s->frequency << " " << s->delay << " " << s->damping << ")";
+    return;
+  }
+  if (const auto spec = w.pulse_spec()) {
+    out << "PULSE(" << spec->v1 << " " << spec->v2 << " " << spec->delay
+        << " " << spec->rise << " " << spec->fall << " " << spec->width
+        << " " << spec->period << ")";
+    return;
+  }
+  if (w.is_dc()) {
+    out << w.value(0.0);
+    return;
+  }
+  // General PWL: emit breakpoints over the waveform's own spot list in a
+  // wide window plus endpoint values.
+  out << "PWL(";
+  const auto spots = w.transition_spots(0.0, 1e3);
+  bool first = true;
+  for (double t : spots) {
+    if (!first) out << " ";
+    out << t << " " << w.value(t);
+    first = false;
+  }
+  out << ")";
+}
+
+}  // namespace
+
+void write_spice(const Netlist& netlist, std::ostream& out,
+                 std::string_view title, std::optional<double> tran_step,
+                 std::optional<double> tran_stop) {
+  out << "* " << title << "\n";
+  out.precision(17);
+  for (const Passive& r : netlist.resistors())
+    out << r.name << " " << netlist.node_name(r.n1) << " "
+        << netlist.node_name(r.n2) << " " << r.value << "\n";
+  for (const Passive& c : netlist.capacitors())
+    out << c.name << " " << netlist.node_name(c.n1) << " "
+        << netlist.node_name(c.n2) << " " << c.value << "\n";
+  for (const Passive& l : netlist.inductors())
+    out << l.name << " " << netlist.node_name(l.n1) << " "
+        << netlist.node_name(l.n2) << " " << l.value << "\n";
+  for (const Source& v : netlist.voltage_sources()) {
+    out << v.name << " " << netlist.node_name(v.n1) << " "
+        << netlist.node_name(v.n2) << " ";
+    write_waveform(out, v.waveform);
+    out << "\n";
+  }
+  for (const Source& i : netlist.current_sources()) {
+    out << i.name << " " << netlist.node_name(i.n1) << " "
+        << netlist.node_name(i.n2) << " ";
+    write_waveform(out, i.waveform);
+    out << "\n";
+  }
+  if (tran_step && tran_stop)
+    out << ".tran " << *tran_step << " " << *tran_stop << "\n";
+  out << ".end\n";
+}
+
+void write_spice_file(const Netlist& netlist, const std::string& path,
+                      std::string_view title,
+                      std::optional<double> tran_step,
+                      std::optional<double> tran_stop) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open output file: " + path);
+  write_spice(netlist, out, title, tran_step, tran_stop);
+}
+
+}  // namespace matex::circuit

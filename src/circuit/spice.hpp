@@ -1,0 +1,64 @@
+/// \file spice.hpp
+/// \brief SPICE-subset deck reader/writer for power-grid netlists.
+///
+/// Supports the element cards used by the IBM power grid benchmarks
+/// (Nassif, ASPDAC'08) and similar PDN decks:
+///
+///   Rname n1 n2 value
+///   Cname n1 n2 value
+///   Lname n1 n2 value
+///   Vname n1 n2 [DC] value
+///   Iname n1 n2 [DC] value
+///   Iname n1 n2 PULSE(v1 v2 td tr tf pw per)
+///   Iname n1 n2 PWL(t1 v1 t2 v2 ...)
+///   .tran step stop     -- recorded, not executed
+///   .op / .print / .end -- accepted and ignored
+///   * comment, + continuation lines
+///
+/// Engineering suffixes (f p n u m k meg g t) are understood.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "circuit/netlist.hpp"
+
+namespace matex::circuit {
+
+/// A parsed deck: the netlist plus the analysis directives found.
+struct SpiceDeck {
+  Netlist netlist;
+  std::string title;
+  std::optional<double> tran_step;
+  std::optional<double> tran_stop;
+};
+
+/// Parses a deck from a stream. Throws ParseError with a line number on
+/// malformed input.
+SpiceDeck read_spice(std::istream& in);
+
+/// Parses a deck from a string (convenience for tests).
+SpiceDeck read_spice_string(std::string_view text);
+
+/// Parses a deck from a file path.
+SpiceDeck read_spice_file(const std::string& path);
+
+/// Writes a netlist as a SPICE deck (round-trips through read_spice).
+void write_spice(const Netlist& netlist, std::ostream& out,
+                 std::string_view title = "MATEX deck",
+                 std::optional<double> tran_step = std::nullopt,
+                 std::optional<double> tran_stop = std::nullopt);
+
+/// Writes a deck to a file path.
+void write_spice_file(const Netlist& netlist, const std::string& path,
+                      std::string_view title = "MATEX deck",
+                      std::optional<double> tran_step = std::nullopt,
+                      std::optional<double> tran_stop = std::nullopt);
+
+/// Parses one engineering-notation value ("1.5k", "10p", "3meg").
+/// Exposed for tests. Throws ParseError on malformed values.
+double parse_spice_value(std::string_view token);
+
+}  // namespace matex::circuit

@@ -1,0 +1,257 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/error.hpp"
+
+namespace matex::circuit {
+namespace {
+
+/// Pulse value at local time tau in [0, cycle_len) after the delay.
+double pulse_cycle_value(const PulseSpec& s, double tau) {
+  if (tau < s.rise) return s.v1 + (s.v2 - s.v1) * (tau / s.rise);
+  tau -= s.rise;
+  if (tau < s.width) return s.v2;
+  tau -= s.width;
+  if (tau < s.fall) return s.v2 + (s.v1 - s.v2) * (tau / s.fall);
+  return s.v1;
+}
+
+double pulse_value(const PulseSpec& s, double t) {
+  if (t <= s.delay) return s.v1;
+  double tau = t - s.delay;
+  if (s.period > 0.0) tau = std::fmod(tau, s.period);
+  return pulse_cycle_value(s, tau);
+}
+
+double sin_value(const SinSpec& s, double t) {
+  if (t <= s.delay) return s.offset;
+  const double tau = t - s.delay;
+  return s.offset + s.amplitude * std::exp(-s.damping * tau) *
+                        std::sin(2.0 * M_PI * s.frequency * tau);
+}
+
+double sin_slope(const SinSpec& s, double t) {
+  if (t < s.delay) return 0.0;
+  const double tau = t - s.delay;
+  const double w = 2.0 * M_PI * s.frequency;
+  return s.amplitude * std::exp(-s.damping * tau) *
+         (w * std::cos(w * tau) - s.damping * std::sin(w * tau));
+}
+
+}  // namespace
+
+Waveform Waveform::dc(double value) { return Waveform(Repr(Dc{value})); }
+
+Waveform Waveform::pwl(std::vector<double> times, std::vector<double> values) {
+  MATEX_CHECK(times.size() == values.size(),
+              "PWL times/values must have equal length");
+  MATEX_CHECK(!times.empty(), "PWL table must be non-empty");
+  for (std::size_t i = 1; i < times.size(); ++i)
+    MATEX_CHECK(times[i - 1] < times[i],
+                "PWL times must be strictly increasing");
+  return Waveform(Repr(Pwl{std::move(times), std::move(values)}));
+}
+
+Waveform Waveform::pulse(const PulseSpec& spec) {
+  MATEX_CHECK(spec.rise > 0.0 && spec.fall > 0.0,
+              "PULSE rise and fall times must be positive (instantaneous "
+              "edges are not piecewise linear)");
+  MATEX_CHECK(spec.width >= 0.0, "PULSE width must be non-negative");
+  MATEX_CHECK(spec.delay >= 0.0, "PULSE delay must be non-negative");
+  if (spec.period > 0.0)
+    MATEX_CHECK(spec.period >= spec.rise + spec.width + spec.fall,
+                "PULSE period must cover rise+width+fall");
+  return Waveform(Repr(Pulse{spec}));
+}
+
+double Waveform::value(double t) const {
+  return std::visit(
+      [t](const auto& r) -> double {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, Dc>) {
+          return r.value;
+        } else if constexpr (std::is_same_v<T, Pwl>) {
+          if (t <= r.times.front()) return r.values.front();
+          if (t >= r.times.back()) return r.values.back();
+          const auto it =
+              std::upper_bound(r.times.begin(), r.times.end(), t);
+          const std::size_t hi =
+              static_cast<std::size_t>(it - r.times.begin());
+          const std::size_t lo = hi - 1;
+          const double f =
+              (t - r.times[lo]) / (r.times[hi] - r.times[lo]);
+          return r.values[lo] + f * (r.values[hi] - r.values[lo]);
+        } else if constexpr (std::is_same_v<T, Pulse>) {
+          return pulse_value(r.spec, t);
+        } else {
+          return sin_value(r.spec, t);
+        }
+      },
+      repr_);
+}
+
+double Waveform::slope_after(double t) const {
+  return std::visit(
+      [t](const auto& r) -> double {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, Dc>) {
+          return 0.0;
+        } else if constexpr (std::is_same_v<T, Pwl>) {
+          if (t < r.times.front() || t >= r.times.back()) return 0.0;
+          const auto it =
+              std::upper_bound(r.times.begin(), r.times.end(), t);
+          const std::size_t hi =
+              static_cast<std::size_t>(it - r.times.begin());
+          const std::size_t lo = hi - 1;
+          return (r.values[hi] - r.values[lo]) /
+                 (r.times[hi] - r.times[lo]);
+        } else if constexpr (std::is_same_v<T, Sin>) {
+          return sin_slope(r.spec, t);
+        } else {
+          const PulseSpec& s = r.spec;
+          if (t < s.delay) return 0.0;
+          double tau = t - s.delay;
+          if (s.period > 0.0) {
+            tau = std::fmod(tau, s.period);
+          } else if (tau >= s.rise + s.width + s.fall) {
+            return 0.0;
+          }
+          if (tau < s.rise) return (s.v2 - s.v1) / s.rise;
+          tau -= s.rise;
+          if (tau < s.width) return 0.0;
+          tau -= s.width;
+          if (tau < s.fall) return (s.v1 - s.v2) / s.fall;
+          return 0.0;
+        }
+      },
+      repr_);
+}
+
+std::vector<double> Waveform::transition_spots(double t0, double t1) const {
+  MATEX_CHECK(t0 <= t1, "transition_spots requires t0 <= t1");
+  return std::visit(
+      [t0, t1](const auto& r) -> std::vector<double> {
+        using T = std::decay_t<decltype(r)>;
+        std::vector<double> out;
+        if constexpr (std::is_same_v<T, Dc>) {
+          return out;
+        } else if constexpr (std::is_same_v<T, Pwl>) {
+          for (double t : r.times)
+            if (t >= t0 && t <= t1) out.push_back(t);
+          return out;
+        } else if constexpr (std::is_same_v<T, Sin>) {
+          // Sample landmarks every 1/16 period (approximation points for
+          // breakpoint-aligned steppers; see header).
+          const SinSpec& s = r.spec;
+          const double step = 1.0 / (16.0 * s.frequency);
+          if (s.delay >= t0 && s.delay <= t1) out.push_back(s.delay);
+          const double first = std::max(t0, s.delay);
+          long long k =
+              static_cast<long long>(std::ceil((first - s.delay) / step));
+          if (k < 1) k = 1;
+          for (;; ++k) {
+            const double t = s.delay + static_cast<double>(k) * step;
+            if (t > t1) break;
+            if (t >= t0) out.push_back(t);
+          }
+          return out;
+        } else {
+          const PulseSpec& s = r.spec;
+          const double cycle[4] = {0.0, s.rise, s.rise + s.width,
+                                   s.rise + s.width + s.fall};
+          if (s.period <= 0.0) {
+            for (double c : cycle) {
+              const double t = s.delay + c;
+              if (t >= t0 && t <= t1) out.push_back(t);
+            }
+            return out;
+          }
+          // Repeating pulse: emit the four breakpoints of every period
+          // intersecting [t0, t1].
+          const double rel = t0 - s.delay;
+          long long k0 = rel <= 0.0
+                             ? 0
+                             : static_cast<long long>(
+                                   std::floor(rel / s.period));
+          for (long long k = std::max(0LL, k0 - 1);; ++k) {
+            const double base =
+                s.delay + static_cast<double>(k) * s.period;
+            if (base > t1) break;
+            for (double c : cycle) {
+              const double t = base + c;
+              if (t >= t0 && t <= t1) out.push_back(t);
+            }
+          }
+          std::sort(out.begin(), out.end());
+          out.erase(std::unique(out.begin(), out.end()), out.end());
+          return out;
+        }
+      },
+      repr_);
+}
+
+bool Waveform::is_dc() const {
+  if (std::holds_alternative<Dc>(repr_)) return true;
+  if (const auto* pwl = std::get_if<Pwl>(&repr_)) {
+    for (double v : pwl->values)
+      if (v != pwl->values.front()) return false;
+    return true;
+  }
+  if (const auto* p = std::get_if<Pulse>(&repr_))
+    return p->spec.v1 == p->spec.v2;
+  if (const auto* s = std::get_if<Sin>(&repr_))
+    return s->spec.amplitude == 0.0;
+  return false;
+}
+
+std::optional<PulseSpec> Waveform::pulse_spec() const {
+  if (const auto* p = std::get_if<Pulse>(&repr_)) return p->spec;
+  return std::nullopt;
+}
+
+std::optional<SinSpec> Waveform::sin_spec() const {
+  if (const auto* s = std::get_if<Sin>(&repr_)) return s->spec;
+  return std::nullopt;
+}
+
+Waveform Waveform::sin(const SinSpec& spec) {
+  MATEX_CHECK(spec.frequency > 0.0, "SIN frequency must be positive");
+  MATEX_CHECK(spec.delay >= 0.0, "SIN delay must be non-negative");
+  MATEX_CHECK(spec.damping >= 0.0, "SIN damping must be non-negative");
+  return Waveform(Repr(Sin{spec}));
+}
+
+bool Waveform::is_piecewise_linear() const {
+  return !std::holds_alternative<Sin>(repr_);
+}
+
+Waveform Waveform::linearized(double t0, double t1, double max_step) const {
+  MATEX_CHECK(t1 > t0, "linearized window must be non-empty");
+  MATEX_CHECK(max_step > 0.0, "max_step must be positive");
+  std::vector<double> knots = transition_spots(t0, t1);
+  knots.push_back(t0);
+  knots.push_back(t1);
+  std::sort(knots.begin(), knots.end());
+  knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
+  // Subdivide gaps wider than max_step.
+  std::vector<double> times;
+  for (std::size_t i = 0; i + 1 < knots.size(); ++i) {
+    times.push_back(knots[i]);
+    const double gap = knots[i + 1] - knots[i];
+    const auto extra = static_cast<std::size_t>(std::ceil(gap / max_step));
+    for (std::size_t k = 1; k < extra; ++k)
+      times.push_back(knots[i] +
+                      gap * static_cast<double>(k) /
+                          static_cast<double>(extra));
+  }
+  times.push_back(knots.back());
+  std::vector<double> values;
+  values.reserve(times.size());
+  for (double t : times) values.push_back(value(t));
+  return pwl(std::move(times), std::move(values));
+}
+
+}  // namespace matex::circuit

@@ -1,0 +1,122 @@
+/// \file waveform.hpp
+/// \brief Piecewise-linear source waveforms and their transition spots.
+///
+/// The matrix-exponential solution (Eq. 5) is exact for inputs that are
+/// linear inside every time step, so all supported waveforms are
+/// piecewise linear: DC, explicit PWL tables, and SPICE-style PULSE
+/// sources (which are PWL with the four breakpoints per period that
+/// Fig. 3 calls t_delay / t_rise / t_width / t_fall).
+///
+/// A *transition spot* (TS) is a time where the waveform's slope changes;
+/// the union of spots over sources forms the GTS of Sec. 3.1.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+namespace matex::circuit {
+
+/// Parameters of a SPICE PULSE(v1 v2 td tr pw tf period) source.
+/// (Order follows SPICE: PULSE(v1 v2 td tr tf pw per).)
+struct PulseSpec {
+  double v1 = 0.0;      ///< baseline value
+  double v2 = 0.0;      ///< pulse value
+  double delay = 0.0;   ///< t_delay: time of first rising edge start
+  double rise = 0.0;    ///< t_rise (> 0; instantaneous edges not supported)
+  double fall = 0.0;    ///< t_fall (> 0)
+  double width = 0.0;   ///< t_width: time spent at v2
+  double period = 0.0;  ///< t_period; <= 0 means single (non-repeating) pulse
+
+  /// The "bump shape" feature of Fig. 3 used for source grouping:
+  /// (t_delay, t_rise, t_fall, t_width) plus the period.
+  friend bool operator==(const PulseSpec&, const PulseSpec&) = default;
+};
+
+/// Parameters of a SPICE SIN(vo va freq td theta) source.
+struct SinSpec {
+  double offset = 0.0;     ///< vo
+  double amplitude = 0.0;  ///< va
+  double frequency = 0.0;  ///< freq (Hz, > 0)
+  double delay = 0.0;      ///< td: value is vo before this time
+  double damping = 0.0;    ///< theta: exponential damping (1/s)
+
+  friend bool operator==(const SinSpec&, const SinSpec&) = default;
+};
+
+/// Value-semantic source waveform.
+///
+/// DC, PWL and PULSE are piecewise linear, which the matrix-exponential
+/// solution (Eq. 5) integrates *exactly*; SIN is smooth, so exponential
+/// integrators must run it through linearized() first (the fixed-step and
+/// adaptive TR solvers can evaluate it directly).
+class Waveform {
+ public:
+  /// Constant value for all t.
+  static Waveform dc(double value);
+
+  /// Piecewise-linear table; times must be strictly increasing. The value
+  /// is held constant before the first and after the last point.
+  static Waveform pwl(std::vector<double> times, std::vector<double> values);
+
+  /// SPICE PULSE source. rise and fall must be > 0.
+  static Waveform pulse(const PulseSpec& spec);
+
+  /// SPICE SIN source (see SinSpec). Not piecewise linear: its
+  /// transition_spots are sample landmarks every 1/16 period, which keeps
+  /// breakpoint-aligned steppers accurate but is only an approximation
+  /// for exact-PWL integrators -- use linearized() for those.
+  static Waveform sin(const SinSpec& spec);
+
+  /// Returns a PWL approximation of this waveform on [t0, t1], sampling
+  /// existing transition spots plus enough equidistant points that each
+  /// segment spans at most max_step. Exact (spot-preserving) for DC, PWL
+  /// and PULSE inputs when max_step covers the window.
+  Waveform linearized(double t0, double t1, double max_step) const;
+
+  /// True for waveforms that are exactly piecewise linear between their
+  /// transition spots (DC, PWL, PULSE).
+  bool is_piecewise_linear() const;
+
+  /// Waveform value at time t.
+  double value(double t) const;
+
+  /// Left-sided slope limit at time t+ (the slope of the segment starting
+  /// at or containing t).
+  double slope_after(double t) const;
+
+  /// All transition spots s with t0 <= s <= t1, sorted ascending.
+  std::vector<double> transition_spots(double t0, double t1) const;
+
+  /// True for DC waveforms (no transition spots anywhere).
+  bool is_dc() const;
+
+  /// The pulse parameters if this is a PULSE waveform (used by the
+  /// bump-shape grouping of Sec. 3.1 / Fig. 3).
+  std::optional<PulseSpec> pulse_spec() const;
+
+  /// The sine parameters if this is a SIN waveform.
+  std::optional<SinSpec> sin_spec() const;
+
+ private:
+  struct Dc {
+    double value;
+  };
+  struct Pwl {
+    std::vector<double> times;
+    std::vector<double> values;
+  };
+  struct Pulse {
+    PulseSpec spec;
+  };
+  struct Sin {
+    SinSpec spec;
+  };
+  using Repr = std::variant<Dc, Pwl, Pulse, Sin>;
+
+  explicit Waveform(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace matex::circuit

@@ -1,0 +1,47 @@
+/// \file complexity.hpp
+/// \brief The analytic cost model of Sec. 3.4 (Eqs. 11 and 12).
+///
+/// Terms: T_bs = one pair of forward/backward substitutions; T_H = small
+/// matrix-exponential evaluation on H_m (O(m^3)); T_e = forming x from the
+/// basis (O(n m)); T_serial = factorizations and other serial work;
+/// K = |GTS|; k = per-node |LTS|; m = average Krylov dimension; N = fixed
+/// steps of the traditional method.
+#pragma once
+
+#include "la/error.hpp"
+
+namespace matex::core {
+
+/// Parameters of the Sec. 3.4 cost model.
+struct ComplexityParams {
+  double t_bs = 0.0;      ///< seconds per substitution pair
+  double t_h = 0.0;       ///< seconds per small expm (T_H)
+  double t_e = 0.0;       ///< seconds per basis combination (T_e)
+  double t_serial = 0.0;  ///< serial seconds (LU, DC, ...)
+  double k_gts = 0.0;     ///< K: number of global transition spots
+  double k_lts = 0.0;     ///< k: per-node local transition spots
+  double m = 0.0;         ///< average Krylov dimension
+  double n_steps = 0.0;   ///< N: steps of the fixed-step method
+};
+
+/// Eq. (11): speedup of distributed MATEX over single-node MATEX.
+inline double speedup_distributed_over_single(const ComplexityParams& p) {
+  MATEX_CHECK(p.k_lts > 0 && p.m > 0, "k and m must be positive");
+  const double single =
+      p.k_gts * p.m * p.t_bs + p.k_gts * (p.t_h + p.t_e) + p.t_serial;
+  const double dist =
+      p.k_lts * p.m * p.t_bs + p.k_gts * (p.t_h + p.t_e) + p.t_serial;
+  return single / dist;
+}
+
+/// Eq. (12): speedup of distributed MATEX over fixed-step TR.
+inline double speedup_distributed_over_fixed_tr(const ComplexityParams& p) {
+  MATEX_CHECK(p.k_lts > 0 && p.m > 0 && p.n_steps > 0,
+              "k, m and N must be positive");
+  const double tr = p.n_steps * p.t_bs + p.t_serial;
+  const double dist =
+      p.k_lts * p.m * p.t_bs + p.k_gts * (p.t_h + p.t_e) + p.t_serial;
+  return tr / dist;
+}
+
+}  // namespace matex::core

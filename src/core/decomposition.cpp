@@ -1,0 +1,85 @@
+#include "core/decomposition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "la/error.hpp"
+
+namespace matex::core {
+namespace {
+
+/// Shape signature of a pulse: the Fig. 3 bump feature. Two sources with
+/// equal signatures can share a node's Krylov schedule (their LTS
+/// coincide). Magnitudes (v1, v2) deliberately do not enter the key:
+/// superposition handles amplitude, the schedule only depends on timing.
+std::string pulse_key(const circuit::PulseSpec& s) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "pulse:" << s.delay << ":" << s.rise << ":" << s.fall << ":"
+     << s.width << ":" << s.period;
+  return os.str();
+}
+
+/// Fallback signature for non-pulse waveforms: the transition-spot list
+/// inside the analysis window.
+std::string spots_key(const circuit::Waveform& w, double t0, double t1) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "spots";
+  for (double t : w.transition_spots(t0, t1)) os << ":" << t;
+  return os.str();
+}
+
+}  // namespace
+
+Decomposition decompose_sources(const circuit::MnaSystem& mna,
+                                const DecompositionOptions& options) {
+  MATEX_CHECK(options.t_end > options.t_start,
+              "decomposition window must be non-empty");
+  MATEX_CHECK(options.max_groups >= 0, "max_groups must be >= 0");
+
+  Decomposition result;
+  // std::map keeps group order deterministic (sorted by key).
+  std::map<std::string, std::vector<la::index_t>> by_shape;
+  for (la::index_t k = 0; k < mna.input_count(); ++k) {
+    const circuit::Waveform& w = mna.input_waveform(k);
+    if (w.is_dc() ||
+        w.transition_spots(options.t_start, options.t_end).empty()) {
+      result.dc_inputs.push_back(k);
+      continue;
+    }
+    const auto spec = w.pulse_spec();
+    const std::string key = spec ? pulse_key(*spec)
+                                 : spots_key(w, options.t_start,
+                                             options.t_end);
+    by_shape[key].push_back(k);
+  }
+  result.gts_size =
+      mna.global_transition_spots(options.t_start, options.t_end).size();
+
+  std::vector<SourceGroup> groups;
+  groups.reserve(by_shape.size());
+  for (auto& [key, members] : by_shape)
+    groups.push_back({std::move(members), key});
+
+  if (options.max_groups > 0 &&
+      groups.size() > static_cast<std::size_t>(options.max_groups)) {
+    // Merge shapes round-robin onto the available nodes (several bump
+    // shapes per node; the node's LTS is then the union).
+    std::vector<SourceGroup> merged(
+        static_cast<std::size_t>(options.max_groups));
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      auto& bucket = merged[i % merged.size()];
+      bucket.members.insert(bucket.members.end(), groups[i].members.begin(),
+                            groups[i].members.end());
+      if (!bucket.shape_key.empty()) bucket.shape_key += "+";
+      bucket.shape_key += groups[i].shape_key;
+    }
+    groups = std::move(merged);
+  }
+  result.groups = std::move(groups);
+  return result;
+}
+
+}  // namespace matex::core

@@ -1,0 +1,54 @@
+/// \file decomposition.hpp
+/// \brief Input-source decomposition for distributed MATEX (Sec. 3.1-3.2).
+///
+/// The simulation task is split by sources: sources whose pulses share the
+/// same "bump shape" (t_delay, t_rise, t_fall, t_width, t_period -- Fig. 3)
+/// are grouped, because one Krylov schedule then serves all of them. Each
+/// group becomes a subtask that simulates the circuit with only its own
+/// sources active (zero-baseline), starting from the zero state; by
+/// superposition the full response is the DC solution plus the sum of the
+/// group contributions.
+///
+/// DC sources (supply pads, constant loads) never enter any group: their
+/// entire effect is the DC operating point, which subtask summation adds
+/// back at the end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+
+namespace matex::core {
+
+/// One group of sources sharing a bump shape (or an identical transition
+/// signature for non-pulse waveforms).
+struct SourceGroup {
+  std::vector<la::index_t> members;  ///< input indices into u(t)
+  std::string shape_key;             ///< human-readable shape signature
+};
+
+/// Options for the decomposition.
+struct DecompositionOptions {
+  /// Upper bound on the number of groups (computing nodes). Groups beyond
+  /// the bound are merged round-robin, exactly like assigning several
+  /// bump shapes to one node. 0 means one group per distinct shape.
+  int max_groups = 0;
+  /// Time window used to fingerprint non-pulse waveforms.
+  double t_start = 0.0;
+  double t_end = 0.0;
+};
+
+/// Result of decomposing a system's sources.
+struct Decomposition {
+  std::vector<SourceGroup> groups;
+  std::vector<la::index_t> dc_inputs;  ///< inputs with no transitions
+  /// |GTS| in the fingerprint window (for the complexity model).
+  std::size_t gts_size = 0;
+};
+
+/// Groups the time-varying inputs of `mna` by bump shape (Fig. 3).
+Decomposition decompose_sources(const circuit::MnaSystem& mna,
+                                const DecompositionOptions& options);
+
+}  // namespace matex::core

@@ -1,0 +1,64 @@
+#include "core/input_view.hpp"
+
+#include <algorithm>
+
+#include "la/error.hpp"
+
+namespace matex::core {
+
+void FullInput::value(double t, std::span<double> u) const {
+  mna_->input_at(t, u);
+}
+
+void FullInput::slope_after(double t, std::span<double> du) const {
+  MATEX_CHECK(du.size() == static_cast<std::size_t>(count()));
+  for (la::index_t k = 0; k < count(); ++k)
+    du[static_cast<std::size_t>(k)] =
+        mna_->input_waveform(k).slope_after(t);
+}
+
+std::vector<double> FullInput::transition_spots(double t0, double t1) const {
+  return mna_->global_transition_spots(t0, t1);
+}
+
+GroupInput::GroupInput(const circuit::MnaSystem& mna,
+                       std::vector<la::index_t> members, double baseline_time)
+    : mna_(&mna), members_(std::move(members)) {
+  baseline_.reserve(members_.size());
+  for (la::index_t k : members_) {
+    MATEX_CHECK(k >= 0 && k < mna.input_count(),
+                "group member index out of range");
+    baseline_.push_back(mna.input_waveform(k).value(baseline_time));
+  }
+}
+
+void GroupInput::value(double t, std::span<double> u) const {
+  MATEX_CHECK(u.size() == static_cast<std::size_t>(count()));
+  std::fill(u.begin(), u.end(), 0.0);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const la::index_t k = members_[i];
+    u[static_cast<std::size_t>(k)] =
+        mna_->input_waveform(k).value(t) - baseline_[i];
+  }
+}
+
+void GroupInput::slope_after(double t, std::span<double> du) const {
+  MATEX_CHECK(du.size() == static_cast<std::size_t>(count()));
+  std::fill(du.begin(), du.end(), 0.0);
+  for (la::index_t k : members_)
+    du[static_cast<std::size_t>(k)] =
+        mna_->input_waveform(k).slope_after(t);
+}
+
+std::vector<double> GroupInput::transition_spots(double t0, double t1) const {
+  std::vector<double> spots;
+  for (la::index_t k : members_) {
+    const auto s = mna_->input_waveform(k).transition_spots(t0, t1);
+    spots.insert(spots.end(), s.begin(), s.end());
+  }
+  std::sort(spots.begin(), spots.end());
+  spots.erase(std::unique(spots.begin(), spots.end()), spots.end());
+  return spots;
+}
+
+}  // namespace matex::core

@@ -1,0 +1,82 @@
+/// \file input_view.hpp
+/// \brief Abstraction over "which sources drive this simulation".
+///
+/// The distributed decomposition (Sec. 3.1) runs the *same* circuit
+/// against different slices of the input: the full u(t) for a monolithic
+/// run, or one source group's zero-baseline contribution for a subtask.
+/// InputView hides the difference from the MATEX circuit solver:
+///
+///  - value(t):  the (possibly masked) input vector u(t)
+///  - slope_after(t): du/dt on the segment starting at t (inputs are PWL)
+///  - transition_spots(t0, t1): the LTS of this view -- the only times the
+///    solver must regenerate a Krylov subspace.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/mna.hpp"
+
+namespace matex::core {
+
+/// Interface over an input slice (see file comment).
+class InputView {
+ public:
+  virtual ~InputView() = default;
+
+  /// Number of entries of u (must equal MnaSystem::input_count()).
+  virtual la::index_t count() const = 0;
+
+  /// Fills u(t).
+  virtual void value(double t, std::span<double> u) const = 0;
+
+  /// Fills du/dt for the PWL segment starting at t.
+  virtual void slope_after(double t, std::span<double> du) const = 0;
+
+  /// Local transition spots of this view in [t0, t1], sorted ascending.
+  virtual std::vector<double> transition_spots(double t0,
+                                               double t1) const = 0;
+};
+
+/// The full input: all sources with their actual waveforms. Its
+/// transition spots are the GTS.
+class FullInput final : public InputView {
+ public:
+  explicit FullInput(const circuit::MnaSystem& mna) : mna_(&mna) {}
+
+  la::index_t count() const override { return mna_->input_count(); }
+  void value(double t, std::span<double> u) const override;
+  void slope_after(double t, std::span<double> du) const override;
+  std::vector<double> transition_spots(double t0, double t1) const override;
+
+ private:
+  const circuit::MnaSystem* mna_;
+};
+
+/// One subtask's input: the selected sources only, with their t=0 baseline
+/// subtracted (so the subtask starts from the zero state and the sum over
+/// subtasks plus the DC solution reconstructs the full response -- the
+/// superposition split of Sec. 3.2).
+class GroupInput final : public InputView {
+ public:
+  /// \param mna      the assembled system
+  /// \param members  input indices of this group's sources
+  /// \param baseline_time time at which the baseline is taken (usually
+  ///        t_start; the group's contribution is u_k(t) - u_k(baseline))
+  GroupInput(const circuit::MnaSystem& mna, std::vector<la::index_t> members,
+             double baseline_time);
+
+  la::index_t count() const override { return mna_->input_count(); }
+  void value(double t, std::span<double> u) const override;
+  void slope_after(double t, std::span<double> du) const override;
+  std::vector<double> transition_spots(double t0, double t1) const override;
+
+  std::span<const la::index_t> members() const { return members_; }
+
+ private:
+  const circuit::MnaSystem* mna_;
+  std::vector<la::index_t> members_;
+  std::vector<double> baseline_;  // per member
+};
+
+}  // namespace matex::core

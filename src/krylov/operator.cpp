@@ -1,0 +1,89 @@
+#include "krylov/operator.hpp"
+
+#include "la/dense_lu.hpp"
+#include "la/error.hpp"
+
+namespace matex::krylov {
+
+const char* kind_name(KrylovKind kind) {
+  switch (kind) {
+    case KrylovKind::kStandard:
+      return "MEXP";
+    case KrylovKind::kInverted:
+      return "I-MATEX";
+    case KrylovKind::kRational:
+      return "R-MATEX";
+  }
+  return "?";
+}
+
+CircuitOperator::CircuitOperator(const la::CscMatrix& c, const la::CscMatrix& g,
+                                 KrylovKind kind, double gamma,
+                                 la::SparseLuOptions lu_options)
+    : c_(&c), g_(&g), kind_(kind), gamma_(gamma) {
+  MATEX_CHECK(c.rows() == c.cols() && g.rows() == g.cols() &&
+                  c.rows() == g.rows(),
+              "C and G must be square with equal dimension");
+  switch (kind_) {
+    case KrylovKind::kStandard:
+      // MEXP factorizes C: this is exactly why singular C needs
+      // regularization in the MEXP flow (Sec. 3.3.3).
+      lu_ = std::make_unique<la::SparseLU>(*c_, lu_options);
+      break;
+    case KrylovKind::kInverted:
+      lu_ = std::make_unique<la::SparseLU>(*g_, lu_options);
+      break;
+    case KrylovKind::kRational: {
+      MATEX_CHECK(gamma_ > 0.0, "R-MATEX requires gamma > 0");
+      const la::CscMatrix shifted = la::add_scaled(1.0, *c_, gamma_, *g_);
+      lu_ = std::make_unique<la::SparseLU>(shifted, lu_options);
+      break;
+    }
+  }
+}
+
+void CircuitOperator::apply(std::span<const double> x,
+                            std::span<double> y) const {
+  MATEX_CHECK(x.size() == static_cast<std::size_t>(dimension()) &&
+              y.size() == x.size());
+  std::vector<double> scratch(x.size());
+  switch (kind_) {
+    case KrylovKind::kStandard:
+      // y = -C^{-1} (G x)
+      g_->multiply(x, scratch);
+      break;
+    case KrylovKind::kInverted:
+      // y = -G^{-1} (C x)
+      c_->multiply(x, scratch);
+      break;
+    case KrylovKind::kRational:
+      // y = (C + gamma G)^{-1} (C x)
+      c_->multiply(x, scratch);
+      break;
+  }
+  lu_->solve_in_place(scratch);
+  const double sign = kind_ == KrylovKind::kRational ? 1.0 : -1.0;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = sign * scratch[i];
+}
+
+la::DenseMatrix CircuitOperator::to_exponential_matrix(
+    const la::DenseMatrix& h_proj) const {
+  MATEX_CHECK(h_proj.rows() == h_proj.cols());
+  switch (kind_) {
+    case KrylovKind::kStandard:
+      return h_proj;
+    case KrylovKind::kInverted:
+      // H_m = H'^{-1}
+      return la::DenseLU(h_proj).inverse();
+    case KrylovKind::kRational: {
+      // H_m = (I - Htilde^{-1}) / gamma
+      la::DenseMatrix hm = la::DenseLU(h_proj).inverse();
+      hm = hm.scaled(-1.0 / gamma_);
+      for (std::size_t i = 0; i < hm.rows(); ++i) hm(i, i) += 1.0 / gamma_;
+      return hm;
+    }
+  }
+  throw InvalidArgument("unknown Krylov kind");
+}
+
+}  // namespace matex::krylov

@@ -1,0 +1,87 @@
+/// \file operator.hpp
+/// \brief The three Krylov operators of the paper, realized with one sparse
+///        factorization each.
+///
+/// For the MNA system C x' = -G x + B u with A = -C^{-1} G (Eq. 3):
+///
+///  - kStandard (MEXP, Sec. 2.3): operator A itself.
+///      apply: w = -C^{-1} (G v); factorizes C (hence the regularization
+///      requirement for singular C that Sec. 3.3.3 criticizes).
+///  - kInverted (I-MATEX, Sec. 3.3.1): operator A^{-1} = -G^{-1} C.
+///      apply: w = -G^{-1} (C v); factorizes G.
+///  - kRational (R-MATEX, Sec. 3.3.2): operator (I - gamma*A)^{-1}
+///      = (C + gamma*G)^{-1} C. apply: w = (C+gamma*G)^{-1} (C v);
+///      factorizes C + gamma*G.
+///
+/// Each kind also knows how to transform its projected Hessenberg matrix
+/// into the H_m that enters e^{hA}v ~ beta * V_m e^{h H_m} e_1:
+///  - standard:  H_m = H
+///  - inverted:  H_m = H'^{-1}                       (Sec. 3.3.1)
+///  - rational:  H_m = (I - Htilde^{-1}) / gamma     (Eq. 9)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "la/dense_matrix.hpp"
+#include "la/sparse_csc.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace matex::krylov {
+
+/// Which Krylov subspace the circuit solver builds.
+enum class KrylovKind {
+  kStandard,  ///< K_m(A, v)                 -- MEXP
+  kInverted,  ///< K_m(A^{-1}, v)            -- I-MATEX
+  kRational,  ///< K_m((I - gamma A)^{-1},v) -- R-MATEX
+};
+
+/// Returns a short human-readable name ("MEXP", "I-MATEX", "R-MATEX").
+const char* kind_name(KrylovKind kind);
+
+/// Sparse-solve-backed realization of one of the three operators.
+///
+/// Holds non-owning references to C and G (the caller keeps them alive,
+/// typically the MNA system) and owns the single LU factorization the
+/// operator needs. Constructing the operator is the only place a
+/// factorization happens; every apply() is one spmv + one pair of
+/// forward/backward substitutions, exactly the cost model of Sec. 3.4.
+class CircuitOperator {
+ public:
+  /// Factorizes X1 (C, G, or C+gamma*G depending on kind).
+  /// \param c MNA capacitance matrix (must outlive the operator)
+  /// \param g MNA conductance matrix (must outlive the operator)
+  /// \param kind which operator to realize
+  /// \param gamma rational shift (required > 0 for kRational, ignored
+  ///              otherwise)
+  /// \param lu_options factorization options
+  CircuitOperator(const la::CscMatrix& c, const la::CscMatrix& g,
+                  KrylovKind kind, double gamma = 0.0,
+                  la::SparseLuOptions lu_options = {});
+
+  /// y := Op(x). Sizes must equal dimension(). Thread-safe: concurrent
+  /// applies against one operator are allowed.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  la::index_t dimension() const { return c_->rows(); }
+  KrylovKind kind() const { return kind_; }
+  double gamma() const { return gamma_; }
+
+  /// Transforms the Arnoldi-projected Hessenberg matrix of *this operator*
+  /// into the matrix H_m whose exponential propagates the circuit state
+  /// (see file comment). `h_proj` is the square m x m leading block.
+  la::DenseMatrix to_exponential_matrix(const la::DenseMatrix& h_proj) const;
+
+  /// Access to the factorization (e.g. R-MATEX reuses (C+gamma*G) solves).
+  const la::SparseLU& factorization() const { return *lu_; }
+
+ private:
+  const la::CscMatrix* c_;
+  const la::CscMatrix* g_;
+  KrylovKind kind_;
+  double gamma_;
+  std::unique_ptr<la::SparseLU> lu_;
+};
+
+}  // namespace matex::krylov

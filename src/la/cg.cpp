@@ -1,0 +1,112 @@
+#include "la/cg.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "la/error.hpp"
+#include "la/vector_ops.hpp"
+
+namespace matex::la {
+
+CgResult conjugate_gradient(const CscMatrix& a, std::span<const double> b,
+                            const CgOptions& options,
+                            const PrecondFn& precond) {
+  MATEX_CHECK(a.rows() == a.cols(), "CG requires a square matrix");
+  MATEX_CHECK(b.size() == static_cast<std::size_t>(a.rows()));
+  MATEX_CHECK(options.max_iterations >= 1 && options.tolerance > 0.0);
+  const std::size_t n = b.size();
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());  // r = b - A*0
+  std::vector<double> z(n), p(n), ap(n);
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  if (precond)
+    precond(r, z);
+  else
+    copy(r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0)
+      throw NumericalError(
+          "CG: matrix is not positive definite (p'Ap <= 0)");
+    const double alpha = rz / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    result.iterations = it;
+    result.relative_residual = norm2(r) / bnorm;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (precond)
+      precond(r, z);
+    else
+      copy(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+PrecondFn jacobi_preconditioner(const CscMatrix& a) {
+  auto diag = std::make_shared<std::vector<double>>(a.diagonal());
+  for (double d : *diag)
+    MATEX_CHECK(d != 0.0, "Jacobi preconditioner needs a nonzero diagonal");
+  return [diag](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] / (*diag)[i];
+  };
+}
+
+PrecondFn ssor_preconditioner(const CscMatrix& a) {
+  MATEX_CHECK(a.has_symmetric_pattern(),
+              "SSOR preconditioner requires a symmetric matrix");
+  // Keep a copy of the matrix and its diagonal; apply
+  // M^{-1} = (D + L')^{-1} D (D + L)^{-1} via two triangular sweeps over
+  // the CSC columns (columns of A give L' rows for the forward sweep).
+  auto mat = std::make_shared<CscMatrix>(a);
+  auto diag = std::make_shared<std::vector<double>>(a.diagonal());
+  for (double d : *diag)
+    MATEX_CHECK(d > 0.0, "SSOR preconditioner needs a positive diagonal");
+  return [mat, diag](std::span<const double> x, std::span<double> y) {
+    const std::size_t n = x.size();
+    const auto cp = mat->col_ptr();
+    const auto ri = mat->row_idx();
+    const auto vals = mat->values();
+    // Forward solve (D + L) u = x: process columns left to right,
+    // scattering updates to rows below the diagonal.
+    std::vector<double> u(x.begin(), x.end());
+    for (std::size_t j = 0; j < n; ++j) {
+      u[j] /= (*diag)[j];
+      const double uj = u[j];
+      for (la::index_t p = cp[j]; p < cp[j + 1]; ++p) {
+        const std::size_t i = static_cast<std::size_t>(ri[p]);
+        if (i > j) u[i] -= vals[p] * uj;
+      }
+    }
+    // Scale by D: v = D u.
+    for (std::size_t i = 0; i < n; ++i) u[i] *= (*diag)[i];
+    // Backward solve (D + L') y = v: gather from entries above diagonal.
+    for (std::size_t jj = n; jj-- > 0;) {
+      double s = u[jj];
+      for (la::index_t p = cp[jj]; p < cp[jj + 1]; ++p) {
+        const std::size_t i = static_cast<std::size_t>(ri[p]);
+        if (i > jj) s -= vals[p] * y[i];
+      }
+      y[jj] = s / (*diag)[jj];
+    }
+  };
+}
+
+}  // namespace matex::la

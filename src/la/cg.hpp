@@ -1,0 +1,52 @@
+/// \file cg.hpp
+/// \brief Preconditioned conjugate gradients.
+///
+/// The paper's introduction recalls why PG solvers favor direct methods:
+/// MNA systems are "sparse and often ill-conditioned", so iterative
+/// solvers need strong preconditioners to be competitive, and the
+/// transient loop amortizes one factorization over thousands of solves.
+/// This module provides the iterative counterpart so the claim can be
+/// measured (bench_ablation_solver) and gives users a matrix-free option
+/// for one-off solves on very large grids.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "la/sparse_csc.hpp"
+
+namespace matex::la {
+
+/// y := M^{-1} x (preconditioner application).
+using PrecondFn =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Options for the CG solver.
+struct CgOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
+};
+
+/// Result of a CG solve.
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for symmetric positive definite A with (optionally
+/// preconditioned) conjugate gradients.
+CgResult conjugate_gradient(const CscMatrix& a, std::span<const double> b,
+                            const CgOptions& options = {},
+                            const PrecondFn& precond = nullptr);
+
+/// Jacobi (diagonal) preconditioner for a matrix with nonzero diagonal.
+PrecondFn jacobi_preconditioner(const CscMatrix& a);
+
+/// Symmetric Gauss-Seidel (SSOR with omega = 1) preconditioner:
+/// M = (D + L) D^{-1} (D + L'). Stronger than Jacobi on grid Laplacians.
+PrecondFn ssor_preconditioner(const CscMatrix& a);
+
+}  // namespace matex::la

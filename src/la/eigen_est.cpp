@@ -1,0 +1,56 @@
+#include "la/eigen_est.hpp"
+
+#include <cmath>
+
+#include "la/error.hpp"
+#include "la/vector_ops.hpp"
+
+namespace matex::la {
+
+PowerIterationResult power_iteration(std::size_t n, const ApplyFn& apply,
+                                     int max_iter, double tol) {
+  MATEX_CHECK(n > 0);
+  MATEX_CHECK(max_iter > 0);
+  std::vector<double> v(n), w(n);
+  // Deterministic quasi-random start vector (xorshift), no zero entries.
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  for (double& vi : v) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    vi = 0.5 + static_cast<double>(s % 1000003) / 1000003.0;
+  }
+  scale(1.0 / norm2(v), v);
+
+  PowerIterationResult r;
+  for (int it = 1; it <= max_iter; ++it) {
+    apply(v, w);
+    const double wn = norm2(w);
+    if (wn == 0.0) {  // v is in the null space; eigenvalue 0 dominates
+      r.eigenvalue = 0.0;
+      r.iterations = it;
+      r.converged = true;
+      return r;
+    }
+    // Rayleigh quotient lambda = v' Op v (v normalized).
+    const double lambda = dot(v, w);
+    // residual = ||Op v - lambda v||
+    double res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = w[i] - lambda * v[i];
+      res += d * d;
+    }
+    res = std::sqrt(res);
+    r.eigenvalue = lambda;
+    r.residual = res;
+    r.iterations = it;
+    if (res <= tol * std::abs(lambda)) {
+      r.converged = true;
+      return r;
+    }
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / wn;
+  }
+  return r;
+}
+
+}  // namespace matex::la

@@ -1,0 +1,42 @@
+/// \file eigen_est.hpp
+/// \brief Dominant-eigenvalue estimation by power iteration on an abstract
+///        operator.
+///
+/// Used to report the stiffness metric of Table 1:
+/// stiffness = Re(lambda_min) / Re(lambda_max) of A = -C^{-1}G. The
+/// dominant eigenvalue of A gives lambda_max-in-magnitude (the fastest
+/// time constant); the dominant eigenvalue of A^{-1} gives
+/// 1/lambda_min-in-magnitude (the slowest). Both operators are available
+/// as sparse solves, so no dense eigensolver is needed.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace matex::la {
+
+/// Operator callback: y := Op(x). Sizes are the caller's contract.
+using ApplyFn =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Result of a power iteration.
+struct PowerIterationResult {
+  double eigenvalue = 0.0;  ///< Rayleigh-quotient estimate (signed).
+  double residual = 0.0;    ///< ||Op v - lambda v||_2 at the final iterate.
+  int iterations = 0;       ///< iterations performed
+  bool converged = false;   ///< residual fell below tol * |lambda|
+};
+
+/// Estimates the dominant (largest-magnitude) eigenvalue of a linear
+/// operator by normalized power iteration with a Rayleigh quotient.
+/// Deterministic: the start vector is a fixed pseudo-random sequence.
+///
+/// \param n         operator dimension
+/// \param apply     y := Op(x)
+/// \param max_iter  iteration budget
+/// \param tol       relative residual tolerance
+PowerIterationResult power_iteration(std::size_t n, const ApplyFn& apply,
+                                     int max_iter = 500, double tol = 1e-8);
+
+}  // namespace matex::la

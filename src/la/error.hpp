@@ -1,0 +1,58 @@
+/// \file error.hpp
+/// \brief Error types and runtime checks shared by all MATEX libraries.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace matex {
+
+/// Base class of all errors thrown by the MATEX libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a numerical process fails (singular pivot, divergence, ...).
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when parsing an input deck fails.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(
+    const char* what, const std::string& message,
+    const std::source_location loc) {
+  throw InvalidArgument(std::string(loc.file_name()) + ":" +
+                        std::to_string(loc.line()) + ": check `" + what +
+                        "` failed: " + message);
+}
+}  // namespace detail
+
+/// Precondition check that throws InvalidArgument with location info.
+/// Used for conditions that depend on caller input and must survive in
+/// release builds (unlike assert).
+inline void check(bool condition, const char* what,
+                  const std::string& message = "",
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!condition) detail::throw_check_failure(what, message, loc);
+}
+
+}  // namespace matex
+
+/// Convenience wrapper so the failing expression text is captured.
+#define MATEX_CHECK(cond, ...) ::matex::check((cond), #cond __VA_OPT__(, ) __VA_ARGS__)

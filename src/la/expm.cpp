@@ -1,0 +1,190 @@
+#include "la/expm.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "la/dense_lu.hpp"
+#include "la/error.hpp"
+
+namespace matex::la {
+namespace {
+
+// Pade coefficients for degrees 3/5/7/9/13 (Higham 2005, Table 2.3 theta
+// bounds). Using the lower-degree approximants when ||A||_1 is small keeps
+// repeated Hessenberg exponentials cheap during Arnoldi convergence checks.
+constexpr std::array<double, 4> kTheta{1.495585217958292e-2,   // deg 3
+                                       2.539398330063230e-1,   // deg 5
+                                       9.504178996162932e-1,   // deg 7
+                                       2.097847961257068e0};   // deg 9
+constexpr double kTheta13 = 5.371920351148152;
+
+DenseMatrix pade_solve(const DenseMatrix& u, const DenseMatrix& v) {
+  // r = (V - U)^{-1} (V + U)
+  DenseMatrix num = v;
+  num.add_scaled(1.0, u);
+  DenseMatrix den = v;
+  den.add_scaled(-1.0, u);
+  return DenseLU(std::move(den)).solve(num);
+}
+
+DenseMatrix expm_low_degree(const DenseMatrix& a, int degree) {
+  // b coefficients for degrees 3,5,7,9.
+  static const std::vector<std::vector<double>> kB{
+      {120, 60, 12, 1},
+      {30240, 15120, 3360, 420, 30, 1},
+      {17297280, 8648640, 1995840, 277200, 25200, 1512, 56, 1},
+      {17643225600, 8821612800, 2075673600, 302702400, 30270240, 2162160,
+       110880, 3960, 90, 1}};
+  const std::vector<double>& b = kB[static_cast<std::size_t>(degree)];
+  const std::size_t n = a.rows();
+  const DenseMatrix eye = DenseMatrix::identity(n);
+  const DenseMatrix a2 = a.matmul(a);
+
+  // U = A * (sum over odd coefficients), V = sum over even coefficients,
+  // built with Horner's scheme in A^2.
+  DenseMatrix u_poly(n, n), v_poly(n, n);
+  // Highest power of A^2 in U's bracket is (len-2)/2; in V it is (len-1)/2.
+  DenseMatrix apow = eye;
+  u_poly.add_scaled(b[1], apow);
+  v_poly.add_scaled(b[0], apow);
+  for (std::size_t k = 2; k + 1 < b.size() + 1; k += 2) {
+    apow = apow.matmul(a2);
+    if (k + 1 < b.size()) u_poly.add_scaled(b[k + 1], apow);
+    v_poly.add_scaled(b[k], apow);
+  }
+  return pade_solve(a.matmul(u_poly), v_poly);
+}
+
+DenseMatrix expm_pade13(const DenseMatrix& a) {
+  static constexpr std::array<double, 14> b{
+      64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+      1187353796428800.0,  129060195264000.0,   10559470521600.0,
+      670442572800.0,      33522128640.0,       1323241920.0,
+      40840800.0,          960960.0,            16380.0,
+      182.0,               1.0};
+  const std::size_t n = a.rows();
+  const DenseMatrix eye = DenseMatrix::identity(n);
+  const DenseMatrix a2 = a.matmul(a);
+  const DenseMatrix a4 = a2.matmul(a2);
+  const DenseMatrix a6 = a2.matmul(a4);
+
+  DenseMatrix w1(n, n);
+  w1.add_scaled(b[13], a6);
+  w1.add_scaled(b[11], a4);
+  w1.add_scaled(b[9], a2);
+  DenseMatrix w = a6.matmul(w1);
+  w.add_scaled(b[7], a6);
+  w.add_scaled(b[5], a4);
+  w.add_scaled(b[3], a2);
+  w.add_scaled(b[1], eye);
+  const DenseMatrix u = a.matmul(w);
+
+  DenseMatrix z1(n, n);
+  z1.add_scaled(b[12], a6);
+  z1.add_scaled(b[10], a4);
+  z1.add_scaled(b[8], a2);
+  DenseMatrix v = a6.matmul(z1);
+  v.add_scaled(b[6], a6);
+  v.add_scaled(b[4], a4);
+  v.add_scaled(b[2], a2);
+  v.add_scaled(b[0], eye);
+
+  return pade_solve(u, v);
+}
+
+}  // namespace
+
+DenseMatrix expm(const DenseMatrix& a) {
+  MATEX_CHECK(a.rows() == a.cols(), "expm requires a square matrix");
+  if (a.rows() == 0) return a;
+  const double nrm = a.norm1();
+
+  for (int d = 0; d < 4; ++d)
+    if (nrm <= kTheta[static_cast<std::size_t>(d)])
+      return expm_low_degree(a, d);
+
+  // Scaling and squaring with degree-13 Pade.
+  int s = 0;
+  double scaled = nrm;
+  while (scaled > kTheta13) {
+    scaled *= 0.5;
+    ++s;
+  }
+  DenseMatrix r = expm_pade13(a.scaled(std::ldexp(1.0, -s)));
+  for (int i = 0; i < s; ++i) r = r.matmul(r);
+  return r;
+}
+
+DenseMatrix expm(const DenseMatrix& a, double t) { return expm(a.scaled(t)); }
+
+std::vector<double> expm_e1(const DenseMatrix& a, double t) {
+  const DenseMatrix e = expm(a, t);
+  const auto c0 = e.col(0);
+  return std::vector<double>(c0.begin(), c0.end());
+}
+
+std::vector<double> expm_apply(const DenseMatrix& a, double t,
+                               std::span<const double> x) {
+  const DenseMatrix e = expm(a, t);
+  std::vector<double> y(e.rows());
+  e.multiply(x, y);
+  return y;
+}
+
+namespace {
+
+ExpmE1Hump expm_e1_hump_impl(const DenseMatrix& a, double t,
+                             const std::vector<double>* f) {
+  MATEX_CHECK(a.rows() == a.cols(), "expm requires a square matrix");
+  ExpmE1Hump out;
+  const std::size_t n = a.rows();
+  if (n == 0) return out;
+  const DenseMatrix at = a.scaled(t);
+  const double nrm = at.norm1();
+  const std::size_t last = n - 1;
+  const auto sample = [&](const DenseMatrix& e) {
+    if (!f) return std::abs(e(last, 0));
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += (*f)[i] * e(i, 0);
+    return std::abs(s);
+  };
+
+  DenseMatrix e(0, 0);
+  bool scaled_path = false;
+  int s = 0;
+  for (int d = 0; d < 4 && e.empty(); ++d)
+    if (nrm <= kTheta[static_cast<std::size_t>(d)]) e = expm_low_degree(at, d);
+  if (e.empty()) {
+    double scaled_norm = nrm;
+    while (scaled_norm > kTheta13) {
+      scaled_norm *= 0.5;
+      ++s;
+    }
+    e = expm_pade13(at.scaled(std::ldexp(1.0, -s)));
+    scaled_path = true;
+  }
+  out.hump_last_entry = sample(e);
+  if (scaled_path)
+    for (int i = 0; i < s; ++i) {
+      e = e.matmul(e);
+      out.hump_last_entry = std::max(out.hump_last_entry, sample(e));
+    }
+  const auto c0 = e.col(0);
+  out.w.assign(c0.begin(), c0.end());
+  return out;
+}
+
+}  // namespace
+
+ExpmE1Hump expm_e1_hump(const DenseMatrix& a, double t) {
+  return expm_e1_hump_impl(a, t, nullptr);
+}
+
+ExpmE1Hump expm_e1_hump(const DenseMatrix& a, double t,
+                        std::span<const double> f) {
+  MATEX_CHECK(f.size() == a.rows(), "functional dimension mismatch");
+  const std::vector<double> fv(f.begin(), f.end());
+  return expm_e1_hump_impl(a, t, &fv);
+}
+
+}  // namespace matex::la

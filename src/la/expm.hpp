@@ -1,0 +1,60 @@
+/// \file expm.hpp
+/// \brief Dense matrix exponential (Pade-13 scaling-and-squaring).
+///
+/// This is the kernel evaluated on the small Krylov-projected Hessenberg
+/// matrices H_m: the paper computes e^{hA}v ~ ||v|| V_m e^{h H_m} e_1
+/// (Eq. 9), so all exponentials taken here are of order m (tiny), while A
+/// itself is only ever touched through sparse solves. The algorithm is the
+/// Higham (2005) degree-13 Pade approximant with scaling and squaring --
+/// the same method behind MATLAB's expm, which the original MATEX
+/// implementation relied on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+
+namespace matex::la {
+
+/// Returns e^{A} for a square dense matrix.
+DenseMatrix expm(const DenseMatrix& a);
+
+/// Returns e^{t*A}.
+DenseMatrix expm(const DenseMatrix& a, double t);
+
+/// Returns the first column of e^{t*A}, i.e. e^{t*A} e_1. This is the
+/// quantity MATEX needs at every evaluation point; it simply extracts
+/// column 0 of the full exponential (H is m x m with m small).
+std::vector<double> expm_e1(const DenseMatrix& a, double t);
+
+/// Returns e^{t*A} x.
+std::vector<double> expm_apply(const DenseMatrix& a, double t,
+                               std::span<const double> x);
+
+/// Result of expm_e1_hump().
+struct ExpmE1Hump {
+  /// w = e^{t*A} e_1.
+  std::vector<double> w;
+  /// max over the scaling-and-squaring levels s of |(e^{(t/2^s) A})_{m,1}|,
+  /// i.e. the last entry of the propagated e_1 column sampled at dyadic
+  /// intermediate times. Krylov convergence control uses this to bound the
+  /// ODE residual over the *whole* interval [0, t]; the endpoint value
+  /// alone can be deceptively tiny for stiff H (the "hump" phenomenon).
+  double hump_last_entry = 0.0;
+};
+
+/// Computes e^{t*A} e_1 while recording the hump sample described above.
+/// Costs the same as expm(): the dyadic intermediates are exactly the
+/// squaring stages the algorithm forms anyway.
+ExpmE1Hump expm_e1_hump(const DenseMatrix& a, double t);
+
+/// Generalized hump: records max_s |f' e^{s A} e_1| for a caller-supplied
+/// linear functional f (the posterior error estimates of the inverted and
+/// rational Krylov bases weight the last row by H'^{-1}, Eqs. (8)/(10)).
+/// f must have a.rows() entries. The `hump_last_entry` field then holds
+/// the functional hump instead of the plain last-entry hump.
+ExpmE1Hump expm_e1_hump(const DenseMatrix& a, double t,
+                        std::span<const double> f);
+
+}  // namespace matex::la

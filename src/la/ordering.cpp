@@ -1,0 +1,268 @@
+#include "la/ordering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "la/error.hpp"
+
+namespace matex::la {
+namespace {
+
+/// Breadth-first order of one connected component starting at root,
+/// visiting neighbors in increasing-degree order (Cuthill-McKee).
+void cuthill_mckee_component(const std::vector<std::vector<index_t>>& adj,
+                             index_t root, std::vector<char>& visited,
+                             std::vector<index_t>& out) {
+  std::queue<index_t> q;
+  q.push(root);
+  visited[static_cast<std::size_t>(root)] = 1;
+  std::vector<index_t> nbrs;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    out.push_back(v);
+    nbrs.clear();
+    for (index_t w : adj[static_cast<std::size_t>(v)])
+      if (!visited[static_cast<std::size_t>(w)]) nbrs.push_back(w);
+    std::sort(nbrs.begin(), nbrs.end(), [&](index_t x, index_t y) {
+      return adj[static_cast<std::size_t>(x)].size() <
+             adj[static_cast<std::size_t>(y)].size();
+    });
+    for (index_t w : nbrs) {
+      visited[static_cast<std::size_t>(w)] = 1;
+      q.push(w);
+    }
+  }
+}
+
+/// Pseudo-peripheral node: start from a min-degree node and repeatedly
+/// jump to the farthest node of the BFS level structure.
+index_t pseudo_peripheral(const std::vector<std::vector<index_t>>& adj,
+                          index_t start) {
+  const std::size_t n = adj.size();
+  index_t current = start;
+  index_t last_ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) {
+    std::vector<index_t> dist(n, -1);
+    std::queue<index_t> q;
+    q.push(current);
+    dist[static_cast<std::size_t>(current)] = 0;
+    index_t far = current;
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      for (index_t w : adj[static_cast<std::size_t>(v)])
+        if (dist[static_cast<std::size_t>(w)] < 0) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          if (dist[static_cast<std::size_t>(w)] >
+                  dist[static_cast<std::size_t>(far)] ||
+              (dist[static_cast<std::size_t>(w)] ==
+                   dist[static_cast<std::size_t>(far)] &&
+               adj[static_cast<std::size_t>(w)].size() <
+                   adj[static_cast<std::size_t>(far)].size()))
+            far = w;
+          q.push(w);
+        }
+    }
+    const index_t ecc = dist[static_cast<std::size_t>(far)];
+    if (ecc <= last_ecc) break;
+    last_ecc = ecc;
+    current = far;
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<index_t> rcm_order(
+    const std::vector<std::vector<index_t>>& adj) {
+  const std::size_t n = adj.size();
+  std::vector<char> visited(n, 0);
+  std::vector<index_t> order;
+  order.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    // Pick a min-degree unvisited node in this component as the seed.
+    const index_t root = pseudo_peripheral(adj, static_cast<index_t>(s));
+    cuthill_mckee_component(adj, root, visited, order);
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<index_t> min_degree_order(
+    const std::vector<std::vector<index_t>>& adjacency) {
+  // Quotient-graph minimum degree with element absorption.
+  //
+  // Each vertex is either a live variable, an element (eliminated pivot
+  // whose adjacency represents the clique it created), or dead (absorbed).
+  // Eliminating variable v creates element v whose variable list is v's
+  // current neighborhood; elements reachable from v are absorbed into it.
+  // Degrees are recomputed exactly over the quotient graph, which is
+  // O(|reach|) per elimination -- adequate for the matrix sizes in this
+  // repo and much faster than explicit clique formation.
+  const std::size_t n = adjacency.size();
+  std::vector<std::vector<index_t>> var_adj = adjacency;  // variable-variable
+  std::vector<std::vector<index_t>> var_elems(n);         // variable-element
+  std::vector<std::vector<index_t>> elem_vars(n);         // element-variable
+  enum class State : char { kLive, kElement, kDead };
+  std::vector<State> state(n, State::kLive);
+  std::vector<index_t> degree(n);
+  for (std::size_t i = 0; i < n; ++i)
+    degree[i] = static_cast<index_t>(adjacency[i].size());
+
+  // Bucket "heap": degree -> list of vertices (lazily cleaned).
+  const index_t max_deg = static_cast<index_t>(n);
+  std::vector<std::vector<index_t>> buckets(
+      static_cast<std::size_t>(max_deg) + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    buckets[static_cast<std::size_t>(degree[i])].push_back(
+        static_cast<index_t>(i));
+
+  std::vector<index_t> order;
+  order.reserve(n);
+  std::vector<char> mark(n, 0);
+  std::vector<index_t> reach;
+
+  index_t scan = 0;
+  while (order.size() < n) {
+    // Find the live vertex of minimum current degree.
+    while (scan <= max_deg) {
+      auto& bucket = buckets[static_cast<std::size_t>(scan)];
+      while (!bucket.empty()) {
+        const index_t v = bucket.back();
+        if (state[static_cast<std::size_t>(v)] == State::kLive &&
+            degree[static_cast<std::size_t>(v)] == scan)
+          goto found;
+        bucket.pop_back();
+      }
+      ++scan;
+    }
+    break;
+  found:
+    const index_t v =
+        buckets[static_cast<std::size_t>(scan)].back();
+    buckets[static_cast<std::size_t>(scan)].pop_back();
+
+    // Reach(v) = live variable neighbors + variables of adjacent elements.
+    reach.clear();
+    for (index_t w : var_adj[static_cast<std::size_t>(v)])
+      if (state[static_cast<std::size_t>(w)] == State::kLive &&
+          !mark[static_cast<std::size_t>(w)]) {
+        mark[static_cast<std::size_t>(w)] = 1;
+        reach.push_back(w);
+      }
+    for (index_t e : var_elems[static_cast<std::size_t>(v)]) {
+      if (state[static_cast<std::size_t>(e)] != State::kElement) continue;
+      for (index_t w : elem_vars[static_cast<std::size_t>(e)])
+        if (w != v && state[static_cast<std::size_t>(w)] == State::kLive &&
+            !mark[static_cast<std::size_t>(w)]) {
+          mark[static_cast<std::size_t>(w)] = 1;
+          reach.push_back(w);
+        }
+      state[static_cast<std::size_t>(e)] = State::kDead;  // absorbed
+      elem_vars[static_cast<std::size_t>(e)].clear();
+    }
+
+    order.push_back(v);
+    state[static_cast<std::size_t>(v)] = State::kElement;
+    elem_vars[static_cast<std::size_t>(v)].assign(reach.begin(), reach.end());
+    var_elems[static_cast<std::size_t>(v)].clear();
+    var_adj[static_cast<std::size_t>(v)].clear();
+
+    // Update each reached variable: attach new element, prune dead
+    // entries, recompute exact quotient degree.
+    for (index_t w : reach) {
+      auto& velems = var_elems[static_cast<std::size_t>(w)];
+      velems.erase(std::remove_if(velems.begin(), velems.end(),
+                                  [&](index_t e) {
+                                    return state[static_cast<std::size_t>(
+                                               e)] != State::kElement;
+                                  }),
+                   velems.end());
+      velems.push_back(v);
+      auto& vadj = var_adj[static_cast<std::size_t>(w)];
+      vadj.erase(std::remove_if(vadj.begin(), vadj.end(),
+                                [&](index_t u) {
+                                  return state[static_cast<std::size_t>(u)] !=
+                                         State::kLive;
+                                }),
+                 vadj.end());
+    }
+    // Clear the reach marks before the degree pass so reach members count
+    // as neighbors of each other (they are all joined by element v).
+    for (index_t w : reach) mark[static_cast<std::size_t>(w)] = 0;
+
+    std::vector<index_t> touched;
+    for (index_t w : reach) {
+      // Exact degree: union of live variable neighbors and element vars.
+      index_t deg = 0;
+      touched.clear();
+      for (index_t u : var_adj[static_cast<std::size_t>(w)])
+        if (u != w && state[static_cast<std::size_t>(u)] == State::kLive &&
+            !mark[static_cast<std::size_t>(u)]) {
+          mark[static_cast<std::size_t>(u)] = 1;
+          touched.push_back(u);
+          ++deg;
+        }
+      for (index_t e : var_elems[static_cast<std::size_t>(w)])
+        for (index_t u : elem_vars[static_cast<std::size_t>(e)])
+          if (u != w && state[static_cast<std::size_t>(u)] == State::kLive &&
+              !mark[static_cast<std::size_t>(u)]) {
+            mark[static_cast<std::size_t>(u)] = 1;
+            touched.push_back(u);
+            ++deg;
+          }
+      for (index_t u : touched) mark[static_cast<std::size_t>(u)] = 0;
+      degree[static_cast<std::size_t>(w)] = deg;
+      buckets[static_cast<std::size_t>(deg)].push_back(w);
+      if (deg < scan) scan = deg;
+    }
+  }
+
+  MATEX_CHECK(order.size() == n, "min_degree_order lost vertices");
+  return order;
+}
+
+std::vector<index_t> compute_ordering(const CscMatrix& a, Ordering method) {
+  MATEX_CHECK(a.rows() == a.cols(), "ordering requires a square matrix");
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  switch (method) {
+    case Ordering::kNatural: {
+      std::vector<index_t> p(n);
+      std::iota(p.begin(), p.end(), 0);
+      return p;
+    }
+    case Ordering::kRcm:
+      return rcm_order(a.symmetric_adjacency());
+    case Ordering::kMinDegree:
+      return min_degree_order(a.symmetric_adjacency());
+  }
+  throw InvalidArgument("unknown ordering method");
+}
+
+std::vector<index_t> invert_permutation(std::span<const index_t> p) {
+  std::vector<index_t> inv(p.size(), -1);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    MATEX_CHECK(p[i] >= 0 && static_cast<std::size_t>(p[i]) < p.size(),
+                "not a permutation");
+    inv[static_cast<std::size_t>(p[i])] = static_cast<index_t>(i);
+  }
+  for (index_t v : inv) MATEX_CHECK(v >= 0, "not a permutation");
+  return inv;
+}
+
+bool is_permutation(std::span<const index_t> p) {
+  std::vector<char> seen(p.size(), 0);
+  for (index_t v : p) {
+    if (v < 0 || static_cast<std::size_t>(v) >= p.size()) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+  return true;
+}
+
+}  // namespace matex::la

@@ -1,0 +1,42 @@
+/// \file ordering.hpp
+/// \brief Fill-reducing orderings for sparse LU.
+///
+/// MNA matrices are structurally symmetric, so all orderings work on the
+/// adjacency graph of A + A'. The permutation is applied symmetrically
+/// (same order for rows and columns); the LU pivoting then prefers the
+/// diagonal with a threshold so the ordering survives factorization.
+#pragma once
+
+#include <vector>
+
+#include "la/sparse_csc.hpp"
+
+namespace matex::la {
+
+/// Ordering strategy selector.
+enum class Ordering {
+  kNatural,    ///< identity permutation
+  kRcm,        ///< reverse Cuthill-McKee (bandwidth reduction)
+  kMinDegree,  ///< quotient-graph minimum degree (fill reduction)
+};
+
+/// Computes a symmetric fill-reducing permutation of the square matrix
+/// `a`. Returns `order` such that new column j corresponds to old column
+/// order[j].
+std::vector<index_t> compute_ordering(const CscMatrix& a, Ordering method);
+
+/// Reverse Cuthill-McKee on an adjacency structure (exposed for tests).
+std::vector<index_t> rcm_order(
+    const std::vector<std::vector<index_t>>& adjacency);
+
+/// Quotient-graph minimum-degree ordering (exposed for tests).
+std::vector<index_t> min_degree_order(
+    const std::vector<std::vector<index_t>>& adjacency);
+
+/// Returns the inverse permutation: inv[p[i]] = i.
+std::vector<index_t> invert_permutation(std::span<const index_t> p);
+
+/// Returns true if `p` is a permutation of 0..n-1.
+bool is_permutation(std::span<const index_t> p);
+
+}  // namespace matex::la

@@ -1,0 +1,257 @@
+#include "la/sparse_csc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/error.hpp"
+
+namespace matex::la {
+
+CscMatrix::CscMatrix(index_t rows, index_t cols, std::vector<index_t> col_ptr,
+                     std::vector<index_t> row_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  validate();
+}
+
+CscMatrix CscMatrix::identity(index_t n) {
+  std::vector<index_t> cp(static_cast<std::size_t>(n) + 1);
+  std::iota(cp.begin(), cp.end(), 0);
+  std::vector<index_t> ri(static_cast<std::size_t>(n));
+  std::iota(ri.begin(), ri.end(), 0);
+  return CscMatrix(n, n, std::move(cp), std::move(ri),
+                   std::vector<double>(static_cast<std::size_t>(n), 1.0));
+}
+
+void CscMatrix::validate() const {
+  MATEX_CHECK(rows_ >= 0 && cols_ >= 0);
+  MATEX_CHECK(col_ptr_.size() == static_cast<std::size_t>(cols_) + 1);
+  MATEX_CHECK(col_ptr_.front() == 0);
+  MATEX_CHECK(col_ptr_.back() == static_cast<index_t>(row_idx_.size()));
+  MATEX_CHECK(row_idx_.size() == values_.size());
+  for (index_t j = 0; j < cols_; ++j) {
+    MATEX_CHECK(col_ptr_[j] <= col_ptr_[j + 1], "col_ptr must be monotone");
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      MATEX_CHECK(row_idx_[p] >= 0 && row_idx_[p] < rows_,
+                  "row index out of range");
+      if (p > col_ptr_[j])
+        MATEX_CHECK(row_idx_[p - 1] < row_idx_[p],
+                    "row indices must be strictly increasing per column");
+    }
+  }
+}
+
+double CscMatrix::at(index_t i, index_t j) const {
+  MATEX_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  const auto begin = row_idx_.begin() + col_ptr_[j];
+  const auto end = row_idx_.begin() + col_ptr_[j + 1];
+  const auto it = std::lower_bound(begin, end, i);
+  if (it == end || *it != i) return 0.0;
+  return values_[static_cast<std::size_t>(it - row_idx_.begin())];
+}
+
+void CscMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  MATEX_CHECK(x.size() == static_cast<std::size_t>(cols_) &&
+              y.size() == static_cast<std::size_t>(rows_));
+  std::fill(y.begin(), y.end(), 0.0);
+  multiply_add(1.0, x, y);
+}
+
+void CscMatrix::multiply_add(double alpha, std::span<const double> x,
+                             std::span<double> y) const {
+  MATEX_CHECK(x.size() == static_cast<std::size_t>(cols_) &&
+              y.size() == static_cast<std::size_t>(rows_));
+  for (index_t j = 0; j < cols_; ++j) {
+    const double xj = alpha * x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      y[static_cast<std::size_t>(row_idx_[p])] += values_[p] * xj;
+  }
+}
+
+void CscMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  MATEX_CHECK(x.size() == static_cast<std::size_t>(rows_) &&
+              y.size() == static_cast<std::size_t>(cols_));
+  for (index_t j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      s += values_[p] * x[static_cast<std::size_t>(row_idx_[p])];
+    y[static_cast<std::size_t>(j)] = s;
+  }
+}
+
+CscMatrix CscMatrix::transposed() const {
+  std::vector<index_t> cp(static_cast<std::size_t>(rows_) + 1, 0);
+  for (index_t r : row_idx_) ++cp[static_cast<std::size_t>(r) + 1];
+  for (std::size_t i = 1; i < cp.size(); ++i) cp[i] += cp[i - 1];
+  std::vector<index_t> next(cp.begin(), cp.end() - 1);
+  std::vector<index_t> ri(row_idx_.size());
+  std::vector<double> vals(values_.size());
+  for (index_t j = 0; j < cols_; ++j)
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      const index_t pos = next[static_cast<std::size_t>(row_idx_[p])]++;
+      ri[static_cast<std::size_t>(pos)] = j;
+      vals[static_cast<std::size_t>(pos)] = values_[p];
+    }
+  return CscMatrix(cols_, rows_, std::move(cp), std::move(ri),
+                   std::move(vals));
+}
+
+std::vector<double> CscMatrix::diagonal() const {
+  const index_t n = std::min(rows_, cols_);
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) d[static_cast<std::size_t>(j)] = at(j, j);
+  return d;
+}
+
+double CscMatrix::norm1() const {
+  double m = 0.0;
+  for (index_t j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      s += std::abs(values_[p]);
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+double CscMatrix::norm_max() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+CscMatrix CscMatrix::permuted(std::span<const index_t> pinv,
+                              std::span<const index_t> q) const {
+  MATEX_CHECK(pinv.size() == static_cast<std::size_t>(rows_) &&
+              q.size() == static_cast<std::size_t>(cols_));
+  TripletMatrix t(rows_, cols_);
+  for (index_t jnew = 0; jnew < cols_; ++jnew) {
+    const index_t j = q[static_cast<std::size_t>(jnew)];
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      t.add(pinv[static_cast<std::size_t>(row_idx_[p])], jnew, values_[p]);
+  }
+  return t.to_csc();
+}
+
+std::vector<std::vector<index_t>> CscMatrix::symmetric_adjacency() const {
+  MATEX_CHECK(rows_ == cols_, "adjacency requires a square matrix");
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(rows_));
+  for (index_t j = 0; j < cols_; ++j)
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      const index_t i = row_idx_[p];
+      if (i == j) continue;
+      adj[static_cast<std::size_t>(i)].push_back(j);
+      adj[static_cast<std::size_t>(j)].push_back(i);
+    }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+bool CscMatrix::has_symmetric_pattern() const {
+  if (rows_ != cols_) return false;
+  const CscMatrix t = transposed();
+  if (t.row_idx_.size() != row_idx_.size()) return false;
+  return t.col_ptr_ == col_ptr_ && t.row_idx_ == row_idx_;
+}
+
+std::vector<double> CscMatrix::to_dense_column_major() const {
+  std::vector<double> d(static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(cols_),
+                        0.0);
+  for (index_t j = 0; j < cols_; ++j)
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      d[static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_) +
+        static_cast<std::size_t>(row_idx_[p])] += values_[p];
+  return d;
+}
+
+CscMatrix add_scaled(double alpha, const CscMatrix& a, double beta,
+                     const CscMatrix& b) {
+  MATEX_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "add_scaled requires equal shapes");
+  TripletMatrix t(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p)
+      t.add(a.row_idx()[p], j, alpha * a.values()[p]);
+    for (index_t p = b.col_ptr()[j]; p < b.col_ptr()[j + 1]; ++p)
+      t.add(b.row_idx()[p], j, beta * b.values()[p]);
+  }
+  return t.to_csc();
+}
+
+double max_abs_diff(const CscMatrix& a, const CscMatrix& b) {
+  const CscMatrix d = add_scaled(1.0, a, -1.0, b);
+  return d.norm_max();
+}
+
+TripletMatrix::TripletMatrix(index_t rows, index_t cols)
+    : rows_(rows), cols_(cols) {
+  MATEX_CHECK(rows >= 0 && cols >= 0);
+}
+
+void TripletMatrix::add(index_t i, index_t j, double v) {
+  MATEX_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+              "triplet index out of range");
+  is_.push_back(i);
+  js_.push_back(j);
+  vs_.push_back(v);
+}
+
+CscMatrix TripletMatrix::to_csc() const {
+  // Two-pass counting sort by column, then sort rows within each column
+  // and sum duplicates.
+  std::vector<index_t> cp(static_cast<std::size_t>(cols_) + 1, 0);
+  for (index_t j : js_) ++cp[static_cast<std::size_t>(j) + 1];
+  for (std::size_t i = 1; i < cp.size(); ++i) cp[i] += cp[i - 1];
+
+  std::vector<index_t> next(cp.begin(), cp.end() - 1);
+  std::vector<index_t> ri(is_.size());
+  std::vector<double> vals(vs_.size());
+  for (std::size_t k = 0; k < is_.size(); ++k) {
+    const index_t pos = next[static_cast<std::size_t>(js_[k])]++;
+    ri[static_cast<std::size_t>(pos)] = is_[k];
+    vals[static_cast<std::size_t>(pos)] = vs_[k];
+  }
+
+  std::vector<index_t> out_cp(static_cast<std::size_t>(cols_) + 1, 0);
+  std::vector<index_t> out_ri;
+  std::vector<double> out_vals;
+  out_ri.reserve(ri.size());
+  out_vals.reserve(vals.size());
+  std::vector<std::pair<index_t, double>> colbuf;
+  for (index_t j = 0; j < cols_; ++j) {
+    colbuf.clear();
+    for (index_t p = cp[static_cast<std::size_t>(j)];
+         p < cp[static_cast<std::size_t>(j) + 1]; ++p)
+      colbuf.emplace_back(ri[static_cast<std::size_t>(p)],
+                          vals[static_cast<std::size_t>(p)]);
+    std::sort(colbuf.begin(), colbuf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t k = 0; k < colbuf.size(); ++k) {
+      if (!out_ri.empty() &&
+          static_cast<index_t>(out_ri.size()) >
+              out_cp[static_cast<std::size_t>(j)] &&
+          out_ri.back() == colbuf[k].first) {
+        out_vals.back() += colbuf[k].second;  // duplicate: accumulate
+      } else {
+        out_ri.push_back(colbuf[k].first);
+        out_vals.push_back(colbuf[k].second);
+      }
+    }
+    out_cp[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(out_ri.size());
+  }
+  return CscMatrix(rows_, cols_, std::move(out_cp), std::move(out_ri),
+                   std::move(out_vals));
+}
+
+}  // namespace matex::la

@@ -1,0 +1,128 @@
+/// \file sparse_csc.hpp
+/// \brief Compressed sparse column matrix and the kernels used by the
+///        circuit solvers (spmv, transpose, scaled addition, permutation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace matex::la {
+
+/// Index type for sparse structures. 32-bit indices keep the factors
+/// compact; power-grid MNA systems at this repo's scale stay far below
+/// the 2^31 nonzero limit.
+using index_t = std::int32_t;
+
+/// Compressed sparse column matrix (immutable pattern, mutable values).
+///
+/// Invariants (checked by validate()):
+///  - col_ptr has cols()+1 entries, non-decreasing, col_ptr[0] == 0;
+///  - row indices within each column are strictly increasing and in range.
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Builds from raw CSC arrays. Throws InvalidArgument if malformed.
+  CscMatrix(index_t rows, index_t cols, std::vector<index_t> col_ptr,
+            std::vector<index_t> row_idx, std::vector<double> values);
+
+  /// Returns the n x n identity.
+  static CscMatrix identity(index_t n);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(row_idx_.size()); }
+
+  std::span<const index_t> col_ptr() const { return col_ptr_; }
+  std::span<const index_t> row_idx() const { return row_idx_; }
+  std::span<const double> values() const { return values_; }
+  std::span<double> values() { return values_; }
+
+  /// Returns entry (i, j) by binary search within column j (O(log nnz_j)).
+  double at(index_t i, index_t j) const;
+
+  /// y := A*x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y := y + alpha * A * x.
+  void multiply_add(double alpha, std::span<const double> x,
+                    std::span<double> y) const;
+
+  /// y := A'*x.
+  void multiply_transpose(std::span<const double> x,
+                          std::span<double> y) const;
+
+  /// Returns A'.
+  CscMatrix transposed() const;
+
+  /// Returns the diagonal (length min(rows, cols); missing entries are 0).
+  std::vector<double> diagonal() const;
+
+  /// Returns the 1-norm (max column sum of |a_ij|).
+  double norm1() const;
+
+  /// Returns max |a_ij|.
+  double norm_max() const;
+
+  /// Returns A with rows and columns permuted: B(pinv[i], q_new[j]) layout,
+  /// i.e. B = A(p, q) where pinv is the inverse of the row permutation p.
+  CscMatrix permuted(std::span<const index_t> pinv,
+                     std::span<const index_t> q) const;
+
+  /// Returns the pattern of A + A' as an adjacency structure (no values,
+  /// no diagonal): used by the fill-reducing orderings.
+  std::vector<std::vector<index_t>> symmetric_adjacency() const;
+
+  /// True if the sparsity pattern is structurally symmetric.
+  bool has_symmetric_pattern() const;
+
+  /// Returns a dense copy (intended for tests / tiny systems only).
+  std::vector<double> to_dense_column_major() const;
+
+  /// Throws InvalidArgument if any invariant is violated.
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> col_ptr_{0};
+  std::vector<index_t> row_idx_;
+  std::vector<double> values_;
+};
+
+/// Returns alpha*A + beta*B (pattern union; shapes must match).
+CscMatrix add_scaled(double alpha, const CscMatrix& a, double beta,
+                     const CscMatrix& b);
+
+/// Returns the maximum |a_ij - b_ij| over the union pattern.
+double max_abs_diff(const CscMatrix& a, const CscMatrix& b);
+
+/// Coordinate-format accumulator used to assemble MNA matrices. Duplicate
+/// entries are summed when compressed to CSC (exactly the semantics of
+/// element stamping).
+class TripletMatrix {
+ public:
+  TripletMatrix(index_t rows, index_t cols);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t entry_count() const { return is_.size(); }
+
+  /// Accumulates value v at (i, j). Throws InvalidArgument on out-of-range
+  /// indices. Zero values are kept (they pin the pattern, which matters
+  /// when the same structure is refactorized with different values).
+  void add(index_t i, index_t j, double v);
+
+  /// Compresses to CSC, summing duplicates.
+  CscMatrix to_csc() const;
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<index_t> is_;
+  std::vector<index_t> js_;
+  std::vector<double> vs_;
+};
+
+}  // namespace matex::la

@@ -1,0 +1,148 @@
+#include "la/sparse_ldlt.hpp"
+
+#include <cmath>
+
+#include "la/error.hpp"
+
+namespace matex::la {
+
+SparseLDLT::SparseLDLT(const CscMatrix& a, SparseLdltOptions options) {
+  MATEX_CHECK(a.rows() == a.cols(), "LDLT requires a square matrix");
+  MATEX_CHECK(a.has_symmetric_pattern(),
+              "LDLT requires a structurally symmetric matrix");
+  n_ = a.rows();
+  const std::size_t n = static_cast<std::size_t>(n_);
+  perm_ = compute_ordering(a, options.ordering);
+  pinv_ = invert_permutation(perm_);
+
+  // Iterate the upper triangle of B = A(perm, perm) column by column:
+  // column k of B maps to column perm[k] of A with rows renumbered by
+  // pinv. visit(k, f) calls f(i, value) for every B(i, k) with i <= k.
+  const auto visit_upper = [&](index_t k, auto&& f) {
+    const index_t jold = perm_[static_cast<std::size_t>(k)];
+    for (index_t p = a.col_ptr()[jold]; p < a.col_ptr()[jold + 1]; ++p) {
+      const index_t i =
+          pinv_[static_cast<std::size_t>(a.row_idx()[p])];
+      if (i <= k) f(i, a.values()[p]);
+    }
+  };
+
+  // --- symbolic: elimination tree + column counts (LDL-style walk).
+  std::vector<index_t> parent(n, -1), flag(n, -1), lnz(n, 0);
+  for (index_t k = 0; k < n_; ++k) {
+    parent[static_cast<std::size_t>(k)] = -1;
+    flag[static_cast<std::size_t>(k)] = k;
+    visit_upper(k, [&](index_t i, double) {
+      while (flag[static_cast<std::size_t>(i)] != k) {
+        if (parent[static_cast<std::size_t>(i)] == -1)
+          parent[static_cast<std::size_t>(i)] = k;
+        ++lnz[static_cast<std::size_t>(i)];
+        flag[static_cast<std::size_t>(i)] = k;
+        i = parent[static_cast<std::size_t>(i)];
+      }
+    });
+  }
+
+  l_colptr_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    l_colptr_[i + 1] = l_colptr_[i] + lnz[i];
+  l_rows_.assign(static_cast<std::size_t>(l_colptr_[n]), 0);
+  l_vals_.assign(static_cast<std::size_t>(l_colptr_[n]), 0.0);
+  d_.assign(n, 0.0);
+
+  // --- numeric: up-looking factorization, one sparse triangular solve
+  // per row of L.
+  std::vector<double> y(n, 0.0);
+  std::vector<index_t> pattern(n), next(n, 0), lnz_used(n, 0);
+  std::fill(flag.begin(), flag.end(), -1);
+  double dmax = 0.0;
+  for (index_t k = 0; k < n_; ++k) {
+    index_t top = n_;
+    flag[static_cast<std::size_t>(k)] = k;
+    visit_upper(k, [&](index_t i, double v) {
+      y[static_cast<std::size_t>(i)] += v;
+      index_t len = 0;
+      while (flag[static_cast<std::size_t>(i)] != k) {
+        pattern[static_cast<std::size_t>(len++)] = i;
+        flag[static_cast<std::size_t>(i)] = k;
+        i = parent[static_cast<std::size_t>(i)];
+      }
+      while (len > 0)
+        pattern[static_cast<std::size_t>(--top)] =
+            pattern[static_cast<std::size_t>(--len)];
+    });
+    double dk = y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(k)] = 0.0;
+    for (; top < n_; ++top) {
+      const index_t i = pattern[static_cast<std::size_t>(top)];
+      const double yi = y[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] = 0.0;
+      const index_t p2 =
+          l_colptr_[static_cast<std::size_t>(i)] +
+          lnz_used[static_cast<std::size_t>(i)];
+      for (index_t p = l_colptr_[static_cast<std::size_t>(i)]; p < p2; ++p)
+        y[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])] -=
+            l_vals_[static_cast<std::size_t>(p)] * yi;
+      const double lki = yi / d_[static_cast<std::size_t>(i)];
+      dk -= lki * yi;
+      l_rows_[static_cast<std::size_t>(p2)] = k;
+      l_vals_[static_cast<std::size_t>(p2)] = lki;
+      ++lnz_used[static_cast<std::size_t>(i)];
+    }
+    dmax = std::max(dmax, std::abs(dk));
+    if (std::abs(dk) <= options.zero_pivot_tol * dmax || dk == 0.0)
+      throw NumericalError("SparseLDLT: zero pivot at column " +
+                           std::to_string(k));
+    if (dk < 0.0) positive_definite_ = false;
+    d_[static_cast<std::size_t>(k)] = dk;
+  }
+}
+
+void SparseLDLT::solve_in_place(std::span<double> b) const {
+  std::vector<double> work(static_cast<std::size_t>(n_));
+  solve_in_place(b, work);
+}
+
+void SparseLDLT::solve_in_place(std::span<double> b,
+                                std::span<double> work) const {
+  MATEX_CHECK(b.size() == static_cast<std::size_t>(n_));
+  MATEX_CHECK(work.size() == static_cast<std::size_t>(n_));
+  // z = P b
+  for (index_t i = 0; i < n_; ++i)
+    work[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+  // L z = z (unit diagonal, strictly lower entries stored)
+  for (index_t j = 0; j < n_; ++j) {
+    const double zj = work[static_cast<std::size_t>(j)];
+    if (zj == 0.0) continue;
+    for (index_t p = l_colptr_[static_cast<std::size_t>(j)];
+         p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      work[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])] -=
+          l_vals_[static_cast<std::size_t>(p)] * zj;
+  }
+  // D z = z
+  for (index_t i = 0; i < n_; ++i)
+    work[static_cast<std::size_t>(i)] /= d_[static_cast<std::size_t>(i)];
+  // L' z = z
+  for (index_t j = n_; j-- > 0;) {
+    double zj = work[static_cast<std::size_t>(j)];
+    for (index_t p = l_colptr_[static_cast<std::size_t>(j)];
+         p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      zj -= l_vals_[static_cast<std::size_t>(p)] *
+            work[static_cast<std::size_t>(
+                l_rows_[static_cast<std::size_t>(p)])];
+    work[static_cast<std::size_t>(j)] = zj;
+  }
+  // x = P' z
+  for (index_t i = 0; i < n_; ++i)
+    b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+        work[static_cast<std::size_t>(i)];
+}
+
+std::vector<double> SparseLDLT::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+}  // namespace matex::la

@@ -1,0 +1,244 @@
+#include "la/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/error.hpp"
+
+namespace matex::la {
+namespace {
+
+/// Iterative depth-first search computing the reach of column `col` of A
+/// in the graph of the partially built L. On return, xi[top..n-1] holds
+/// the reach in topological order (dependencies first). Nodes are left
+/// marked; the caller clears marks.
+index_t symbolic_reach(const CscMatrix& a, index_t col,
+                       std::span<const index_t> l_colptr,
+                       std::span<const index_t> l_rows,
+                       std::span<const index_t> pinv,
+                       std::vector<char>& marked, std::vector<index_t>& xi,
+                       std::vector<index_t>& node_stack,
+                       std::vector<index_t>& pos_stack) {
+  const index_t n = a.rows();
+  index_t top = n;
+  for (index_t pa = a.col_ptr()[col]; pa < a.col_ptr()[col + 1]; ++pa) {
+    const index_t start = a.row_idx()[pa];
+    if (marked[static_cast<std::size_t>(start)]) continue;
+    index_t head = 0;
+    node_stack[0] = start;
+    while (head >= 0) {
+      const index_t j = node_stack[static_cast<std::size_t>(head)];
+      const index_t jcol = pinv[static_cast<std::size_t>(j)];
+      if (!marked[static_cast<std::size_t>(j)]) {
+        marked[static_cast<std::size_t>(j)] = 1;
+        // Skip the first entry of L's column (the pivot row itself).
+        pos_stack[static_cast<std::size_t>(head)] =
+            jcol < 0 ? 0 : l_colptr[static_cast<std::size_t>(jcol)] + 1;
+      }
+      bool descended = false;
+      if (jcol >= 0) {
+        const index_t pend = l_colptr[static_cast<std::size_t>(jcol) + 1];
+        for (index_t p = pos_stack[static_cast<std::size_t>(head)]; p < pend;
+             ++p) {
+          const index_t i = l_rows[static_cast<std::size_t>(p)];
+          if (marked[static_cast<std::size_t>(i)]) continue;
+          pos_stack[static_cast<std::size_t>(head)] = p + 1;
+          ++head;
+          node_stack[static_cast<std::size_t>(head)] = i;
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        --head;
+        xi[static_cast<std::size_t>(--top)] = j;
+      }
+    }
+  }
+  return top;
+}
+
+}  // namespace
+
+SparseLU::SparseLU(const CscMatrix& a, SparseLuOptions options) {
+  MATEX_CHECK(a.rows() == a.cols(), "SparseLU requires a square matrix");
+  MATEX_CHECK(options.pivot_tol > 0.0 && options.pivot_tol <= 1.0,
+              "pivot_tol must be in (0, 1]");
+  n_ = a.rows();
+  const std::size_t n = static_cast<std::size_t>(n_);
+  q_ = compute_ordering(a, options.ordering);
+  pinv_.assign(n, -1);
+
+  l_colptr_.assign(1, 0);
+  u_colptr_.assign(1, 0);
+  l_rows_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
+  l_vals_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
+  u_rows_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
+  u_vals_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
+
+  std::vector<double> x(n, 0.0);
+  std::vector<char> marked(n, 0);
+  std::vector<index_t> xi(n), node_stack(n), pos_stack(n);
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  for (index_t k = 0; k < n_; ++k) {
+    const index_t col = q_[static_cast<std::size_t>(k)];
+
+    // --- Symbolic: reach of A(:, col) in the graph of L.
+    const index_t top = symbolic_reach(a, col, l_colptr_, l_rows_, pinv_,
+                                       marked, xi, node_stack, pos_stack);
+
+    // --- Numeric: x = L \ A(:, col) restricted to the reach.
+    for (index_t p = top; p < n_; ++p) x[static_cast<std::size_t>(xi[p])] = 0.0;
+    for (index_t pa = a.col_ptr()[col]; pa < a.col_ptr()[col + 1]; ++pa)
+      x[static_cast<std::size_t>(a.row_idx()[pa])] = a.values()[pa];
+    for (index_t px = top; px < n_; ++px) {
+      const index_t j = xi[static_cast<std::size_t>(px)];
+      const index_t jcol = pinv_[static_cast<std::size_t>(j)];
+      if (jcol < 0) continue;
+      const double xj = x[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (index_t p = l_colptr_[static_cast<std::size_t>(jcol)] + 1;
+           p < l_colptr_[static_cast<std::size_t>(jcol) + 1]; ++p)
+        x[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])] -=
+            l_vals_[static_cast<std::size_t>(p)] * xj;
+    }
+
+    // --- Pivot search among not-yet-pivotal rows; push U entries for
+    // pivotal rows. Marks are cleared in the same sweep.
+    index_t ipiv = -1;
+    double amax = -1.0;
+    for (index_t px = top; px < n_; ++px) {
+      const index_t i = xi[static_cast<std::size_t>(px)];
+      marked[static_cast<std::size_t>(i)] = 0;
+      const index_t pos = pinv_[static_cast<std::size_t>(i)];
+      if (pos < 0) {
+        const double t = std::abs(x[static_cast<std::size_t>(i)]);
+        if (t > amax) {
+          amax = t;
+          ipiv = i;
+        }
+      } else {
+        u_rows_.push_back(pos);
+        u_vals_.push_back(x[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (ipiv < 0 || amax <= 0.0)
+      throw NumericalError("SparseLU: matrix is singular at column " +
+                           std::to_string(k) + " (no admissible pivot)");
+    // Diagonal preference with threshold.
+    if (pinv_[static_cast<std::size_t>(col)] < 0 &&
+        std::abs(x[static_cast<std::size_t>(col)]) >=
+            options.pivot_tol * amax)
+      ipiv = col;
+    const double pivot = x[static_cast<std::size_t>(ipiv)];
+    min_pivot_ = std::min(min_pivot_, std::abs(pivot));
+
+    u_rows_.push_back(k);  // U diagonal stored last in the column
+    u_vals_.push_back(pivot);
+    u_colptr_.push_back(static_cast<index_t>(u_rows_.size()));
+
+    pinv_[static_cast<std::size_t>(ipiv)] = k;
+    l_rows_.push_back(ipiv);  // L pivot entry stored first in the column
+    l_vals_.push_back(1.0);
+    for (index_t px = top; px < n_; ++px) {
+      const index_t i = xi[static_cast<std::size_t>(px)];
+      if (pinv_[static_cast<std::size_t>(i)] < 0) {
+        l_rows_.push_back(i);
+        l_vals_.push_back(x[static_cast<std::size_t>(i)] / pivot);
+      }
+      x[static_cast<std::size_t>(i)] = 0.0;
+    }
+    l_colptr_.push_back(static_cast<index_t>(l_rows_.size()));
+  }
+
+  // Remap L's row indices from original numbering to pivot positions.
+  for (index_t& r : l_rows_) r = pinv_[static_cast<std::size_t>(r)];
+
+  fill_ratio_ = a.nnz() == 0
+                    ? 0.0
+                    : static_cast<double>(l_rows_.size() + u_rows_.size()) /
+                          static_cast<double>(a.nnz());
+}
+
+void SparseLU::solve_in_place(std::span<double> b) const {
+  std::vector<double> work(static_cast<std::size_t>(n_));
+  solve_in_place(b, work);
+}
+
+void SparseLU::solve_in_place(std::span<double> b,
+                              std::span<double> work) const {
+  MATEX_CHECK(b.size() == static_cast<std::size_t>(n_));
+  MATEX_CHECK(work.size() == static_cast<std::size_t>(n_));
+  auto& work_ = work;
+  // work = P b
+  for (index_t i = 0; i < n_; ++i)
+    work_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])] =
+        b[static_cast<std::size_t>(i)];
+  // Forward substitution: L y = work (unit diagonal stored first).
+  for (index_t j = 0; j < n_; ++j) {
+    const double xj = work_[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    for (index_t p = l_colptr_[static_cast<std::size_t>(j)] + 1;
+         p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      work_[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])] -=
+          l_vals_[static_cast<std::size_t>(p)] * xj;
+  }
+  // Backward substitution: U z = y (diagonal stored last).
+  for (index_t j = n_; j-- > 0;) {
+    const index_t pend = u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
+    work_[static_cast<std::size_t>(j)] /=
+        u_vals_[static_cast<std::size_t>(pend)];
+    const double xj = work_[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    for (index_t p = u_colptr_[static_cast<std::size_t>(j)]; p < pend; ++p)
+      work_[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])] -=
+          u_vals_[static_cast<std::size_t>(p)] * xj;
+  }
+  // b = Q z
+  for (index_t k = 0; k < n_; ++k)
+    b[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])] =
+        work_[static_cast<std::size_t>(k)];
+}
+
+std::vector<double> SparseLU::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+std::vector<double> SparseLU::solve_transpose(std::span<const double> b) const {
+  MATEX_CHECK(b.size() == static_cast<std::size_t>(n_));
+  // A' = Q U' L' P, so solve U' w = Q'b, then L' v = w, then x = P' v.
+  std::vector<double> w(static_cast<std::size_t>(n_));
+  for (index_t k = 0; k < n_; ++k)
+    w[static_cast<std::size_t>(k)] =
+        b[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])];
+  // U' is lower triangular: forward substitution over columns of U.
+  for (index_t j = 0; j < n_; ++j) {
+    const index_t pend = u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
+    double s = w[static_cast<std::size_t>(j)];
+    for (index_t p = u_colptr_[static_cast<std::size_t>(j)]; p < pend; ++p)
+      s -= u_vals_[static_cast<std::size_t>(p)] *
+           w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])];
+    w[static_cast<std::size_t>(j)] =
+        s / u_vals_[static_cast<std::size_t>(pend)];
+  }
+  // L' is upper triangular with unit diagonal: backward substitution.
+  for (index_t j = n_; j-- > 0;) {
+    double s = w[static_cast<std::size_t>(j)];
+    for (index_t p = l_colptr_[static_cast<std::size_t>(j)] + 1;
+         p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      s -= l_vals_[static_cast<std::size_t>(p)] *
+           w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])];
+    w[static_cast<std::size_t>(j)] = s;
+  }
+  std::vector<double> x(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i)
+    x[static_cast<std::size_t>(i)] =
+        w[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])];
+  return x;
+}
+
+}  // namespace matex::la

@@ -1,0 +1,75 @@
+#include "la/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/error.hpp"
+
+namespace matex::la {
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  MATEX_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(double a, std::span<double> x) {
+  for (double& v : x) v *= a;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  MATEX_CHECK(x.size() == y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(std::span<const double> x) {
+  // Two-pass scaled norm: robust against overflow/underflow for the
+  // extremely stiff systems this library targets (entries span ~1e16).
+  double amax = norm_inf(x);
+  if (amax == 0.0) return 0.0;
+  double s = 0.0;
+  for (double v : x) {
+    const double r = v / amax;
+    s += r * r;
+  }
+  return amax * std::sqrt(s);
+}
+
+double norm_inf(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double norm1(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += std::abs(v);
+  return s;
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  MATEX_CHECK(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void set_zero(std::span<double> x) { std::fill(x.begin(), x.end(), 0.0); }
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  MATEX_CHECK(x.size() == y.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    m = std::max(m, std::abs(x[i] - y[i]));
+  return m;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  MATEX_CHECK(n >= 2, "linspace needs at least two points");
+  std::vector<double> v(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = lo + step * static_cast<double>(i);
+  v.back() = hi;
+  return v;
+}
+
+}  // namespace matex::la

@@ -1,0 +1,45 @@
+/// \file vector_ops.hpp
+/// \brief Dense vector kernels (BLAS-1 level) used across the library.
+///
+/// All functions operate on std::span<double> views so they work with
+/// std::vector<double> and raw buffers alike. Sizes are validated with
+/// MATEX_CHECK; hot inner loops themselves are branch-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace matex::la {
+
+/// y := a*x + y. Spans must have equal length.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// x := a*x.
+void scale(double a, std::span<double> x);
+
+/// Returns the dot product x' * y.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Returns the Euclidean norm ||x||_2 (with scaling for overflow safety).
+double norm2(std::span<const double> x);
+
+/// Returns the max-magnitude norm ||x||_inf.
+double norm_inf(std::span<const double> x);
+
+/// Returns the 1-norm sum |x_i|.
+double norm1(std::span<const double> x);
+
+/// y := x (sizes must match).
+void copy(std::span<const double> x, std::span<double> y);
+
+/// x := 0.
+void set_zero(std::span<double> x);
+
+/// Returns ||x - y||_inf; spans must have equal length.
+double max_abs_diff(std::span<const double> x, std::span<const double> y);
+
+/// Returns a vector of n elements linearly spaced in [lo, hi].
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace matex::la

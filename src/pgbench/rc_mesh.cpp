@@ -1,0 +1,63 @@
+#include "pgbench/rc_mesh.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "la/error.hpp"
+
+namespace matex::pgbench {
+
+circuit::Netlist generate_stiff_rc_mesh(const StiffRcSpec& spec) {
+  MATEX_CHECK(spec.rows >= 2 && spec.cols >= 2, "mesh must be >= 2x2");
+  MATEX_CHECK(spec.cap_max > 0.0 && spec.cap_decades >= 0.0,
+              "invalid capacitance spread");
+  MATEX_CHECK(spec.conductance > 0.0 && spec.leak > 0.0,
+              "conductances must be positive");
+
+  std::uint64_t state = spec.seed ? spec.seed : 1;
+  const auto uniform = [&state]() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return static_cast<double>((state * 2685821657736338717ull) >> 11) *
+           0x1.0p-53;
+  };
+
+  circuit::Netlist n;
+  const auto node = [&](la::index_t r, la::index_t c) {
+    return spec.name + "_" + std::to_string(r) + "_" + std::to_string(c);
+  };
+  int element = 0;
+  const auto next_name = [&](const char* kind) {
+    return std::string(kind) + spec.name + std::to_string(element++);
+  };
+
+  for (la::index_t r = 0; r < spec.rows; ++r)
+    for (la::index_t c = 0; c < spec.cols; ++c) {
+      // Log-uniform capacitance spread: the stiffness knob.
+      const double cap =
+          spec.cap_max * std::pow(10.0, -spec.cap_decades * uniform());
+      n.add_capacitor(next_name("C"), node(r, c), "0", cap);
+      n.add_resistor(next_name("Rl"), node(r, c), "0", 1.0 / spec.leak);
+      if (c + 1 < spec.cols)
+        n.add_resistor(next_name("R"), node(r, c), node(r, c + 1),
+                       1.0 / spec.conductance);
+      if (r + 1 < spec.rows)
+        n.add_resistor(next_name("R"), node(r, c), node(r + 1, c),
+                       1.0 / spec.conductance);
+    }
+
+  circuit::PulseSpec p;
+  p.v1 = 0.0;
+  p.v2 = spec.load_current;
+  p.delay = spec.pulse_delay;
+  p.rise = spec.pulse_rise;
+  p.width = spec.pulse_width;
+  p.fall = spec.pulse_fall;
+  p.period = 0.0;
+  n.add_current_source(next_name("I"), node(spec.rows / 2, spec.cols / 2),
+                       "0", circuit::Waveform::pulse(p));
+  return n;
+}
+
+}  // namespace matex::pgbench

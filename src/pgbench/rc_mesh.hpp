@@ -1,0 +1,39 @@
+/// \file rc_mesh.hpp
+/// \brief Stiff RC mesh generator for the Table 1 experiment.
+///
+/// Table 1 compares MEXP / I-MATEX / R-MATEX on RC meshes whose stiffness
+/// -- Re(lambda_min)/Re(lambda_max) of A = -C^{-1}G -- is tuned "by
+/// changing the entries of C, G". Node time constants are C_i / G_i, so
+/// log-uniformly spreading the capacitances over `cap_decades` decades
+/// yields a stiffness of roughly 10^cap_decades times the mesh's own
+/// spectral spread.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.hpp"
+
+namespace matex::pgbench {
+
+/// Parameters of the stiff mesh.
+struct StiffRcSpec {
+  la::index_t rows = 10;
+  la::index_t cols = 10;
+  double conductance = 1.0;     ///< mesh segment conductance (1/R)
+  double leak = 0.05;           ///< per-node leak conductance to ground
+  double cap_max = 1e-12;       ///< largest node capacitance (F)
+  double cap_decades = 4.0;     ///< capacitances span [cap_max/10^d, cap_max]
+  /// Pulsed current load exciting the mesh (placed at the center node).
+  double load_current = 1e-3;
+  double pulse_delay = 1e-11;
+  double pulse_rise = 1e-11;
+  double pulse_width = 5e-11;
+  double pulse_fall = 1e-11;
+  std::uint64_t seed = 7;
+  std::string name = "stiffrc";
+};
+
+/// Generates the stiff RC mesh with a pulsed load at the center.
+circuit::Netlist generate_stiff_rc_mesh(const StiffRcSpec& spec);
+
+}  // namespace matex::pgbench

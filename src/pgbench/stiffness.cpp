@@ -1,0 +1,43 @@
+#include "pgbench/stiffness.hpp"
+
+#include <cmath>
+
+#include "krylov/operator.hpp"
+#include "la/eigen_est.hpp"
+#include "la/error.hpp"
+
+namespace matex::pgbench {
+
+StiffnessEstimate estimate_stiffness(const la::CscMatrix& c,
+                                     const la::CscMatrix& g,
+                                     int max_iterations, double tolerance) {
+  const krylov::CircuitOperator fwd(c, g, krylov::KrylovKind::kStandard);
+  const krylov::CircuitOperator inv(c, g, krylov::KrylovKind::kInverted);
+  const std::size_t n = static_cast<std::size_t>(c.rows());
+
+  const auto r_fwd = la::power_iteration(
+      n,
+      [&](std::span<const double> x, std::span<double> y) {
+        fwd.apply(x, y);
+      },
+      max_iterations, tolerance);
+  const auto r_inv = la::power_iteration(
+      n,
+      [&](std::span<const double> x, std::span<double> y) {
+        inv.apply(x, y);
+      },
+      max_iterations, tolerance);
+
+  StiffnessEstimate est;
+  est.lambda_max_mag = std::abs(r_fwd.eigenvalue);
+  est.lambda_min_mag = std::abs(r_inv.eigenvalue) == 0.0
+                           ? 0.0
+                           : 1.0 / std::abs(r_inv.eigenvalue);
+  est.converged = r_fwd.converged && r_inv.converged;
+  est.stiffness = est.lambda_min_mag == 0.0
+                      ? 0.0
+                      : est.lambda_max_mag / est.lambda_min_mag;
+  return est;
+}
+
+}  // namespace matex::pgbench

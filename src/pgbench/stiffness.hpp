@@ -1,0 +1,31 @@
+/// \file stiffness.hpp
+/// \brief Stiffness metric of Table 1: Re(lambda_min) / Re(lambda_max) of
+///        A = -C^{-1} G.
+///
+/// Both extremes are reached with the machinery already in the library:
+/// |lambda|_max of A by power iteration on the standard operator, and
+/// |lambda|_min as the reciprocal of |lambda|_max of A^{-1} (the inverted
+/// operator). For RC circuits all eigenvalues are real and negative, so
+/// the magnitude ratio equals the paper's real-part ratio.
+#pragma once
+
+#include "la/sparse_csc.hpp"
+
+namespace matex::pgbench {
+
+/// Result of a stiffness estimation.
+struct StiffnessEstimate {
+  double lambda_max_mag = 0.0;  ///< |lambda| of the fastest mode
+  double lambda_min_mag = 0.0;  ///< |lambda| of the slowest mode
+  double stiffness = 0.0;       ///< lambda_max_mag / lambda_min_mag
+  bool converged = false;
+};
+
+/// Estimates the stiffness of the pencil (C, G). Requires non-singular C
+/// (true for the RC meshes of Table 1) and non-singular G.
+StiffnessEstimate estimate_stiffness(const la::CscMatrix& c,
+                                     const la::CscMatrix& g,
+                                     int max_iterations = 5000,
+                                     double tolerance = 1e-6);
+
+}  // namespace matex::pgbench

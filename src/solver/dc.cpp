@@ -1,0 +1,22 @@
+#include "solver/dc.hpp"
+
+#include <chrono>
+
+namespace matex::solver {
+
+DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
+                            la::SparseLuOptions lu_options) {
+  const auto clock_start = std::chrono::steady_clock::now();
+  DcResult result;
+  result.g_factors = std::make_shared<la::SparseLU>(mna.g(), lu_options);
+  std::vector<double> rhs(static_cast<std::size_t>(mna.dimension()));
+  mna.rhs_at(t_start, rhs);
+  result.x = result.g_factors->solve(rhs);
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    clock_start)
+          .count();
+  return result;
+}
+
+}  // namespace matex::solver

@@ -1,0 +1,36 @@
+/// \file dc.hpp
+/// \brief DC operating-point analysis.
+///
+/// At DC capacitors are open and inductors are shorts; the MNA G matrix
+/// already encodes both (the inductor branch equation reduces to
+/// v1 - v2 = 0 because the C-side term vanishes), so the operating point
+/// is the solution of G x = B u(0). The factorization of G computed here
+/// is exactly the one I-MATEX reuses for its Krylov operator and the one
+/// every MATEX variant needs for the particular-solution terms F and P --
+/// sharing it is part of the "one factorization at the beginning" story.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace matex::solver {
+
+/// Result of DC analysis: the operating point and the (shareable) G
+/// factorization.
+struct DcResult {
+  std::vector<double> x;                     ///< operating point
+  std::shared_ptr<la::SparseLU> g_factors;   ///< LU of G
+  double seconds = 0.0;                      ///< wall time (the "DC(s)"
+                                             ///< column of Table 2)
+};
+
+/// Computes the DC operating point at time t_start (sources evaluated at
+/// that time). Throws NumericalError if G is singular (floating nodes).
+DcResult dc_operating_point(const circuit::MnaSystem& mna,
+                            double t_start = 0.0,
+                            la::SparseLuOptions lu_options = {});
+
+}  // namespace matex::solver

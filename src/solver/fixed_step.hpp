@@ -1,0 +1,45 @@
+/// \file fixed_step.hpp
+/// \brief Fixed-step transient solvers: trapezoidal (TR), backward Euler
+///        (BE) and forward Euler (FE).
+///
+/// TR with a fixed step is the paper's primary baseline (Sec. 2.1): the
+/// TAU-contest-style flow factorizes (C/h + G/2) once and performs one
+/// pair of forward/backward substitutions per step (Eq. 2). BE is the
+/// first-order implicit variant; FE is explicit and included to
+/// demonstrate the stability limit that rules explicit methods out for
+/// stiff PDNs.
+#pragma once
+
+#include <span>
+
+#include "circuit/mna.hpp"
+#include "la/sparse_lu.hpp"
+#include "solver/observer.hpp"
+#include "solver/stats.hpp"
+
+namespace matex::solver {
+
+/// Time integration scheme for run_fixed_step.
+enum class StepMethod {
+  kTrapezoidal,    ///< 2nd order implicit (Eq. 2)
+  kBackwardEuler,  ///< 1st order implicit
+  kForwardEuler,   ///< 1st order explicit (conditionally stable)
+};
+
+/// Options for the fixed-step solvers.
+struct FixedStepOptions {
+  double t_start = 0.0;
+  double t_end = 0.0;  ///< must be > t_start
+  double h = 0.0;      ///< fixed step size (> 0)
+  la::SparseLuOptions lu_options;
+};
+
+/// Runs a fixed-step transient simulation from initial state x0 (typically
+/// the DC operating point). The observer is invoked at t_start and after
+/// every step. Returns counters and timings.
+TransientStats run_fixed_step(const circuit::MnaSystem& mna,
+                              std::span<const double> x0, StepMethod method,
+                              const FixedStepOptions& options,
+                              const Observer& observer);
+
+}  // namespace matex::solver

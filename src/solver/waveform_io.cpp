@@ -1,0 +1,125 @@
+#include "solver/waveform_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "la/error.hpp"
+
+namespace matex::solver {
+
+WaveformTable WaveformTable::from_recorder(const ProbeRecorder& recorder,
+                                           std::vector<std::string> names) {
+  MATEX_CHECK(names.size() == recorder.probe_count(),
+              "one name per probe required");
+  WaveformTable t;
+  t.names = std::move(names);
+  t.times = recorder.times();
+  for (std::size_t p = 0; p < recorder.probe_count(); ++p)
+    t.columns.push_back(recorder.waveform(p));
+  t.validate();
+  return t;
+}
+
+void WaveformTable::validate() const {
+  MATEX_CHECK(names.size() == columns.size(),
+              "names/columns count mismatch");
+  for (const auto& col : columns)
+    MATEX_CHECK(col.size() == times.size(),
+                "column length must match the time axis");
+}
+
+void write_waveform_table(const WaveformTable& table, std::ostream& out) {
+  table.validate();
+  out << "* MATEX waveform table\n";
+  out << "time";
+  for (const auto& n : table.names) out << " " << n;
+  out << "\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < table.times.size(); ++i) {
+    out << table.times[i];
+    for (const auto& col : table.columns) out << " " << col[i];
+    out << "\n";
+  }
+}
+
+void write_waveform_table_file(const WaveformTable& table,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open waveform file: " + path);
+  write_waveform_table(table, out);
+}
+
+WaveformTable read_waveform_table(std::istream& in) {
+  WaveformTable t;
+  std::string line;
+  bool header_seen = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '*') continue;
+    std::istringstream ls(line);
+    if (!header_seen) {
+      std::string tok;
+      ls >> tok;
+      if (tok != "time")
+        throw ParseError("waveform table line " + std::to_string(line_no) +
+                         ": header must start with 'time'");
+      while (ls >> tok) t.names.push_back(tok);
+      if (t.names.empty())
+        throw ParseError("waveform table has no probe columns");
+      t.columns.resize(t.names.size());
+      header_seen = true;
+      continue;
+    }
+    double v = 0.0;
+    if (!(ls >> v))
+      throw ParseError("waveform table line " + std::to_string(line_no) +
+                       ": missing time value");
+    t.times.push_back(v);
+    for (std::size_t p = 0; p < t.columns.size(); ++p) {
+      if (!(ls >> v))
+        throw ParseError("waveform table line " + std::to_string(line_no) +
+                         ": expected " + std::to_string(t.columns.size()) +
+                         " samples");
+      t.columns[p].push_back(v);
+    }
+  }
+  if (!header_seen) throw ParseError("waveform table is empty");
+  t.validate();
+  return t;
+}
+
+WaveformTable read_waveform_table_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open waveform file: " + path);
+  return read_waveform_table(in);
+}
+
+ErrorStats compare_waveform_tables(const WaveformTable& a,
+                                   const WaveformTable& b, double time_tol) {
+  a.validate();
+  b.validate();
+  MATEX_CHECK(a.times.size() == b.times.size(),
+              "waveform tables have different sample counts");
+  for (std::size_t i = 0; i < a.times.size(); ++i)
+    MATEX_CHECK(std::abs(a.times[i] - b.times[i]) <=
+                    time_tol * (1.0 + std::abs(a.times[i])),
+                "waveform time axes disagree");
+  ErrorStats stats;
+  bool any = false;
+  for (std::size_t pa = 0; pa < a.names.size(); ++pa) {
+    const auto it = std::find(b.names.begin(), b.names.end(), a.names[pa]);
+    if (it == b.names.end()) continue;
+    any = true;
+    const std::size_t pb =
+        static_cast<std::size_t>(it - b.names.begin());
+    stats.accumulate(a.columns[pa], b.columns[pb]);
+  }
+  MATEX_CHECK(any, "waveform tables share no probe names");
+  return stats;
+}
+
+}  // namespace matex::solver

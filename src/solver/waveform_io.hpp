@@ -1,0 +1,57 @@
+/// \file waveform_io.hpp
+/// \brief Waveform table persistence and comparison.
+///
+/// The IBM power grid benchmarks ship golden `.output` waveforms that
+/// contestants diff against; this module provides the equivalent for this
+/// repo: write probe waveforms produced by any solver to a plain text
+/// table, read them back, and compute the Table 3 style max/avg error
+/// between two tables.
+///
+/// Format (self-describing, whitespace separated):
+///   * MATEX waveform table
+///   time <probe-name-1> <probe-name-2> ...
+///   <t0> <v> <v> ...
+///   <t1> <v> <v> ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "solver/observer.hpp"
+
+namespace matex::solver {
+
+/// An in-memory waveform table: per-probe named columns over a shared
+/// time axis.
+struct WaveformTable {
+  std::vector<std::string> names;            ///< probe names (columns)
+  std::vector<double> times;                 ///< shared time axis
+  std::vector<std::vector<double>> columns;  ///< columns[p][i] at times[i]
+
+  /// Builds a table from a ProbeRecorder and its probe names.
+  static WaveformTable from_recorder(const ProbeRecorder& recorder,
+                                     std::vector<std::string> names);
+
+  /// Throws InvalidArgument if the shape is inconsistent.
+  void validate() const;
+};
+
+/// Writes a table (see format above).
+void write_waveform_table(const WaveformTable& table, std::ostream& out);
+void write_waveform_table_file(const WaveformTable& table,
+                               const std::string& path);
+
+/// Reads a table; throws ParseError on malformed input.
+WaveformTable read_waveform_table(std::istream& in);
+WaveformTable read_waveform_table_file(const std::string& path);
+
+/// Max/avg absolute difference between two tables over shared probe names
+/// and the shared time grid (times must match within `time_tol`).
+/// Throws InvalidArgument if the tables have no probes in common or the
+/// time axes disagree.
+ErrorStats compare_waveform_tables(const WaveformTable& a,
+                                   const WaveformTable& b,
+                                   double time_tol = 1e-15);
+
+}  // namespace matex::solver

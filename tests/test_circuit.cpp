@@ -1,0 +1,635 @@
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/spice.hpp"
+#include "circuit/waveform.hpp"
+#include "la/error.hpp"
+#include "la/sparse_lu.hpp"
+#include "test_util.hpp"
+
+namespace matex::circuit {
+namespace {
+
+using la::index_t;
+
+// ---------------------------------------------------------------- Waveform
+
+TEST(Waveform, DcIsConstant) {
+  const auto w = Waveform::dc(1.8);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.8);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 1.8);
+  EXPECT_DOUBLE_EQ(w.slope_after(5.0), 0.0);
+  EXPECT_TRUE(w.is_dc());
+  EXPECT_TRUE(w.transition_spots(0.0, 100.0).empty());
+  EXPECT_FALSE(w.pulse_spec().has_value());
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const auto w = Waveform::pwl({1.0, 2.0, 4.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);    // clamp before
+  EXPECT_DOUBLE_EQ(w.value(1.5), 5.0);    // mid first segment
+  EXPECT_DOUBLE_EQ(w.value(2.0), 10.0);   // breakpoint
+  EXPECT_DOUBLE_EQ(w.value(3.0), 5.0);    // mid second segment
+  EXPECT_DOUBLE_EQ(w.value(100.0), 0.0);  // clamp after
+  EXPECT_FALSE(w.is_dc());
+}
+
+TEST(Waveform, PwlSlopes) {
+  const auto w = Waveform::pwl({1.0, 2.0, 4.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.slope_after(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(w.slope_after(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.slope_after(1.5), 10.0);
+  EXPECT_DOUBLE_EQ(w.slope_after(2.0), -5.0);
+  EXPECT_DOUBLE_EQ(w.slope_after(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.slope_after(9.0), 0.0);
+}
+
+TEST(Waveform, PwlSpotsWithinWindow) {
+  const auto w = Waveform::pwl({1.0, 2.0, 4.0}, {0.0, 10.0, 0.0});
+  const auto spots = w.transition_spots(1.5, 4.0);
+  ASSERT_EQ(spots.size(), 2u);
+  EXPECT_DOUBLE_EQ(spots[0], 2.0);
+  EXPECT_DOUBLE_EQ(spots[1], 4.0);
+}
+
+TEST(Waveform, PwlValidation) {
+  EXPECT_THROW(Waveform::pwl({1.0, 1.0}, {0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Waveform::pwl({2.0, 1.0}, {0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Waveform::pwl({1.0}, {0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Waveform::pwl({}, {}), InvalidArgument);
+}
+
+TEST(Waveform, PwlConstantTableIsDc) {
+  const auto w = Waveform::pwl({0.0, 1.0}, {2.0, 2.0});
+  EXPECT_TRUE(w.is_dc());
+}
+
+PulseSpec test_pulse() {
+  PulseSpec s;
+  s.v1 = 0.0;
+  s.v2 = 2.0;
+  s.delay = 1.0;
+  s.rise = 0.5;
+  s.width = 2.0;
+  s.fall = 1.0;
+  s.period = 10.0;
+  return s;
+}
+
+TEST(Waveform, PulseSingleCycleValues) {
+  const auto w = Waveform::pulse(test_pulse());
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);   // before delay
+  EXPECT_DOUBLE_EQ(w.value(1.0), 0.0);   // rise start
+  EXPECT_DOUBLE_EQ(w.value(1.25), 1.0);  // mid rise
+  EXPECT_DOUBLE_EQ(w.value(1.5), 2.0);   // top start
+  EXPECT_DOUBLE_EQ(w.value(3.0), 2.0);   // on top
+  EXPECT_DOUBLE_EQ(w.value(4.0), 1.0);   // mid fall (3.5 + 0.5)
+  EXPECT_DOUBLE_EQ(w.value(4.5), 0.0);   // fall end
+  EXPECT_DOUBLE_EQ(w.value(9.0), 0.0);   // baseline tail
+}
+
+TEST(Waveform, PulseRepeatsWithPeriod) {
+  const auto w = Waveform::pulse(test_pulse());
+  for (double t : {0.3, 1.25, 2.2, 4.0, 7.9})
+    EXPECT_NEAR(w.value(t), w.value(t + 10.0), 1e-12) << "t=" << t;
+}
+
+TEST(Waveform, PulseTransitionSpots) {
+  const auto w = Waveform::pulse(test_pulse());
+  const auto spots = w.transition_spots(0.0, 12.0);
+  // First period: 1, 1.5, 3.5, 4.5; second period starts at 11: 11, 11.5.
+  const std::vector<double> expected{1.0, 1.5, 3.5, 4.5, 11.0, 11.5};
+  ASSERT_EQ(spots.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(spots[i], expected[i], 1e-12);
+}
+
+TEST(Waveform, PulseSpotsWindowInMiddleOfLaterPeriod) {
+  const auto w = Waveform::pulse(test_pulse());
+  const auto spots = w.transition_spots(21.2, 24.0);
+  // Period k=2 base 21: spots 21.5, 23.5.
+  ASSERT_EQ(spots.size(), 2u);
+  EXPECT_NEAR(spots[0], 21.5, 1e-12);
+  EXPECT_NEAR(spots[1], 23.5, 1e-12);
+}
+
+TEST(Waveform, NonRepeatingPulse) {
+  auto s = test_pulse();
+  s.period = 0.0;
+  const auto w = Waveform::pulse(s);
+  EXPECT_DOUBLE_EQ(w.value(100.0), 0.0);
+  const auto spots = w.transition_spots(0.0, 100.0);
+  EXPECT_EQ(spots.size(), 4u);
+}
+
+TEST(Waveform, PulseSlopes) {
+  const auto w = Waveform::pulse(test_pulse());
+  EXPECT_DOUBLE_EQ(w.slope_after(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(w.slope_after(1.2), 4.0);    // (2-0)/0.5
+  EXPECT_DOUBLE_EQ(w.slope_after(2.0), 0.0);    // on top
+  EXPECT_DOUBLE_EQ(w.slope_after(3.7), -2.0);   // (0-2)/1
+  EXPECT_DOUBLE_EQ(w.slope_after(5.0), 0.0);    // baseline
+  EXPECT_DOUBLE_EQ(w.slope_after(11.2), 4.0);   // second period rise
+}
+
+TEST(Waveform, PulseValidation) {
+  auto s = test_pulse();
+  s.rise = 0.0;
+  EXPECT_THROW(Waveform::pulse(s), InvalidArgument);
+  s = test_pulse();
+  s.fall = -1.0;
+  EXPECT_THROW(Waveform::pulse(s), InvalidArgument);
+  s = test_pulse();
+  s.period = 1.0;  // < rise + width + fall
+  EXPECT_THROW(Waveform::pulse(s), InvalidArgument);
+}
+
+TEST(Waveform, FlatPulseIsDc) {
+  auto s = test_pulse();
+  s.v2 = s.v1;
+  EXPECT_TRUE(Waveform::pulse(s).is_dc());
+}
+
+TEST(Waveform, PulseSpecRoundTrip) {
+  const auto s = test_pulse();
+  const auto w = Waveform::pulse(s);
+  ASSERT_TRUE(w.pulse_spec().has_value());
+  EXPECT_EQ(*w.pulse_spec(), s);
+}
+
+class PulsePwlEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PulsePwlEquivalenceTest, SingleCyclePulseEqualsExplicitPwl) {
+  matex::testing::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  PulseSpec s;
+  s.v1 = rng.uniform(-1.0, 1.0);
+  s.v2 = rng.uniform(-1.0, 1.0);
+  s.delay = rng.uniform(0.1, 2.0);
+  s.rise = rng.uniform(0.01, 1.0);
+  s.width = rng.uniform(0.01, 2.0);
+  s.fall = rng.uniform(0.01, 1.0);
+  s.period = 0.0;
+  const auto pulse = Waveform::pulse(s);
+  const auto pwl = Waveform::pwl(
+      {0.0, s.delay, s.delay + s.rise, s.delay + s.rise + s.width,
+       s.delay + s.rise + s.width + s.fall},
+      {s.v1, s.v1, s.v2, s.v2, s.v1});
+  for (int i = 0; i <= 100; ++i) {
+    const double t = 0.08 * i;
+    EXPECT_NEAR(pulse.value(t), pwl.value(t), 1e-12) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PulsePwlEquivalenceTest,
+                         ::testing::Range(1, 13));
+
+TEST(Waveform, SinValueAndSlope) {
+  SinSpec s;
+  s.offset = 1.0;
+  s.amplitude = 0.5;
+  s.frequency = 2.0;  // period 0.5
+  s.delay = 1.0;
+  const auto w = Waveform::sin(s);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);  // before delay
+  EXPECT_NEAR(w.value(1.0), 1.0, 1e-15);
+  EXPECT_NEAR(w.value(1.125), 1.5, 1e-12);   // quarter period: peak
+  EXPECT_NEAR(w.value(1.375), 0.5, 1e-12);   // three quarters: trough
+  EXPECT_DOUBLE_EQ(w.slope_after(0.5), 0.0);
+  EXPECT_NEAR(w.slope_after(1.0), 0.5 * 2 * M_PI * 2.0, 1e-9);
+  EXPECT_FALSE(w.is_dc());
+  EXPECT_FALSE(w.is_piecewise_linear());
+  ASSERT_TRUE(w.sin_spec().has_value());
+  EXPECT_EQ(*w.sin_spec(), s);
+}
+
+TEST(Waveform, SinDampingDecaysEnvelope) {
+  SinSpec s;
+  s.amplitude = 1.0;
+  s.frequency = 1.0;
+  s.damping = 2.0;
+  const auto w = Waveform::sin(s);
+  EXPECT_NEAR(w.value(0.25), std::exp(-0.5), 1e-12);   // first peak
+  EXPECT_NEAR(w.value(2.25), std::exp(-4.5), 1e-12);   // two periods later
+}
+
+TEST(Waveform, SinValidation) {
+  SinSpec s;
+  s.frequency = 0.0;
+  EXPECT_THROW(Waveform::sin(s), InvalidArgument);
+  s.frequency = 1.0;
+  s.delay = -1.0;
+  EXPECT_THROW(Waveform::sin(s), InvalidArgument);
+  s.delay = 0.0;
+  s.damping = -0.1;
+  EXPECT_THROW(Waveform::sin(s), InvalidArgument);
+}
+
+TEST(Waveform, ZeroAmplitudeSinIsDc) {
+  SinSpec s;
+  s.offset = 2.0;
+  s.amplitude = 0.0;
+  s.frequency = 1.0;
+  EXPECT_TRUE(Waveform::sin(s).is_dc());
+}
+
+TEST(Waveform, LinearizedSinTracksOriginal) {
+  SinSpec s;
+  s.amplitude = 1.0;
+  s.frequency = 1.0;
+  const auto w = Waveform::sin(s);
+  const auto lin = w.linearized(0.0, 2.0, 1.0 / 64.0);
+  EXPECT_TRUE(lin.is_piecewise_linear());
+  for (int i = 0; i <= 200; ++i) {
+    const double t = 0.01 * i;
+    EXPECT_NEAR(lin.value(t), w.value(t), 2e-3) << "t=" << t;
+  }
+}
+
+TEST(Waveform, LinearizedPulseIsExactAtSpotsAndBetween) {
+  const auto w = Waveform::pulse(test_pulse());
+  const auto lin = w.linearized(0.0, 9.0, 10.0);  // only spots subdivide
+  for (double t : {0.0, 1.0, 1.25, 1.5, 3.0, 4.0, 4.5, 8.0})
+    EXPECT_NEAR(lin.value(t), w.value(t), 1e-12) << "t=" << t;
+}
+
+TEST(Waveform, LinearizedValidation) {
+  const auto w = Waveform::dc(1.0);
+  EXPECT_THROW(w.linearized(1.0, 1.0, 0.1), InvalidArgument);
+  EXPECT_THROW(w.linearized(0.0, 1.0, 0.0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- Netlist
+
+TEST(Netlist, GroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.node("0"), kGroundNode);
+  EXPECT_EQ(n.node("gnd"), kGroundNode);
+  EXPECT_EQ(n.node("GND"), kGroundNode);
+  EXPECT_EQ(n.node_count(), 0);
+}
+
+TEST(Netlist, NodeInterningIsStable) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  const NodeId b = n.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(n.node("a"), a);
+  EXPECT_EQ(n.find_node("b"), b);
+  EXPECT_EQ(n.node_name(a), "a");
+  EXPECT_EQ(n.node_count(), 2);
+}
+
+TEST(Netlist, FindUnknownNodeThrows) {
+  Netlist n;
+  EXPECT_THROW(n.find_node("zzz"), InvalidArgument);
+}
+
+TEST(Netlist, RejectsNonPositivePassives) {
+  Netlist n;
+  EXPECT_THROW(n.add_resistor("R1", "a", "b", 0.0), InvalidArgument);
+  EXPECT_THROW(n.add_capacitor("C1", "a", "b", -1e-12), InvalidArgument);
+  EXPECT_THROW(n.add_inductor("L1", "a", "b", 0.0), InvalidArgument);
+}
+
+TEST(Netlist, ElementCountsAccumulate) {
+  Netlist n;
+  n.add_resistor("R1", "a", "b", 1.0);
+  n.add_capacitor("C1", "b", "0", 1e-12);
+  n.add_current_source("I1", "b", "0", Waveform::dc(1e-3));
+  n.add_voltage_source("V1", "a", "0", Waveform::dc(1.8));
+  EXPECT_EQ(n.element_count(), 4u);
+  EXPECT_EQ(n.resistors().size(), 1u);
+  EXPECT_EQ(n.voltage_sources().size(), 1u);
+}
+
+// -------------------------------------------------------------------- MNA
+
+/// V(1.8) -> a --R(2)-- b --C(3)-- gnd, with I load at b.
+Netlist simple_rc() {
+  Netlist n;
+  n.add_voltage_source("Vdd", "a", "0", Waveform::dc(1.8));
+  n.add_resistor("R1", "a", "b", 2.0);
+  n.add_capacitor("C1", "b", "0", 3.0);
+  n.add_current_source("I1", "b", "0", Waveform::dc(0.1));
+  return n;
+}
+
+TEST(Mna, EliminatesGroundedDcSupply) {
+  const Netlist n = simple_rc();
+  const MnaSystem mna(n);
+  EXPECT_EQ(mna.dimension(), 1);  // only v(b) remains
+  EXPECT_EQ(mna.node_unknowns(), 1);
+  EXPECT_EQ(mna.branch_unknowns(), 0);
+  EXPECT_TRUE(mna.is_eliminated(n.find_node("a")));
+  EXPECT_FALSE(mna.is_eliminated(n.find_node("b")));
+  EXPECT_EQ(mna.input_count(), 2);  // I1 and Vdd
+
+  // G = [1/R] = [0.5]; C = [3]; B row: [-1 (current source), +0.5 (rail)].
+  EXPECT_DOUBLE_EQ(mna.g().at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(mna.c().at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(mna.b().at(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(mna.b().at(0, 1), 0.5);
+}
+
+TEST(Mna, DcSolveOfSimpleRc) {
+  const Netlist n = simple_rc();
+  const MnaSystem mna(n);
+  // DC: G x = B u -> 0.5 v_b = -0.1 + 0.5*1.8 -> v_b = 1.6.
+  std::vector<double> rhs(1);
+  mna.rhs_at(0.0, rhs);
+  const la::SparseLU lu(mna.g());
+  const auto x = lu.solve(rhs);
+  EXPECT_NEAR(x[0], 1.6, 1e-12);
+  EXPECT_NEAR(mna.node_voltage(x, n.find_node("b"), 0.0), 1.6, 1e-12);
+  EXPECT_NEAR(mna.node_voltage(x, n.find_node("a"), 0.0), 1.8, 1e-12);
+  EXPECT_DOUBLE_EQ(mna.node_voltage(x, kGroundNode, 0.0), 0.0);
+}
+
+TEST(Mna, KeptVsourceMatchesEliminatedSolution) {
+  const Netlist n = simple_rc();
+  MnaOptions keep;
+  keep.eliminate_grounded_vsources = false;
+  const MnaSystem kept(n, keep);
+  EXPECT_EQ(kept.dimension(), 3);  // v(a), v(b), i(Vdd)
+  EXPECT_EQ(kept.branch_unknowns(), 1);
+  std::vector<double> rhs(3);
+  kept.rhs_at(0.0, rhs);
+  const la::SparseLU lu(kept.g());
+  const auto x = lu.solve(rhs);
+  EXPECT_NEAR(kept.node_voltage(x, n.find_node("a"), 0.0), 1.8, 1e-12);
+  EXPECT_NEAR(kept.node_voltage(x, n.find_node("b"), 0.0), 1.6, 1e-12);
+  // Supply current: 0.1 A flows through R into the load.
+  const double i_vdd = x[2];
+  EXPECT_NEAR(std::abs(i_vdd), 0.1, 1e-12);
+}
+
+TEST(Mna, TimeVaryingVsourceIsNeverEliminated) {
+  Netlist n;
+  PulseSpec s;
+  s.v1 = 0.0;
+  s.v2 = 1.0;
+  s.delay = 0.0;
+  s.rise = 1e-9;
+  s.width = 1e-9;
+  s.fall = 1e-9;
+  n.add_voltage_source("Vin", "a", "0", Waveform::pulse(s));
+  n.add_resistor("R1", "a", "b", 1.0);
+  n.add_resistor("R2", "b", "0", 1.0);
+  const MnaSystem mna(n);
+  EXPECT_EQ(mna.dimension(), 3);  // a, b, branch current
+  EXPECT_FALSE(mna.is_eliminated(n.find_node("a")));
+}
+
+TEST(Mna, InductorBranchStamps) {
+  // V(1) -> a --L(2)-- gnd. At DC the inductor is a short: branch row
+  // enforces v(a) = 0... but a is driven by V through nothing else, so use
+  // R in series: V -> a --R(1)-- b --L(2)-- gnd.
+  Netlist n;
+  n.add_voltage_source("V1", "a", "0", Waveform::dc(1.0));
+  n.add_resistor("R1", "a", "b", 1.0);
+  n.add_inductor("L1", "b", "0", 2.0);
+  const MnaSystem mna(n);
+  EXPECT_EQ(mna.dimension(), 2);  // v(b), i(L)
+  EXPECT_DOUBLE_EQ(mna.c().at(1, 1), 2.0);  // L on the branch row
+  std::vector<double> rhs(2);
+  mna.rhs_at(0.0, rhs);
+  const la::SparseLU lu(mna.g());
+  const auto x = lu.solve(rhs);
+  EXPECT_NEAR(x[0], 0.0, 1e-12);  // inductor shorts b to ground at DC
+  EXPECT_NEAR(x[1], 1.0, 1e-12);  // i = V/R
+}
+
+TEST(Mna, CurrentSourceSignConvention) {
+  // I n1 n2: positive current flows n1 -> n2 through the source, drawing
+  // charge out of n1. A load I b 0 pulls node b down.
+  Netlist n;
+  n.add_voltage_source("V1", "a", "0", Waveform::dc(1.0));
+  n.add_resistor("R1", "a", "b", 1.0);
+  n.add_current_source("I1", "b", "0", Waveform::dc(0.25));
+  const MnaSystem mna(n);
+  std::vector<double> rhs(1);
+  mna.rhs_at(0.0, rhs);
+  const auto x = la::SparseLU(mna.g()).solve(rhs);
+  EXPECT_NEAR(x[0], 0.75, 1e-12);  // 1.0 - I*R
+}
+
+TEST(Mna, GlobalTransitionSpotsAreUnionOfSources) {
+  Netlist n;
+  n.add_resistor("R1", "a", "0", 1.0);
+  PulseSpec s1;
+  s1.v1 = 0;
+  s1.v2 = 1;
+  s1.delay = 1.0;
+  s1.rise = 0.5;
+  s1.width = 1.0;
+  s1.fall = 0.5;
+  PulseSpec s2 = s1;
+  s2.delay = 2.0;
+  n.add_current_source("I1", "a", "0", Waveform::pulse(s1));
+  n.add_current_source("I2", "a", "0", Waveform::pulse(s2));
+  const MnaSystem mna(n);
+  const auto gts = mna.global_transition_spots(0.0, 10.0);
+  // I1: 1, 1.5, 2.5, 3; I2: 2, 2.5, 3.5, 4 -> union has 7 (2.5 shared).
+  EXPECT_EQ(gts.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(gts.begin(), gts.end()));
+}
+
+TEST(Mna, RejectsDoublyDrivenNode) {
+  Netlist n;
+  n.add_voltage_source("V1", "a", "0", Waveform::dc(1.0));
+  n.add_voltage_source("V2", "a", "0", Waveform::dc(2.0));
+  n.add_resistor("R1", "a", "0", 1.0);
+  EXPECT_THROW(MnaSystem mna(n), InvalidArgument);
+}
+
+TEST(Mna, EmptyCircuitThrows) {
+  Netlist n;
+  n.add_voltage_source("V1", "a", "0", Waveform::dc(1.0));
+  EXPECT_THROW(MnaSystem mna(n), InvalidArgument);  // no unknowns at all
+}
+
+class MnaLadderPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MnaLadderPropertyTest, EliminationPreservesDcSolution) {
+  // Random RC ladder from a supply; DC voltages must agree between the
+  // eliminated and branch formulations.
+  matex::testing::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Netlist n;
+  n.add_voltage_source("Vdd", "n0", "0", Waveform::dc(1.8));
+  const int len = 3 + static_cast<int>(rng.index(8));
+  for (int i = 0; i < len; ++i) {
+    const std::string a = "n" + std::to_string(i);
+    const std::string b = "n" + std::to_string(i + 1);
+    n.add_resistor("R" + std::to_string(i), a, b, rng.uniform(0.5, 5.0));
+    n.add_capacitor("C" + std::to_string(i), b, "0",
+                    rng.uniform(1e-12, 5e-12));
+    if (rng.uniform() < 0.5)
+      n.add_current_source("I" + std::to_string(i), b, "0",
+                           Waveform::dc(rng.uniform(0.0, 0.05)));
+  }
+  const MnaSystem elim(n);
+  MnaOptions keep;
+  keep.eliminate_grounded_vsources = false;
+  const MnaSystem kept(n, keep);
+
+  std::vector<double> rhs_e(static_cast<std::size_t>(elim.dimension()));
+  elim.rhs_at(0.0, rhs_e);
+  const auto xe = la::SparseLU(elim.g()).solve(rhs_e);
+  std::vector<double> rhs_k(static_cast<std::size_t>(kept.dimension()));
+  kept.rhs_at(0.0, rhs_k);
+  const auto xk = la::SparseLU(kept.g()).solve(rhs_k);
+
+  for (int i = 0; i <= len; ++i) {
+    const NodeId node = n.find_node("n" + std::to_string(i));
+    EXPECT_NEAR(elim.node_voltage(xe, node, 0.0),
+                kept.node_voltage(xk, node, 0.0), 1e-10)
+        << "node n" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MnaLadderPropertyTest,
+                         ::testing::Range(1, 13));
+
+// ------------------------------------------------------------------ SPICE
+
+TEST(Spice, ValueSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5k"), 1500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10p"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3n"), 3e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("6f"), 6e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("7g"), 7e9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-12"), 1e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-3.5M"), -3.5e-3);  // case-insensitive
+  EXPECT_THROW(parse_spice_value("abc"), ParseError);
+  EXPECT_THROW(parse_spice_value("1.5x"), ParseError);
+}
+
+TEST(Spice, ParsesBasicDeck) {
+  const char* deck_text = R"(* test deck
+Vdd vddnode 0 1.8
+R1 vddnode n1 0.5
+C1 n1 0 10p
+I1 n1 0 PULSE(0 0.01 1n 0.1n 0.1n 0.5n 10n)
+.tran 10p 10n
+.end
+)";
+  const auto deck = read_spice_string(deck_text);
+  EXPECT_EQ(deck.title, " test deck");
+  EXPECT_EQ(deck.netlist.resistors().size(), 1u);
+  EXPECT_EQ(deck.netlist.capacitors().size(), 1u);
+  EXPECT_EQ(deck.netlist.voltage_sources().size(), 1u);
+  EXPECT_EQ(deck.netlist.current_sources().size(), 1u);
+  ASSERT_TRUE(deck.tran_step.has_value());
+  EXPECT_DOUBLE_EQ(*deck.tran_step, 10e-12);
+  EXPECT_DOUBLE_EQ(*deck.tran_stop, 10e-9);
+  const auto spec =
+      deck.netlist.current_sources()[0].waveform.pulse_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->v2, 0.01);
+  EXPECT_DOUBLE_EQ(spec->delay, 1e-9);
+  EXPECT_DOUBLE_EQ(spec->period, 10e-9);
+}
+
+TEST(Spice, ContinuationLines) {
+  const char* deck_text =
+      "* t\nI1 a 0 PULSE(0 1\n+ 1n 0.1n 0.1n\n+ 0.5n 10n)\nR1 a 0 1\n.end\n";
+  const auto deck = read_spice_string(deck_text);
+  ASSERT_EQ(deck.netlist.current_sources().size(), 1u);
+  const auto spec = deck.netlist.current_sources()[0].waveform.pulse_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->width, 0.5e-9);
+}
+
+TEST(Spice, DcKeywordAndPwl) {
+  const char* deck_text = R"(* t
+V1 a 0 DC 2.5
+I2 a 0 PWL(0 0 1n 0.01 2n 0)
+R1 a 0 1
+.end
+)";
+  const auto deck = read_spice_string(deck_text);
+  EXPECT_DOUBLE_EQ(deck.netlist.voltage_sources()[0].waveform.value(0.0),
+                   2.5);
+  const auto& pwl = deck.netlist.current_sources()[0].waveform;
+  EXPECT_DOUBLE_EQ(pwl.value(0.5e-9), 0.005);
+}
+
+TEST(Spice, SinSourceRoundTrip) {
+  const auto deck = read_spice_string(
+      "* t\nV1 a 0 SIN(1.0 0.1 1meg 1n 0)\nR1 a 0 1\n.end\n");
+  const auto spec = deck.netlist.voltage_sources()[0].waveform.sin_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->offset, 1.0);
+  EXPECT_DOUBLE_EQ(spec->amplitude, 0.1);
+  EXPECT_DOUBLE_EQ(spec->frequency, 1e6);
+  EXPECT_DOUBLE_EQ(spec->delay, 1e-9);
+
+  std::ostringstream out;
+  write_spice(deck.netlist, out);
+  const auto again = read_spice_string(out.str());
+  EXPECT_EQ(*again.netlist.voltage_sources()[0].waveform.sin_spec(), *spec);
+}
+
+TEST(Spice, MalformedCardsThrow) {
+  EXPECT_THROW(read_spice_string("R1 a 0\n.end\n"), ParseError);
+  EXPECT_THROW(read_spice_string("Q1 a 0 5\n.end\n"), ParseError);
+  EXPECT_THROW(read_spice_string("I1 a 0 PULSE(0 1 2)\n.end\n"), ParseError);
+  EXPECT_THROW(read_spice_string("I1 a 0 PWL(0 1 2)\n.end\n"), ParseError);
+  EXPECT_THROW(read_spice_string("+ x\n"), ParseError);
+  EXPECT_THROW(read_spice_string("V1 a 0 DC\n"), ParseError);
+}
+
+TEST(Spice, DollarCommentsStripped) {
+  const auto deck =
+      read_spice_string("* t\nR1 a 0 2 $ half siemens\n.end\n");
+  EXPECT_DOUBLE_EQ(deck.netlist.resistors()[0].value, 2.0);
+}
+
+TEST(Spice, WriterRoundTrip) {
+  Netlist n;
+  n.add_voltage_source("Vdd", "vddnode", "0", Waveform::dc(1.8));
+  n.add_resistor("R1", "vddnode", "n1", 0.5);
+  n.add_capacitor("C1", "n1", "0", 1e-11);
+  n.add_inductor("L1", "n1", "n2", 1e-9);
+  PulseSpec s;
+  s.v1 = 0.0;
+  s.v2 = 0.01;
+  s.delay = 1e-9;
+  s.rise = 1e-10;
+  s.fall = 1e-10;
+  s.width = 5e-10;
+  s.period = 1e-8;
+  n.add_current_source("I1", "n2", "0", Waveform::pulse(s));
+
+  std::ostringstream out;
+  write_spice(n, out, "round trip", 1e-11, 1e-8);
+  const auto deck = read_spice_string(out.str());
+
+  EXPECT_EQ(deck.netlist.element_count(), n.element_count());
+  EXPECT_DOUBLE_EQ(deck.netlist.resistors()[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(deck.netlist.inductors()[0].value, 1e-9);
+  const auto spec = deck.netlist.current_sources()[0].waveform.pulse_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(*spec, s);
+  ASSERT_TRUE(deck.tran_step.has_value());
+  EXPECT_DOUBLE_EQ(*deck.tran_stop, 1e-8);
+
+  // The round-tripped netlist assembles to the same MNA matrices.
+  const MnaSystem m1(n), m2(deck.netlist);
+  EXPECT_EQ(m1.dimension(), m2.dimension());
+  EXPECT_NEAR(la::max_abs_diff(m1.g(), m2.g()), 0.0, 1e-15);
+  EXPECT_NEAR(la::max_abs_diff(m1.c(), m2.c()), 0.0, 1e-15);
+  EXPECT_NEAR(la::max_abs_diff(m1.b(), m2.b()), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace matex::circuit

@@ -1,0 +1,183 @@
+#include "la/dense_matrix.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/dense_lu.hpp"
+#include "la/error.hpp"
+#include "la/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace matex::la {
+namespace {
+
+TEST(DenseMatrix, ZeroInitialized) {
+  DenseMatrix m(3, 2);
+  for (std::size_t j = 0; j < 2; ++j)
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+}
+
+TEST(DenseMatrix, IdentityHasOnesOnDiagonal) {
+  const auto eye = DenseMatrix::identity(4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(DenseMatrix, ColumnMajorLayout) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 0) = 2.0;
+  m(0, 1) = 3.0;
+  m(1, 1) = 4.0;
+  const auto d = m.data();
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+  EXPECT_DOUBLE_EQ(d[3], 4.0);
+}
+
+TEST(DenseMatrix, MultiplyMatchesHandComputation) {
+  DenseMatrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  std::vector<double> x{1.0, 0.0, -1.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+  std::vector<double> z{1.0, 1.0};
+  std::vector<double> w(3);
+  m.multiply_transpose(z, w);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 7.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+}
+
+TEST(DenseMatrix, MatmulAssociatesWithIdentity) {
+  testing::Rng rng(3);
+  const auto a = testing::random_dense(5, rng);
+  const auto eye = DenseMatrix::identity(5);
+  EXPECT_LE(max_abs_diff(a.matmul(eye), a), 1e-15);
+  EXPECT_LE(max_abs_diff(eye.matmul(a), a), 1e-15);
+}
+
+TEST(DenseMatrix, TransposeIsInvolution) {
+  testing::Rng rng(4);
+  const auto a = testing::random_dense(6, rng);
+  EXPECT_LE(max_abs_diff(a.transposed().transposed(), a), 0.0);
+}
+
+TEST(DenseMatrix, Norm1IsMaxColumnSum) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 1;
+  m(1, 0) = -2;
+  m(0, 1) = 3;
+  m(1, 1) = 0.5;
+  EXPECT_DOUBLE_EQ(m.norm1(), 3.5);
+}
+
+TEST(DenseMatrix, TopLeftExtractsPrincipalSubmatrix) {
+  testing::Rng rng(5);
+  const auto a = testing::random_dense(5, rng);
+  const auto s = a.top_left(3);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(s(i, j), a(i, j));
+}
+
+TEST(DenseMatrix, ShapeMismatchThrows) {
+  DenseMatrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.add_scaled(1.0, b), InvalidArgument);
+  std::vector<double> x(2), y(2);
+  EXPECT_THROW(a.multiply(x, y), InvalidArgument);
+}
+
+TEST(DenseLU, SolvesHandPickedSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  std::vector<double> b{5.0, 10.0};
+  const auto x = DenseLU(a).solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLU, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  std::vector<double> b{2.0, 3.0};
+  const auto x = DenseLU(a).solve(b);
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(DenseLU, SingularMatrixThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(DenseLU lu(a), NumericalError);
+}
+
+TEST(DenseLU, NonSquareThrows) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(DenseLU lu(a), InvalidArgument);
+}
+
+TEST(DenseLU, InverseTimesMatrixIsIdentity) {
+  testing::Rng rng(7);
+  auto a = testing::random_dense(8, rng);
+  for (std::size_t i = 0; i < 8; ++i) a(i, i) += 8.0;  // well-conditioned
+  const auto inv = DenseLU(a).inverse();
+  EXPECT_LE(max_abs_diff(a.matmul(inv), DenseMatrix::identity(8)), 1e-12);
+}
+
+class DenseLuPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DenseLuPropertyTest, ResidualIsTiny) {
+  testing::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.index(40);
+  auto a = testing::random_dense(n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  const auto b = testing::random_vector(n, rng);
+  const auto x = DenseLU(a).solve(b);
+  std::vector<double> ax(n);
+  a.multiply(x, ax);
+  EXPECT_NEAR(max_abs_diff(std::span<const double>(ax),
+                           std::span<const double>(b)),
+              0.0, 1e-10);
+}
+
+TEST_P(DenseLuPropertyTest, SolveMatchesInverseApply) {
+  testing::Rng rng(GetParam() + 1000);
+  const std::size_t n = 2 + rng.index(20);
+  auto a = testing::random_dense(n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  const auto b = testing::random_vector(n, rng);
+  DenseLU lu(a);
+  const auto x1 = lu.solve(b);
+  std::vector<double> x2(n);
+  lu.inverse().multiply(b, x2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseLuPropertyTest,
+                         ::testing::Range<std::size_t>(1, 16));
+
+}  // namespace
+}  // namespace matex::la

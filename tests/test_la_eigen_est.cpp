@@ -1,0 +1,103 @@
+#include "la/eigen_est.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "la/dense_matrix.hpp"
+#include "la/error.hpp"
+#include "la/sparse_lu.hpp"
+#include "test_util.hpp"
+
+namespace matex::la {
+namespace {
+
+TEST(PowerIteration, DiagonalDominantEigenvalue) {
+  DenseMatrix d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 1) = -5.0;
+  d(2, 2) = 2.0;
+  const auto r = power_iteration(
+      3, [&](std::span<const double> x, std::span<double> y) {
+        d.multiply(x, y);
+      });
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, -5.0, 1e-6);
+}
+
+TEST(PowerIteration, GridLaplacianLargestEigenvalueBound) {
+  // Gershgorin: largest eigenvalue of the grid Laplacian is <= 2*max_deg.
+  const auto g = testing::grid_laplacian(8, 8);
+  const auto r = power_iteration(
+      static_cast<std::size_t>(g.rows()),
+      [&](std::span<const double> x, std::span<double> y) {
+        g.multiply(x, y);
+      },
+      2000, 1e-10);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.eigenvalue, 0.0);
+  EXPECT_LE(r.eigenvalue, 8.1);
+}
+
+TEST(PowerIteration, InverseIterationFindsSmallestMode) {
+  // lambda_min(A) = 1 / lambda_max(A^{-1}).
+  const auto g = testing::grid_laplacian(6, 6, 0.5);
+  const SparseLU lu(g);
+  const auto r = power_iteration(
+      static_cast<std::size_t>(g.rows()),
+      [&](std::span<const double> x, std::span<double> y) {
+        auto sol = lu.solve(x);
+        std::copy(sol.begin(), sol.end(), y.begin());
+      },
+      2000, 1e-10);
+  EXPECT_TRUE(r.converged);
+  const double lambda_min = 1.0 / r.eigenvalue;
+  // The leak term shifts the spectrum: lambda_min >= leak.
+  EXPECT_GE(lambda_min, 0.5 - 1e-6);
+  EXPECT_LE(lambda_min, 1.2);
+}
+
+TEST(PowerIteration, ZeroOperatorConverges) {
+  const auto r = power_iteration(
+      4, [](std::span<const double>, std::span<double> y) {
+        for (double& v : y) v = 0.0;
+      });
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.eigenvalue, 0.0);
+}
+
+TEST(PowerIteration, InvalidArgsThrow) {
+  const ApplyFn noop = [](std::span<const double>, std::span<double>) {};
+  EXPECT_THROW(power_iteration(0, noop), InvalidArgument);
+  EXPECT_THROW(power_iteration(3, noop, 0), InvalidArgument);
+}
+
+class PowerIterationPropertyTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PowerIterationPropertyTest, MatchesDiagonalGroundTruth) {
+  testing::Rng rng(GetParam());
+  const std::size_t n = 3 + rng.index(30);
+  DenseMatrix d(n, n);
+  double dominant = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    d(i, i) = rng.uniform(-10.0, 10.0);
+    if (std::abs(d(i, i)) > std::abs(dominant)) dominant = d(i, i);
+  }
+  // Ensure a clear gap so the iteration converges within budget.
+  d(0, 0) = 15.0 * (dominant < 0 ? -1.0 : 1.0);
+  const auto r = power_iteration(
+      n,
+      [&](std::span<const double> x, std::span<double> y) {
+        d.multiply(x, y);
+      },
+      5000, 1e-9);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, d(0, 0), 1e-5 * std::abs(d(0, 0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerIterationPropertyTest,
+                         ::testing::Range<std::size_t>(1, 11));
+
+}  // namespace
+}  // namespace matex::la

@@ -1,0 +1,212 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/cg.hpp"
+#include "la/error.hpp"
+#include "la/sparse_ldlt.hpp"
+#include "la/sparse_lu.hpp"
+#include "la/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace matex::la {
+namespace {
+
+std::vector<double> residual(const CscMatrix& a, std::span<const double> x,
+                             std::span<const double> b) {
+  std::vector<double> r(b.begin(), b.end());
+  a.multiply_add(-1.0, x, r);
+  return r;
+}
+
+// ------------------------------------------------------------------ LDLT
+
+TEST(SparseLDLT, SolvesIdentity) {
+  const auto eye = CscMatrix::identity(5);
+  const SparseLDLT f(eye);
+  std::vector<double> b{1, 2, 3, 4, 5};
+  const auto x = f.solve(b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+  EXPECT_TRUE(f.positive_definite());
+  EXPECT_EQ(f.nnz_l(), 0);  // strictly lower triangle of I is empty
+}
+
+TEST(SparseLDLT, MatchesLuOnGridLaplacian) {
+  const auto g = testing::grid_laplacian(8, 9, 0.3);
+  testing::Rng rng(5);
+  const auto b =
+      testing::random_vector(static_cast<std::size_t>(g.rows()), rng);
+  const auto x_ldlt = SparseLDLT(g).solve(b);
+  const auto x_lu = SparseLU(g).solve(b);
+  for (std::size_t i = 0; i < x_lu.size(); ++i)
+    EXPECT_NEAR(x_ldlt[i], x_lu[i], 1e-10);
+}
+
+TEST(SparseLDLT, DetectsIndefiniteness) {
+  // diag(1, -2) is symmetric indefinite but factorizable.
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, -2.0);
+  const SparseLDLT f(t.to_csc());
+  EXPECT_FALSE(f.positive_definite());
+  std::vector<double> b{2.0, 4.0};
+  const auto x = f.solve(b);
+  EXPECT_NEAR(x[0], 2.0, 1e-14);
+  EXPECT_NEAR(x[1], -2.0, 1e-14);
+}
+
+TEST(SparseLDLT, ThrowsOnSingular) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 1.0);  // rank 1
+  EXPECT_THROW(SparseLDLT f(t.to_csc()), NumericalError);
+}
+
+TEST(SparseLDLT, RejectsUnsymmetricPattern) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(0, 1, 0.5);  // no (1,0) partner
+  EXPECT_THROW(SparseLDLT f(t.to_csc()), InvalidArgument);
+}
+
+TEST(SparseLDLT, FillIsNoWorseThanLuOnSpdSystems) {
+  const auto g = testing::grid_laplacian(15, 15, 0.1);
+  const SparseLDLT chol(g);
+  const SparseLU lu(g);
+  // L of LDLT ~ half of L+U of LU.
+  EXPECT_LT(chol.nnz_l(), lu.nnz_l() + lu.nnz_u());
+}
+
+class LdltPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LdltPropertyTest, RandomSpdSystemsSolve) {
+  testing::Rng rng(GetParam());
+  const index_t n = static_cast<index_t>(8 + rng.index(60));
+  const auto a = testing::random_sparse_spd_like(n, 0.15, rng);
+  const auto b = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const SparseLDLT f(a);
+  EXPECT_TRUE(f.positive_definite());  // diagonally dominant => SPD
+  const auto x = f.solve(b);
+  const double scale = a.norm1() * norm_inf(x) + norm_inf(b);
+  EXPECT_LE(norm_inf(residual(a, x, b)), 1e-12 * scale);
+}
+
+TEST_P(LdltPropertyTest, AgreesWithLu) {
+  testing::Rng rng(GetParam() + 400);
+  const index_t n = static_cast<index_t>(5 + rng.index(40));
+  const auto a = testing::random_sparse_spd_like(n, 0.2, rng);
+  const auto b = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const auto x1 = SparseLDLT(a).solve(b);
+  const auto x2 = SparseLU(a).solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i)
+    EXPECT_NEAR(x1[i], x2[i], 1e-9 * (1.0 + std::abs(x2[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LdltPropertyTest,
+                         ::testing::Range<std::size_t>(1, 13));
+
+// -------------------------------------------------------------------- CG
+
+TEST(ConjugateGradient, SolvesDiagonalSystem) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(1, 1, 4.0);
+  t.add(2, 2, 8.0);
+  const auto a = t.to_csc();
+  std::vector<double> b{2.0, 4.0, 8.0};
+  const auto r = conjugate_gradient(a, b);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(r.x[i], 1.0, 1e-9);
+}
+
+TEST(ConjugateGradient, ZeroRhsConvergesImmediately) {
+  const auto eye = CscMatrix::identity(4);
+  const std::vector<double> b(4, 0.0);
+  const auto r = conjugate_gradient(eye, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(ConjugateGradient, GridLaplacianWithPreconditioners) {
+  const auto g = testing::grid_laplacian(20, 20, 0.01);
+  testing::Rng rng(7);
+  const auto b =
+      testing::random_vector(static_cast<std::size_t>(g.rows()), rng);
+  CgOptions opt;
+  opt.tolerance = 1e-10;
+  opt.max_iterations = 2000;
+
+  const auto plain = conjugate_gradient(g, b, opt);
+  const auto jacobi = conjugate_gradient(g, b, opt,
+                                         jacobi_preconditioner(g));
+  const auto ssor = conjugate_gradient(g, b, opt, ssor_preconditioner(g));
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(jacobi.converged);
+  EXPECT_TRUE(ssor.converged);
+  // SSOR must beat plain CG on a grid Laplacian.
+  EXPECT_LT(ssor.iterations, plain.iterations);
+
+  // All three agree with the direct solution.
+  const auto xd = SparseLDLT(g).solve(b);
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    EXPECT_NEAR(plain.x[i], xd[i], 1e-6);
+    EXPECT_NEAR(ssor.x[i], xd[i], 1e-6);
+  }
+}
+
+TEST(ConjugateGradient, IndefiniteMatrixThrows) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, -1.0);
+  const auto a = t.to_csc();
+  std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW(conjugate_gradient(a, b), NumericalError);
+}
+
+TEST(ConjugateGradient, ReportsNonConvergenceHonestly) {
+  const auto g = testing::grid_laplacian(30, 30, 1e-6);  // ill-conditioned
+  testing::Rng rng(8);
+  const auto b =
+      testing::random_vector(static_cast<std::size_t>(g.rows()), rng);
+  CgOptions opt;
+  opt.max_iterations = 3;
+  opt.tolerance = 1e-14;
+  const auto r = conjugate_gradient(g, b, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+  EXPECT_GT(r.relative_residual, 1e-14);
+}
+
+TEST(ConjugateGradient, JacobiRejectsZeroDiagonal) {
+  TripletMatrix t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  EXPECT_THROW(jacobi_preconditioner(t.to_csc()), InvalidArgument);
+}
+
+class CgPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CgPropertyTest, MatchesDirectSolveOnRandomSpd) {
+  testing::Rng rng(GetParam());
+  const index_t n = static_cast<index_t>(10 + rng.index(50));
+  const auto a = testing::random_sparse_spd_like(n, 0.15, rng);
+  const auto b = testing::random_vector(static_cast<std::size_t>(n), rng);
+  CgOptions opt;
+  opt.tolerance = 1e-12;
+  opt.max_iterations = 5000;
+  const auto cg = conjugate_gradient(a, b, opt, jacobi_preconditioner(a));
+  EXPECT_TRUE(cg.converged);
+  const auto xd = SparseLDLT(a).solve(b);
+  for (std::size_t i = 0; i < xd.size(); ++i)
+    EXPECT_NEAR(cg.x[i], xd[i], 1e-7 * (1.0 + std::abs(xd[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgPropertyTest,
+                         ::testing::Range<std::size_t>(1, 11));
+
+}  // namespace
+}  // namespace matex::la

@@ -1,0 +1,133 @@
+#include "la/ordering.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "la/sparse_lu.hpp"
+#include "test_util.hpp"
+
+namespace matex::la {
+namespace {
+
+TEST(Permutation, InvertRoundTrip) {
+  const std::vector<index_t> p{2, 0, 3, 1};
+  const auto inv = invert_permutation(p);
+  EXPECT_EQ(inv[2], 0);
+  EXPECT_EQ(inv[0], 1);
+  EXPECT_EQ(inv[3], 2);
+  EXPECT_EQ(inv[1], 3);
+  const auto back = invert_permutation(inv);
+  EXPECT_EQ(back, p);
+}
+
+TEST(Permutation, InvalidPermutationRejected) {
+  const std::vector<index_t> dup{0, 0, 1};
+  EXPECT_FALSE(is_permutation(dup));
+  EXPECT_THROW(invert_permutation(dup), InvalidArgument);
+  const std::vector<index_t> range{0, 5, 1};
+  EXPECT_FALSE(is_permutation(range));
+}
+
+TEST(Ordering, NaturalIsIdentity) {
+  const auto g = testing::grid_laplacian(3, 3);
+  const auto p = compute_ordering(g, Ordering::kNatural);
+  for (index_t i = 0; i < 9; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Ordering, RcmIsAPermutation) {
+  const auto g = testing::grid_laplacian(7, 11);
+  const auto p = compute_ordering(g, Ordering::kRcm);
+  EXPECT_TRUE(is_permutation(p));
+}
+
+TEST(Ordering, MinDegreeIsAPermutation) {
+  const auto g = testing::grid_laplacian(9, 8);
+  const auto p = compute_ordering(g, Ordering::kMinDegree);
+  EXPECT_TRUE(is_permutation(p));
+}
+
+TEST(Ordering, HandlesDisconnectedGraphs) {
+  // Two disjoint chains: block-diagonal Laplacians.
+  TripletMatrix t(6, 6);
+  auto chain = [&](index_t a, index_t b) {
+    t.add(a, a, 1.0);
+    t.add(b, b, 1.0);
+    t.add(a, b, -1.0);
+    t.add(b, a, -1.0);
+  };
+  chain(0, 1);
+  chain(1, 2);
+  chain(3, 4);
+  chain(4, 5);
+  const auto a = t.to_csc();
+  EXPECT_TRUE(is_permutation(compute_ordering(a, Ordering::kRcm)));
+  EXPECT_TRUE(is_permutation(compute_ordering(a, Ordering::kMinDegree)));
+}
+
+TEST(Ordering, HandlesIsolatedVertices) {
+  TripletMatrix t(4, 4);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(2, 2, 1.0);
+  t.add(3, 3, 1.0);
+  const auto a = t.to_csc();
+  EXPECT_TRUE(is_permutation(compute_ordering(a, Ordering::kRcm)));
+  EXPECT_TRUE(is_permutation(compute_ordering(a, Ordering::kMinDegree)));
+}
+
+TEST(Ordering, RcmReducesGridBandwidth) {
+  // A long thin grid numbered row-major has bandwidth = cols; RCM should
+  // renumber to bandwidth ~ rows (the short dimension).
+  const index_t rows = 4, cols = 40;
+  const auto g = testing::grid_laplacian(rows, cols);
+  const auto p = compute_ordering(g, Ordering::kRcm);
+  const auto pinv = invert_permutation(p);
+  index_t bw = 0;
+  for (index_t j = 0; j < g.cols(); ++j)
+    for (index_t k = g.col_ptr()[j]; k < g.col_ptr()[j + 1]; ++k) {
+      const index_t i = g.row_idx()[k];
+      bw = std::max(bw, std::abs(pinv[static_cast<std::size_t>(i)] -
+                                 pinv[static_cast<std::size_t>(j)]));
+    }
+  EXPECT_LE(bw, 3 * rows);  // natural row-major numbering would give ~cols
+}
+
+TEST(Ordering, FillReductionOnGrid) {
+  // Both RCM and min-degree must beat natural ordering on a 2D grid.
+  const auto g = testing::grid_laplacian(20, 20);
+  const auto nnz_of = [&](Ordering o) {
+    SparseLuOptions opt;
+    opt.ordering = o;
+    const SparseLU lu(g, opt);
+    return lu.nnz_l() + lu.nnz_u();
+  };
+  const auto natural = nnz_of(Ordering::kNatural);
+  const auto rcm = nnz_of(Ordering::kRcm);
+  const auto md = nnz_of(Ordering::kMinDegree);
+  EXPECT_LT(rcm, natural);
+  EXPECT_LT(md, natural);
+}
+
+class OrderingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Ordering>> {};
+
+TEST_P(OrderingPropertyTest, AlwaysReturnsValidPermutation) {
+  const auto [seed, method] = GetParam();
+  testing::Rng rng(seed);
+  const index_t n = static_cast<index_t>(4 + rng.index(60));
+  const auto a = testing::random_sparse_spd_like(n, 0.15, rng);
+  const auto p = compute_ordering(a, method);
+  EXPECT_EQ(p.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(is_permutation(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMethods, OrderingPropertyTest,
+    ::testing::Combine(::testing::Range<std::size_t>(1, 11),
+                       ::testing::Values(Ordering::kNatural, Ordering::kRcm,
+                                         Ordering::kMinDegree)));
+
+}  // namespace
+}  // namespace matex::la

@@ -1,0 +1,219 @@
+#include "la/sparse_csc.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "la/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace matex::la {
+namespace {
+
+TEST(TripletMatrix, SumsDuplicateEntries) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.5);
+  t.add(1, 1, -1.0);
+  const auto a = t.to_csc();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+}
+
+TEST(TripletMatrix, OutOfRangeThrows) {
+  TripletMatrix t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(t.add(0, -1, 1.0), InvalidArgument);
+}
+
+TEST(TripletMatrix, EmptyMatrixCompresses) {
+  TripletMatrix t(3, 3);
+  const auto a = t.to_csc();
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_EQ(a.rows(), 3);
+  std::vector<double> x{1, 2, 3}, y(3, 7.0);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+TEST(CscMatrix, RowIndicesSortedWithinColumns) {
+  TripletMatrix t(4, 2);
+  t.add(3, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(2, 1, 3.0);
+  t.add(1, 1, 4.0);
+  const auto a = t.to_csc();
+  a.validate();
+  EXPECT_EQ(a.row_idx()[0], 0);
+  EXPECT_EQ(a.row_idx()[1], 3);
+  EXPECT_EQ(a.row_idx()[2], 1);
+  EXPECT_EQ(a.row_idx()[3], 2);
+}
+
+TEST(CscMatrix, MalformedColPtrThrows) {
+  EXPECT_THROW(CscMatrix(2, 2, {0, 2}, {0, 1}, {1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(CscMatrix(2, 2, {0, 1, 1}, {5}, {1.0}), InvalidArgument);
+  // Duplicate row index within a column is rejected.
+  EXPECT_THROW(CscMatrix(2, 1, {0, 2}, {1, 1}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(CscMatrix, IdentityMultiplyIsNoop) {
+  const auto eye = CscMatrix::identity(5);
+  testing::Rng rng(1);
+  const auto x = testing::random_vector(5, rng);
+  std::vector<double> y(5);
+  eye.multiply(x, y);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(CscMatrix, MultiplyMatchesDense) {
+  testing::Rng rng(2);
+  const auto a = testing::random_sparse_spd_like(20, 0.2, rng);
+  const auto dense = a.to_dense_column_major();
+  const auto x = testing::random_vector(20, rng);
+  std::vector<double> y(20), yref(20, 0.0);
+  a.multiply(x, y);
+  for (index_t j = 0; j < 20; ++j)
+    for (index_t i = 0; i < 20; ++i)
+      yref[static_cast<std::size_t>(i)] +=
+          dense[static_cast<std::size_t>(j) * 20 +
+                static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(j)];
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(y[i], yref[i], 1e-12);
+}
+
+TEST(CscMatrix, MultiplyAddAccumulates) {
+  const auto eye = CscMatrix::identity(3);
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 10.0, 10.0};
+  eye.multiply_add(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 16.0);
+}
+
+TEST(CscMatrix, TransposeRoundTrip) {
+  testing::Rng rng(3);
+  const auto a = testing::random_sparse_spd_like(15, 0.3, rng);
+  const auto att = a.transposed().transposed();
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, att), 0.0);
+}
+
+TEST(CscMatrix, TransposeMultiplyConsistent) {
+  testing::Rng rng(4);
+  const auto a = testing::random_sparse_spd_like(12, 0.4, rng);
+  const auto x = testing::random_vector(12, rng);
+  std::vector<double> y1(12), y2(12);
+  a.multiply_transpose(x, y1);
+  a.transposed().multiply(x, y2);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(CscMatrix, DiagonalExtraction) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 5.0);
+  t.add(2, 2, -1.0);
+  t.add(0, 1, 9.0);
+  const auto d = t.to_csc().diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -1.0);
+}
+
+TEST(CscMatrix, Norm1AndNormMax) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 3.0);
+  t.add(1, 0, -4.0);
+  t.add(0, 1, 1.0);
+  const auto a = t.to_csc();
+  EXPECT_DOUBLE_EQ(a.norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(a.norm_max(), 4.0);
+}
+
+TEST(CscMatrix, AddScaledFormsLinearCombination) {
+  const auto eye = CscMatrix::identity(3);
+  const auto g = testing::grid_laplacian(1, 3);
+  const auto s = add_scaled(2.0, eye, -1.0, g);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(s.at(i, j), 2.0 * (i == j ? 1.0 : 0.0) - g.at(i, j), 1e-15);
+}
+
+TEST(CscMatrix, AddScaledShapeMismatchThrows) {
+  EXPECT_THROW(
+      add_scaled(1.0, CscMatrix::identity(2), 1.0, CscMatrix::identity(3)),
+      InvalidArgument);
+}
+
+TEST(CscMatrix, PermutedReordersEntries) {
+  // 2x2: A = [[1,2],[3,4]]; swap both rows and columns.
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 0, 3.0);
+  t.add(1, 1, 4.0);
+  const auto a = t.to_csc();
+  const std::vector<index_t> pinv{1, 0};
+  const std::vector<index_t> q{1, 0};
+  const auto b = a.permuted(pinv, q);
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(b.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(b.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(b.at(1, 1), 1.0);
+}
+
+TEST(CscMatrix, GridLaplacianPatternIsSymmetric) {
+  const auto g = testing::grid_laplacian(4, 5);
+  EXPECT_TRUE(g.has_symmetric_pattern());
+  const auto adj = g.symmetric_adjacency();
+  // Interior node has 4 neighbors; corner has 2.
+  EXPECT_EQ(adj[0].size(), 2u);
+  EXPECT_EQ(adj[6].size(), 4u);  // node (1,1) in a 4x5 grid
+}
+
+class SpmvPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpmvPropertyTest, LinearityOfMultiply) {
+  testing::Rng rng(GetParam());
+  const index_t n = static_cast<index_t>(5 + rng.index(40));
+  const auto a = testing::random_sparse_spd_like(n, 0.2, rng);
+  const auto x = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const auto y = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const double c = rng.uniform(-2.0, 2.0);
+  std::vector<double> xy(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    xy[static_cast<std::size_t>(i)] = c * x[static_cast<std::size_t>(i)] +
+                                      y[static_cast<std::size_t>(i)];
+  std::vector<double> lhs(static_cast<std::size_t>(n)),
+      ax(static_cast<std::size_t>(n)), ay(static_cast<std::size_t>(n));
+  a.multiply(xy, lhs);
+  a.multiply(x, ax);
+  a.multiply(y, ay);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(lhs[static_cast<std::size_t>(i)],
+                c * ax[static_cast<std::size_t>(i)] +
+                    ay[static_cast<std::size_t>(i)],
+                1e-11);
+}
+
+TEST_P(SpmvPropertyTest, TransposeDotIdentity) {
+  // y' (A x) == (A' y)' x
+  testing::Rng rng(GetParam() + 333);
+  const index_t n = static_cast<index_t>(5 + rng.index(30));
+  const auto a = testing::random_sparse_spd_like(n, 0.25, rng);
+  const auto x = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const auto y = testing::random_vector(static_cast<std::size_t>(n), rng);
+  std::vector<double> ax(static_cast<std::size_t>(n)),
+      aty(static_cast<std::size_t>(n));
+  a.multiply(x, ax);
+  a.multiply_transpose(y, aty);
+  EXPECT_NEAR(dot(y, ax), dot(aty, x), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpmvPropertyTest,
+                         ::testing::Range<std::size_t>(1, 16));
+
+}  // namespace
+}  // namespace matex::la

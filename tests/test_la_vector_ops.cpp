@@ -1,0 +1,128 @@
+#include "la/vector_ops.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "test_util.hpp"
+
+namespace matex::la {
+namespace {
+
+TEST(VectorOps, AxpyAccumulates) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 20.0, 30.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(VectorOps, AxpySizeMismatchThrows) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{1.0};
+  EXPECT_THROW(axpy(1.0, x, y), InvalidArgument);
+}
+
+TEST(VectorOps, ScaleMultipliesEveryEntry) {
+  std::vector<double> x{1.0, -2.0, 0.5};
+  scale(-4.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -4.0);
+  EXPECT_DOUBLE_EQ(x[1], 8.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(VectorOps, DotMatchesHandComputation) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOps, Norm2OfUnitVectors) {
+  std::vector<double> e{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(norm2(e), 1.0);
+  std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+}
+
+TEST(VectorOps, Norm2HandlesHugeEntriesWithoutOverflow) {
+  std::vector<double> v{1e200, 1e200};
+  EXPECT_NEAR(norm2(v) / (std::sqrt(2.0) * 1e200), 1.0, 1e-14);
+}
+
+TEST(VectorOps, Norm2OfZeroVectorIsZero) {
+  std::vector<double> v{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 0.0);
+}
+
+TEST(VectorOps, NormInfPicksLargestMagnitude) {
+  std::vector<double> v{1.0, -7.5, 3.0};
+  EXPECT_DOUBLE_EQ(norm_inf(v), 7.5);
+}
+
+TEST(VectorOps, Norm1SumsMagnitudes) {
+  std::vector<double> v{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(norm1(v), 6.0);
+}
+
+TEST(VectorOps, CopyAndSetZero) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{0.0, 0.0};
+  copy(x, y);
+  EXPECT_EQ(y, x);
+  set_zero(y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 2.5, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 1.0);
+}
+
+TEST(VectorOps, LinspaceEndpointsExact) {
+  const auto v = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_NEAR(v[5], 0.5, 1e-15);
+}
+
+TEST(VectorOps, LinspaceRejectsSinglePoint) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), InvalidArgument);
+}
+
+class NormPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NormPropertyTest, TriangleInequalityAndScaling) {
+  testing::Rng rng(GetParam());
+  const std::size_t n = 1 + rng.index(100);
+  auto x = testing::random_vector(n, rng);
+  auto y = testing::random_vector(n, rng);
+  std::vector<double> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = x[i] + y[i];
+  EXPECT_LE(norm2(sum), norm2(x) + norm2(y) + 1e-12);
+  EXPECT_LE(norm_inf(sum), norm_inf(x) + norm_inf(y) + 1e-12);
+
+  const double a = rng.uniform(-3.0, 3.0);
+  std::vector<double> ax = x;
+  scale(a, ax);
+  EXPECT_NEAR(norm2(ax), std::abs(a) * norm2(x), 1e-10 * (1.0 + norm2(x)));
+}
+
+TEST_P(NormPropertyTest, CauchySchwarz) {
+  testing::Rng rng(GetParam() * 7919 + 1);
+  const std::size_t n = 1 + rng.index(64);
+  auto x = testing::random_vector(n, rng);
+  auto y = testing::random_vector(n, rng);
+  EXPECT_LE(std::abs(dot(x, y)), norm2(x) * norm2(y) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormPropertyTest,
+                         ::testing::Range<std::size_t>(1, 21));
+
+}  // namespace
+}  // namespace matex::la

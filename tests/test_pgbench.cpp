@@ -1,0 +1,328 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mna.hpp"
+#include "circuit/spice.hpp"
+#include "core/decomposition.hpp"
+#include "core/input_view.hpp"
+#include "core/scheduler.hpp"
+#include "la/error.hpp"
+#include "pgbench/pg_generator.hpp"
+#include "pgbench/rc_mesh.hpp"
+#include "pgbench/stiffness.hpp"
+#include "solver/dc.hpp"
+#include "solver/fixed_step.hpp"
+#include "solver/observer.hpp"
+#include "test_util.hpp"
+
+namespace matex::pgbench {
+namespace {
+
+using circuit::MnaSystem;
+using circuit::Netlist;
+
+TEST(PowerGrid, GeneratesExpectedStructure) {
+  PowerGridSpec spec;
+  spec.rows = 8;
+  spec.cols = 8;
+  spec.layers = 2;
+  spec.source_count = 10;
+  spec.bump_shape_count = 3;
+  spec.pads_per_side = 1;
+  const Netlist n = generate_power_grid(spec);
+  // 8x8 bottom layer + 4x4 top layer nodes, plus 4 pad nodes.
+  EXPECT_EQ(n.node_count(), 64 + 16 + 4);
+  EXPECT_EQ(n.capacitors().size(), 64u + 16u);
+  EXPECT_EQ(n.current_sources().size(), 10u);
+  EXPECT_EQ(n.voltage_sources().size(), 4u);
+  EXPECT_TRUE(n.inductors().empty());
+}
+
+TEST(PowerGrid, PadInductanceAddsBranches) {
+  PowerGridSpec spec;
+  spec.rows = 4;
+  spec.cols = 4;
+  spec.layers = 1;
+  spec.pads_per_side = 1;
+  spec.pad_inductance = 1e-10;
+  spec.source_count = 2;
+  const Netlist n = generate_power_grid(spec);
+  EXPECT_EQ(n.inductors().size(), 4u);
+  const MnaSystem mna(n);
+  EXPECT_EQ(mna.branch_unknowns(), 4);
+  // The grid is still DC-solvable through the package.
+  const auto dc = solver::dc_operating_point(mna);
+  EXPECT_NEAR(mna.node_voltage(dc.x, n.find_node("matexpg_n0_0_0"), 0.0),
+              spec.vdd, 1e-9);
+}
+
+TEST(PowerGrid, DeterministicForSeed) {
+  PowerGridSpec spec;
+  spec.rows = 6;
+  spec.cols = 6;
+  spec.source_count = 8;
+  const Netlist a = generate_power_grid(spec);
+  const Netlist b = generate_power_grid(spec);
+  std::ostringstream sa, sb;
+  circuit::write_spice(a, sa);
+  circuit::write_spice(b, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+
+  spec.seed = 99;
+  const Netlist c = generate_power_grid(spec);
+  std::ostringstream sc;
+  circuit::write_spice(c, sc);
+  EXPECT_NE(sa.str(), sc.str());
+}
+
+TEST(PowerGrid, DcSagsBelowVddUnderLoad) {
+  PowerGridSpec spec;
+  spec.rows = 10;
+  spec.cols = 10;
+  spec.source_count = 20;
+  const Netlist n = generate_power_grid(spec);
+  const MnaSystem mna(n);
+  const auto dc = solver::dc_operating_point(mna);
+  // All node voltages <= vdd (pulse baselines are zero, so DC has no
+  // load current, every node sits essentially at vdd).
+  double vmin = 1e9, vmax = -1e9;
+  for (la::index_t i = 0; i < mna.node_unknowns(); ++i) {
+    vmin = std::min(vmin, dc.x[static_cast<std::size_t>(i)]);
+    vmax = std::max(vmax, dc.x[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_NEAR(vmin, spec.vdd, 1e-6);
+  EXPECT_NEAR(vmax, spec.vdd, 1e-6);
+}
+
+TEST(PowerGrid, BumpShapeCountBoundsGroupCount) {
+  PowerGridSpec spec;
+  spec.rows = 8;
+  spec.cols = 8;
+  spec.source_count = 40;
+  spec.bump_shape_count = 5;
+  const Netlist n = generate_power_grid(spec);
+  const MnaSystem mna(n);
+  core::DecompositionOptions dopt;
+  dopt.t_end = spec.t_window;
+  const auto d = core::decompose_sources(mna, dopt);
+  EXPECT_LE(d.groups.size(), 5u);
+  EXPECT_GE(d.groups.size(), 2u);
+  std::size_t member_total = 0;
+  for (const auto& g : d.groups) member_total += g.members.size();
+  EXPECT_EQ(member_total, 40u);
+}
+
+TEST(PowerGrid, SpiceRoundTripPreservesStructure) {
+  PowerGridSpec spec;
+  spec.rows = 5;
+  spec.cols = 5;
+  spec.source_count = 6;
+  const Netlist n = generate_power_grid(spec);
+  std::ostringstream out;
+  circuit::write_spice(n, out, "pg roundtrip");
+  const auto deck = circuit::read_spice_string(out.str());
+  EXPECT_EQ(deck.netlist.element_count(), n.element_count());
+  const MnaSystem m1(n), m2(deck.netlist);
+  EXPECT_EQ(m1.dimension(), m2.dimension());
+  EXPECT_NEAR(la::max_abs_diff(m1.g(), m2.g()), 0.0, 1e-12);
+}
+
+TEST(PowerGrid, InvalidSpecsThrow) {
+  PowerGridSpec spec;
+  spec.rows = 1;
+  EXPECT_THROW(generate_power_grid(spec), InvalidArgument);
+  spec = PowerGridSpec{};
+  spec.layers = 0;
+  EXPECT_THROW(generate_power_grid(spec), InvalidArgument);
+  spec = PowerGridSpec{};
+  spec.load_current_min = -1.0;
+  EXPECT_THROW(generate_power_grid(spec), InvalidArgument);
+}
+
+TEST(PowerGrid, TableSpecsGrowAndScale) {
+  double last_nodes = 0;
+  for (int i = 1; i <= 6; ++i) {
+    const auto spec = table_benchmark_spec(i);
+    const double nodes = static_cast<double>(spec.rows) * spec.cols;
+    if (i != 4) {
+      EXPECT_GT(nodes, last_nodes) << "design " << i;
+    }
+    last_nodes = nodes;
+  }
+  const auto small = table_benchmark_spec(2, 0.25);
+  const auto full = table_benchmark_spec(2, 1.0);
+  EXPECT_LT(small.rows, full.rows);
+  EXPECT_THROW(table_benchmark_spec(0), InvalidArgument);
+  EXPECT_THROW(table_benchmark_spec(7), InvalidArgument);
+  EXPECT_THROW(table_benchmark_spec(1, 0.0), InvalidArgument);
+}
+
+TEST(StiffMesh, StructureAndDeterminism) {
+  StiffRcSpec spec;
+  spec.rows = 6;
+  spec.cols = 6;
+  const Netlist a = generate_stiff_rc_mesh(spec);
+  EXPECT_EQ(a.node_count(), 36);
+  EXPECT_EQ(a.capacitors().size(), 36u);
+  EXPECT_EQ(a.current_sources().size(), 1u);
+  const Netlist b = generate_stiff_rc_mesh(spec);
+  std::ostringstream sa, sb;
+  circuit::write_spice(a, sa);
+  circuit::write_spice(b, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(StiffMesh, InvalidSpecThrows) {
+  StiffRcSpec spec;
+  spec.rows = 1;
+  EXPECT_THROW(generate_stiff_rc_mesh(spec), InvalidArgument);
+  spec = StiffRcSpec{};
+  spec.cap_max = 0.0;
+  EXPECT_THROW(generate_stiff_rc_mesh(spec), InvalidArgument);
+}
+
+TEST(Stiffness, DiagonalSystemExact) {
+  // C = I, G = diag(1, 10, 100): lambda = -1, -10, -100.
+  la::TripletMatrix tc(3, 3), tg(3, 3);
+  for (la::index_t i = 0; i < 3; ++i) {
+    tc.add(i, i, 1.0);
+    tg.add(i, i, std::pow(10.0, i));
+  }
+  const auto c = tc.to_csc();
+  const auto g = tg.to_csc();
+  const auto est = estimate_stiffness(c, g);
+  EXPECT_TRUE(est.converged);
+  EXPECT_NEAR(est.lambda_max_mag, 100.0, 1.0);
+  EXPECT_NEAR(est.lambda_min_mag, 1.0, 0.01);
+  EXPECT_NEAR(est.stiffness, 100.0, 2.0);
+}
+
+TEST(Stiffness, GrowsWithCapacitanceSpread) {
+  StiffRcSpec mild;
+  mild.rows = mild.cols = 5;
+  mild.cap_decades = 1.0;
+  StiffRcSpec harsh = mild;
+  harsh.cap_decades = 6.0;
+
+  const Netlist nm = generate_stiff_rc_mesh(mild);
+  const Netlist nh = generate_stiff_rc_mesh(harsh);
+  const MnaSystem mm(nm), mh(nh);
+  const auto em = estimate_stiffness(mm.c(), mm.g());
+  const auto eh = estimate_stiffness(mh.c(), mh.g());
+  EXPECT_GT(em.stiffness, 1.0);
+  EXPECT_GT(eh.stiffness, 1e3 * em.stiffness);
+}
+
+TEST(Integration, InductivePadGridMatexVsTr) {
+  // The Table 2/3 analog grids carry package inductance: oscillatory
+  // (complex-eigenvalue) supply modes plus singular C rows from the
+  // branch currents -- the hardest configuration for the Krylov solvers.
+  auto spec = table_benchmark_spec(1, 0.15);
+  const Netlist n = generate_power_grid(spec);
+  const MnaSystem mna(n);
+  ASSERT_GT(mna.branch_unknowns(), 0);  // inductors present
+  const auto dc = solver::dc_operating_point(mna);
+
+  const double t_end = spec.t_window;
+  const double h = 1e-11;
+  solver::FixedStepOptions tr_opt;
+  tr_opt.t_end = t_end;
+  tr_opt.h = 1e-12;  // fine reference
+  solver::StateRecorder ref;
+  run_fixed_step(mna, dc.x, solver::StepMethod::kTrapezoidal, tr_opt,
+                 ref.observer());
+
+  core::SchedulerOptions opt;
+  opt.t_end = t_end;
+  opt.solver.kind = krylov::KrylovKind::kRational;
+  opt.solver.gamma = 1e-10;
+  opt.solver.tolerance = 1e-8;
+  opt.solver.max_dim = 150;
+  opt.output_times = solver::uniform_grid(0.0, t_end, h);
+  solver::StateRecorder mx;
+  run_distributed_matex(mna, opt, mx.observer());
+
+  solver::ErrorStats err;
+  for (std::size_t i = 0; i < mx.sample_count(); ++i)
+    err.accumulate(mx.state(i), ref.state(i * 10));
+  EXPECT_LT(err.max_abs, 1e-4);
+  EXPECT_LT(err.mean_abs(), 1e-5);
+}
+
+TEST(Integration, InductivePadGridInvertedKindToo) {
+  auto spec = table_benchmark_spec(1, 0.1);
+  const Netlist n = generate_power_grid(spec);
+  const MnaSystem mna(n);
+  const auto dc = solver::dc_operating_point(mna);
+  const double t_end = spec.t_window;
+
+  solver::FixedStepOptions tr_opt;
+  tr_opt.t_end = t_end;
+  tr_opt.h = 1e-12;
+  solver::StateRecorder ref;
+  run_fixed_step(mna, dc.x, solver::StepMethod::kTrapezoidal, tr_opt,
+                 ref.observer());
+
+  core::MatexOptions opt;
+  opt.kind = krylov::KrylovKind::kInverted;
+  opt.tolerance = 1e-8;
+  opt.max_dim = 200;
+  core::MatexCircuitSolver matex(mna, opt, dc.g_factors);
+  const core::FullInput input(mna);
+  const auto grid = solver::uniform_grid(0.0, t_end, 1e-10);
+  solver::StateRecorder rec;
+  matex.run(dc.x, 0.0, t_end, input, grid, rec.observer());
+
+  solver::ErrorStats err;
+  for (std::size_t i = 0; i < rec.sample_count(); ++i)
+    err.accumulate(rec.state(i), ref.state(i * 100));
+  EXPECT_LT(err.max_abs, 1e-4);
+}
+
+TEST(Integration, GeneratedGridTransientMatexVsTr) {
+  // End-to-end: synthetic PDN, distributed R-MATEX vs fixed-step TR.
+  PowerGridSpec spec;
+  spec.rows = 10;
+  spec.cols = 10;
+  spec.layers = 2;
+  spec.source_count = 24;
+  spec.bump_shape_count = 4;
+  const Netlist n = generate_power_grid(spec);
+  const MnaSystem mna(n);
+  const auto dc = solver::dc_operating_point(mna);
+
+  const double t_end = spec.t_window;
+  const double h = 1e-11;  // 10 ps, the Table 3 grid
+  solver::FixedStepOptions tr_opt;
+  tr_opt.t_end = t_end;
+  tr_opt.h = h;
+  solver::StateRecorder tr;
+  run_fixed_step(mna, dc.x, solver::StepMethod::kTrapezoidal, tr_opt,
+                 tr.observer());
+
+  core::SchedulerOptions opt;
+  opt.t_end = t_end;
+  opt.solver.kind = krylov::KrylovKind::kRational;
+  opt.solver.gamma = 1e-10;
+  opt.solver.tolerance = 1e-7;
+  opt.solver.max_dim = 60;
+  opt.output_times = solver::uniform_grid(0.0, t_end, h);
+  solver::StateRecorder mx;
+  const auto result = run_distributed_matex(mna, opt, mx.observer());
+
+  EXPECT_LE(result.group_count, 4u);
+  ASSERT_EQ(mx.sample_count(), tr.sample_count());
+  solver::ErrorStats err;
+  for (std::size_t i = 0; i < mx.sample_count(); ++i)
+    err.accumulate(mx.state(i), tr.state(i));
+  // TR at h=10ps carries its own discretization error; agreement at the
+  // 1e-4-volt level matches the Table 3 error column.
+  EXPECT_LT(err.max_abs, 5e-4);
+  EXPECT_LT(err.mean_abs(), 5e-5);
+}
+
+}  // namespace
+}  // namespace matex::pgbench

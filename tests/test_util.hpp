@@ -1,0 +1,109 @@
+/// \file test_util.hpp
+/// \brief Shared helpers for the MATEX test suite: a deterministic RNG and
+///        generators for random dense/sparse systems.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+#include "la/sparse_csc.hpp"
+
+namespace matex::testing {
+
+/// Small deterministic PRNG (xorshift64*) so tests are reproducible across
+/// platforms without pulling in <random> distribution differences.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : state_(seed ? seed : 1) {}
+
+  std::uint64_t next_u64() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 2685821657736338717ull;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(next_u64() % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Random dense matrix with entries in [-1, 1).
+inline la::DenseMatrix random_dense(std::size_t n, Rng& rng) {
+  la::DenseMatrix m(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+/// Random vector with entries in [-1, 1).
+inline std::vector<double> random_vector(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Random sparse, structurally symmetric, strictly diagonally dominant
+/// matrix: always nonsingular, so LU tests never hit legitimate failures.
+inline la::CscMatrix random_sparse_spd_like(la::index_t n, double density,
+                                            Rng& rng) {
+  la::TripletMatrix t(n, n);
+  std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
+  for (la::index_t i = 0; i < n; ++i)
+    for (la::index_t j = i + 1; j < n; ++j)
+      if (rng.uniform() < density) {
+        const double v = rng.uniform(-1.0, 1.0);
+        t.add(i, j, v);
+        t.add(j, i, v);
+        rowsum[static_cast<std::size_t>(i)] += std::abs(v);
+        rowsum[static_cast<std::size_t>(j)] += std::abs(v);
+      }
+  for (la::index_t i = 0; i < n; ++i)
+    t.add(i, i, rowsum[static_cast<std::size_t>(i)] + 1.0);
+  return t.to_csc();
+}
+
+/// 2D grid Laplacian plus a small diagonal shift (the canonical power-grid
+/// conductance pattern).
+inline la::CscMatrix grid_laplacian(la::index_t rows, la::index_t cols,
+                                    double leak = 1e-3) {
+  la::TripletMatrix t(rows * cols, rows * cols);
+  const auto id = [cols](la::index_t r, la::index_t c) {
+    return r * cols + c;
+  };
+  for (la::index_t r = 0; r < rows; ++r)
+    for (la::index_t c = 0; c < cols; ++c) {
+      const la::index_t u = id(r, c);
+      t.add(u, u, leak);
+      if (c + 1 < cols) {
+        const la::index_t v = id(r, c + 1);
+        t.add(u, u, 1.0);
+        t.add(v, v, 1.0);
+        t.add(u, v, -1.0);
+        t.add(v, u, -1.0);
+      }
+      if (r + 1 < rows) {
+        const la::index_t v = id(r + 1, c);
+        t.add(u, u, 1.0);
+        t.add(v, v, 1.0);
+        t.add(u, v, -1.0);
+        t.add(v, u, -1.0);
+      }
+    }
+  return t.to_csc();
+}
+
+}  // namespace matex::testing

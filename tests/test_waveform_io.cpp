@@ -1,0 +1,109 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "solver/observer.hpp"
+#include "solver/waveform_io.hpp"
+
+namespace matex::solver {
+namespace {
+
+WaveformTable sample_table() {
+  WaveformTable t;
+  t.names = {"n1", "n2"};
+  t.times = {0.0, 1e-11, 2e-11};
+  t.columns = {{1.0, 0.9, 0.95}, {1.8, 1.75, 1.77}};
+  return t;
+}
+
+TEST(WaveformIo, RoundTripPreservesData) {
+  const auto t = sample_table();
+  std::ostringstream out;
+  write_waveform_table(t, out);
+  std::istringstream in(out.str());
+  const auto back = read_waveform_table(in);
+  ASSERT_EQ(back.names, t.names);
+  ASSERT_EQ(back.times.size(), t.times.size());
+  for (std::size_t i = 0; i < t.times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.times[i], t.times[i]);
+    EXPECT_DOUBLE_EQ(back.columns[0][i], t.columns[0][i]);
+    EXPECT_DOUBLE_EQ(back.columns[1][i], t.columns[1][i]);
+  }
+}
+
+TEST(WaveformIo, FromRecorder) {
+  ProbeRecorder rec({0, 2});
+  std::vector<double> x{1.0, 2.0, 3.0};
+  rec(0.0, x);
+  x[2] = 5.0;
+  rec(1.0, x);
+  const auto t = WaveformTable::from_recorder(rec, {"a", "c"});
+  EXPECT_EQ(t.names[1], "c");
+  EXPECT_DOUBLE_EQ(t.columns[1][1], 5.0);
+  EXPECT_THROW(WaveformTable::from_recorder(rec, {"only-one"}),
+               InvalidArgument);
+}
+
+TEST(WaveformIo, CompareIdenticalIsZero) {
+  const auto t = sample_table();
+  const auto stats = compare_waveform_tables(t, t);
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.0);
+  EXPECT_EQ(stats.count, 6u);
+}
+
+TEST(WaveformIo, ComparePicksSharedColumnsByName) {
+  const auto a = sample_table();
+  WaveformTable b = sample_table();
+  b.names = {"n2", "n1"};  // swapped order: matching is by name
+  std::swap(b.columns[0], b.columns[1]);
+  const auto stats = compare_waveform_tables(a, b);
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.0);
+
+  WaveformTable c = sample_table();
+  c.names = {"x", "y"};
+  EXPECT_THROW(compare_waveform_tables(a, c), InvalidArgument);
+}
+
+TEST(WaveformIo, CompareDetectsDifferences) {
+  const auto a = sample_table();
+  auto b = sample_table();
+  b.columns[1][2] += 0.5;
+  const auto stats = compare_waveform_tables(a, b);
+  EXPECT_NEAR(stats.max_abs, 0.5, 1e-15);
+}
+
+TEST(WaveformIo, CompareRejectsMismatchedAxes) {
+  const auto a = sample_table();
+  auto b = sample_table();
+  b.times[1] = 5e-11;
+  EXPECT_THROW(compare_waveform_tables(a, b), InvalidArgument);
+  b = sample_table();
+  b.times.pop_back();
+  for (auto& col : b.columns) col.pop_back();
+  EXPECT_THROW(compare_waveform_tables(a, b), InvalidArgument);
+}
+
+TEST(WaveformIo, MalformedTablesThrow) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_waveform_table(empty), ParseError);
+  std::istringstream bad_header("wrong n1\n0 1\n");
+  EXPECT_THROW(read_waveform_table(bad_header), ParseError);
+  std::istringstream no_cols("time\n");
+  EXPECT_THROW(read_waveform_table(no_cols), ParseError);
+  std::istringstream short_row("time a b\n0.0 1.0\n");
+  EXPECT_THROW(read_waveform_table(short_row), ParseError);
+}
+
+TEST(WaveformIo, FileRoundTrip) {
+  const auto t = sample_table();
+  const std::string path = "wfio_test.tmp";
+  write_waveform_table_file(t, path);
+  const auto back = read_waveform_table_file(path);
+  EXPECT_EQ(back.names, t.names);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_waveform_table_file("does_not_exist.tmp"), ParseError);
+}
+
+}  // namespace
+}  // namespace matex::solver
