@@ -4,12 +4,25 @@
 /// Usage:
 ///   matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|dist]
 ///             [--tstep S] [--tstop S] [--gamma S] [--tol EPS]
-///             [--probe NODE]... [--out FILE]
+///             [--threads N] [--batch] [--probe NODE]... [--out FILE]
 ///
 /// Defaults: method=rmatex, .tran card from the deck (or 10ps/10ns),
 /// gamma=tstep*10, probes = first few nodes, out = stdout table.
 /// With no arguments a built-in demo deck is simulated.
+///
+/// --threads N runs the distributed scheduler's node subtasks (--method
+/// dist) or the batch campaign (--batch) on N worker threads
+/// (0 = hardware concurrency); other methods are single-threaded.
+///
+/// --batch runs a campaign instead of a single simulation: the deck is
+/// swept over methods {rmatex, imatex} x gamma {g, 2g} x tolerance
+/// {tol, tol/10}, all scenarios running concurrently on the shared
+/// runtime pool with the shared factorization cache. --method imatex or
+/// --method mexp narrows the sweep to that Krylov method. Per-scenario stats
+/// stream as jobs finish; --out FILE writes one waveform table per
+/// scenario to FILE.<scenario>.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -19,6 +32,7 @@
 #include "core/input_view.hpp"
 #include "core/matex_solver.hpp"
 #include "core/scheduler.hpp"
+#include "runtime/batch.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
 #include "solver/observer.hpp"
@@ -63,10 +77,13 @@ I2 g13 0 PULSE(0 3m 3n 0.2n 0.2n 0.5n 0)
 struct CliOptions {
   std::string deck_path;
   std::string method = "rmatex";
+  bool method_given = false;
   double tstep = 0.0;
   double tstop = 0.0;
   double gamma = 0.0;
   double tol = 1e-7;
+  int threads = -1;  ///< -1 = not given; 0 = hardware concurrency
+  bool batch = false;
   std::vector<std::string> probes;
   std::string out_path;
 };
@@ -77,6 +94,7 @@ struct CliOptions {
       "usage: matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|"
       "dist]\n"
       "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
+      "                 [--threads N] [--batch]\n"
       "                 [--probe NODE]... [--out FILE]\n");
   std::exit(2);
 }
@@ -91,6 +109,7 @@ CliOptions parse_args(int argc, char** argv) {
     };
     if (arg == "--method") {
       opt.method = next();
+      opt.method_given = true;
     } else if (arg == "--tstep") {
       opt.tstep = circuit::parse_spice_value(next());
     } else if (arg == "--tstop") {
@@ -99,6 +118,15 @@ CliOptions parse_args(int argc, char** argv) {
       opt.gamma = circuit::parse_spice_value(next());
     } else if (arg == "--tol") {
       opt.tol = circuit::parse_spice_value(next());
+    } else if (arg == "--threads") {
+      const std::string value = next();
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 4096)
+        usage_and_exit();
+      opt.threads = static_cast<int>(parsed);
+    } else if (arg == "--batch") {
+      opt.batch = true;
     } else if (arg == "--probe") {
       opt.probes.push_back(next());
     } else if (arg == "--out") {
@@ -160,6 +188,85 @@ int main(int argc, char** argv) try {
   }
 
   const auto grid = solver::uniform_grid(0.0, tstop, tstep);
+
+  if (cli.batch) {
+    // Campaign mode: sweep the deck over methods x gamma x tolerance on
+    // the shared pool + factorization cache, streaming per-job stats.
+    runtime::BatchOptions bopt;
+    bopt.threads = cli.threads < 0 ? 0 : cli.threads;
+    runtime::BatchEngine engine(bopt);
+    const std::string label =
+        cli.deck_path.empty() ? std::string("demo") : cli.deck_path;
+    engine.add_deck(label, deck.netlist);
+
+    runtime::CampaignSweep sweep;
+    // Default sweep covers both regular MATEX methods; an explicit
+    // --method narrows the campaign to that Krylov kind.
+    if (!cli.method_given) {
+      sweep.methods = {krylov::KrylovKind::kRational,
+                       krylov::KrylovKind::kInverted};
+    } else if (cli.method == "rmatex") {
+      sweep.methods = {krylov::KrylovKind::kRational};
+    } else if (cli.method == "imatex") {
+      sweep.methods = {krylov::KrylovKind::kInverted};
+    } else if (cli.method == "mexp") {
+      sweep.methods = {krylov::KrylovKind::kStandard};
+      sweep.base.solver.c_regularization = 1e-18;
+      sweep.base.solver.max_dim = 300;
+    } else {
+      std::fprintf(stderr,
+                   "matex_cli: --batch sweeps Krylov methods only "
+                   "(rmatex|imatex|mexp), got --method %s\n",
+                   cli.method.c_str());
+      return 2;
+    }
+    sweep.gammas = {gamma, 2.0 * gamma};
+    sweep.tolerances = {cli.tol, cli.tol / 10.0};
+    sweep.base.t_end = tstop;
+    sweep.base.output_times = grid;
+    sweep.probes = probe_idx;
+    const auto scenarios = engine.expand(sweep);
+
+    std::fprintf(stderr, "batch: %zu scenarios on %d threads\n",
+                 scenarios.size(), engine.pool().size());
+    std::fprintf(stderr, "%-40s %6s %8s %8s %9s  %s\n", "scenario", "grp",
+                 "steps", "solves", "wall(s)", "status");
+    const auto report = engine.run(
+        scenarios, [&](const runtime::ScenarioResult& r) {
+          std::fprintf(stderr, "%-40s %6zu %8lld %8lld %9.4f  %s\n",
+                       r.name.c_str(), r.distributed.group_count,
+                       r.distributed.aggregate.steps,
+                       r.distributed.aggregate.solves, r.wall_seconds,
+                       r.ok ? "ok" : r.error.c_str());
+        });
+    std::fprintf(stderr,
+                 "batch done in %.4f s: %zu scenarios, %d failed, "
+                 "factor cache %lld hits / %lld misses (%.0f%% hit rate)\n",
+                 report.wall_seconds, report.results.size(),
+                 report.failures, report.cache.hits, report.cache.misses,
+                 100.0 * report.cache_hit_rate());
+
+    if (!cli.out_path.empty()) {
+      for (const auto& r : report.results) {
+        if (!r.ok) continue;
+        std::string suffix = r.name;
+        for (char& ch : suffix)
+          if (ch == '/' || ch == ' ') ch = '_';
+        solver::WaveformTable table;
+        table.times = r.times;
+        table.names = probe_names;
+        table.columns = r.probe_waveforms;
+        solver::write_waveform_table_file(table,
+                                          cli.out_path + "." + suffix);
+      }
+      std::fprintf(stderr, "wrote %zu waveform tables under %s.*\n",
+                   report.results.size() -
+                       static_cast<std::size_t>(report.failures),
+                   cli.out_path.c_str());
+    }
+    return report.failures == 0 ? 0 : 1;
+  }
+
   const auto dc = solver::dc_operating_point(mna);
   solver::ProbeRecorder recorder(probe_idx);
   auto observer = recorder.observer();
@@ -187,10 +294,13 @@ int main(int argc, char** argv) try {
     opt.solver.gamma = gamma;
     opt.solver.tolerance = cli.tol;
     opt.output_times = grid;
+    if (cli.threads >= 0) opt.parallelism = cli.threads;
     const auto result = core::run_distributed_matex(mna, opt, observer);
     std::fprintf(stderr,
-                 "distributed: %zu nodes, max node transient %.4f s\n",
-                 result.group_count, result.max_node_transient_seconds);
+                 "distributed: %zu nodes on %d workers, "
+                 "max node transient %.4f s\n",
+                 result.group_count, result.workers_used,
+                 result.max_node_transient_seconds);
     stats = result.aggregate;
   } else {
     core::MatexOptions opt;

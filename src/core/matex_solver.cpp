@@ -5,6 +5,7 @@
 
 #include "la/error.hpp"
 #include "la/vector_ops.hpp"
+#include "runtime/factor_cache.hpp"
 
 namespace matex::core {
 namespace {
@@ -32,7 +33,8 @@ la::CscMatrix regularize_c(const la::CscMatrix& c, double delta) {
 
 MatexCircuitSolver::MatexCircuitSolver(const circuit::MnaSystem& mna,
                                        MatexOptions options,
-                                       std::shared_ptr<la::SparseLU> g_factors)
+                                       std::shared_ptr<la::SparseLU> g_factors,
+                                       runtime::FactorCache* factor_cache)
     : mna_(&mna), options_(options), g_factors_(std::move(g_factors)) {
   MATEX_CHECK(options_.tolerance > 0.0, "tolerance must be positive");
   MATEX_CHECK(options_.max_dim >= 1, "max_dim must be >= 1");
@@ -45,15 +47,40 @@ MatexCircuitSolver::MatexCircuitSolver(const circuit::MnaSystem& mna,
     c_regularized_ = regularize_c(mna.c(), options_.c_regularization);
     c_for_op = &c_regularized_;
   }
-  op_ = std::make_unique<krylov::CircuitOperator>(
-      *c_for_op, mna.g(), options_.kind, options_.gamma,
-      options_.lu_options);
-  ++setup_factorizations_;
+  // Cache lookups are O(nnz) content hashes; fingerprint each matrix
+  // once and reuse for the operator and LU(G) lookups.
+  std::uint64_t fp_g = 0;
+  if (factor_cache) {
+    fp_g = runtime::fingerprint(mna.g());
+    const std::uint64_t fp_c =
+        options_.kind == krylov::KrylovKind::kInverted
+            ? 0
+            : runtime::fingerprint(*c_for_op);
+    const auto op_entry = factor_cache->operator_factors(
+        fp_c, fp_g, *c_for_op, mna.g(), options_.kind, options_.gamma,
+        options_.lu_options);
+    op_ = std::make_unique<krylov::CircuitOperator>(
+        *c_for_op, mna.g(), options_.kind, options_.gamma, op_entry.factors);
+    op_entry.hit ? ++setup_cache_hits_ : ++setup_factorizations_;
+  } else {
+    op_ = std::make_unique<krylov::CircuitOperator>(
+        *c_for_op, mna.g(), options_.kind, options_.gamma,
+        options_.lu_options);
+    ++setup_factorizations_;
+  }
   // The particular-solution terms need LU(G). I-MATEX's operator *is*
   // backed by LU(G), so nothing extra is factorized in that case.
   if (!g_factors_ && options_.kind != krylov::KrylovKind::kInverted) {
-    g_factors_ = std::make_shared<la::SparseLU>(mna.g(), options_.lu_options);
-    ++setup_factorizations_;
+    if (factor_cache) {
+      const auto g_entry =
+          factor_cache->g_factors(fp_g, mna.g(), options_.lu_options);
+      g_factors_ = g_entry.factors;
+      g_entry.hit ? ++setup_cache_hits_ : ++setup_factorizations_;
+    } else {
+      g_factors_ =
+          std::make_shared<la::SparseLU>(mna.g(), options_.lu_options);
+      ++setup_factorizations_;
+    }
   }
   setup_seconds_ = sw.seconds();
 }

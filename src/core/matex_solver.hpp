@@ -39,6 +39,10 @@
 #include "solver/observer.hpp"
 #include "solver/stats.hpp"
 
+namespace matex::runtime {
+class FactorCache;
+}  // namespace matex::runtime
+
 namespace matex::core {
 
 /// Options for the MATEX circuit solver.
@@ -81,8 +85,15 @@ class MatexCircuitSolver {
   /// \param g_factors optional shared LU(G) (from DC analysis); when null
   ///        the solver factorizes G itself (except for I-MATEX, where the
   ///        operator factorization is LU(G) already and is reused).
+  /// \param factor_cache optional runtime factorization cache (must
+  ///        outlive the solver). When set, the operator LU and LU(G) are
+  ///        looked up by matrix content before being computed, so nodes,
+  ///        methods, and whole jobs sharing matrices factorize once;
+  ///        setup_factorizations() then counts only actual cache misses
+  ///        and setup_cache_hits() the factorizations avoided.
   MatexCircuitSolver(const circuit::MnaSystem& mna, MatexOptions options,
-                     std::shared_ptr<la::SparseLU> g_factors = nullptr);
+                     std::shared_ptr<la::SparseLU> g_factors = nullptr,
+                     runtime::FactorCache* factor_cache = nullptr);
 
   /// Runs the transient from x0 (the DC operating point for the full
   /// input; the zero vector for a superposition subtask).
@@ -98,8 +109,11 @@ class MatexCircuitSolver {
                              const solver::Observer& observer);
 
   /// Number of factorizations performed at construction (the serial cost
-  /// the paper excludes from "pure transient computing").
+  /// the paper excludes from "pure transient computing"). With a factor
+  /// cache, hits don't count -- they cost a lookup, not a factorization.
   int setup_factorizations() const { return setup_factorizations_; }
+  /// Factorizations satisfied by the cache at construction.
+  int setup_cache_hits() const { return setup_cache_hits_; }
   double setup_seconds() const { return setup_seconds_; }
 
   const krylov::CircuitOperator& krylov_operator() const { return *op_; }
@@ -111,6 +125,7 @@ class MatexCircuitSolver {
   std::unique_ptr<krylov::CircuitOperator> op_;
   std::shared_ptr<la::SparseLU> g_factors_;
   int setup_factorizations_ = 0;
+  int setup_cache_hits_ = 0;
   double setup_seconds_ = 0.0;
 };
 

@@ -1,11 +1,16 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <exception>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "la/error.hpp"
+#include "runtime/factor_cache.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace matex::core {
 
@@ -18,7 +23,8 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
               "output_times must be sorted");
   MATEX_CHECK(!options.output_times.empty(),
               "distributed run needs an output grid");
-  MATEX_CHECK(options.parallelism >= 1, "parallelism must be >= 1");
+  MATEX_CHECK(options.parallelism >= 0,
+              "parallelism must be >= 0 (0 = hardware concurrency)");
 
   DistributedResult result;
   const std::size_t n = static_cast<std::size_t>(mna.dimension());
@@ -27,8 +33,25 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
   // --- shared preprocessing: DC operating point (also the task-0 result:
   // with x(0) = DC and only the DC inputs active, the response is the DC
   // point for all t, so no simulation is needed for the baseline task).
-  auto dc = solver::dc_operating_point(mna, options.t_start,
-                                       options.solver.lu_options);
+  // With a factor cache, LU(G) is a content lookup shared with every
+  // node's particular-solution factors and with other jobs on this deck.
+  auto dc = [&] {
+    if (options.factor_cache) {
+      // The lookup (and, on a cold cache, the LU(G) factorization it
+      // triggers) is timed into dc.seconds so the paper-style "DC(s)"
+      // column stays comparable with uncached runs.
+      solver::Stopwatch g_clock;
+      const auto entry = options.factor_cache->g_factors(
+          mna.g(), options.solver.lu_options);
+      const double g_seconds = g_clock.seconds();
+      auto r = solver::dc_operating_point(mna, options.t_start,
+                                          entry.factors);
+      r.seconds += g_seconds;
+      return r;
+    }
+    return solver::dc_operating_point(mna, options.t_start,
+                                      options.solver.lu_options);
+  }();
   result.dc_seconds = dc.seconds;
 
   // --- decomposition into bump-shape groups (Fig. 3).
@@ -44,23 +67,75 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
 
   // Shared-factorization mode constructs one solver up front; the
   // paper-faithful distributed mode lets every node factorize locally
-  // (counted inside that node's wall time).
+  // (counted inside that node's wall time, unless the cache absorbs it).
   std::unique_ptr<MatexCircuitSolver> shared_solver;
-  if (options.share_factorizations)
+  if (options.share_factorizations) {
     shared_solver = std::make_unique<MatexCircuitSolver>(
-        mna, options.solver, dc.g_factors);
+        mna, options.solver, dc.g_factors, options.factor_cache);
+    result.factor_cache_hits += shared_solver->setup_cache_hits();
+  }
 
   const std::vector<double> zero_state(n, 0.0);
+
+  // --- execution resources: inline, an external shared pool, or a pool
+  // of our own. parallelism 0 asks for the hardware concurrency.
+  const std::size_t group_count = decomp.groups.size();
+  const int requested =
+      options.parallelism == 0
+          ? static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()))
+          : options.parallelism;
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(requested),
+      std::max<std::size_t>(group_count, 1)));
+
+  runtime::ThreadPool* pool = options.pool;
+  std::unique_ptr<runtime::ThreadPool> local_pool;
+  if (!pool && workers > 1) {
+    local_pool = std::make_unique<runtime::ThreadPool>(workers);
+    pool = local_pool.get();
+  }
+
+  // Node contributions are merged strictly in group-index order: a node
+  // finishing out of turn stages its buffer and whoever completes the
+  // missing predecessor drains the queue. This makes the floating-point
+  // accumulation order -- hence the output, bit for bit -- independent of
+  // the parallelism setting (the superposition order is fixed). Node
+  // tasks are submitted with submit_ordered (global FIFO starts), so a
+  // buffer can only be staged ahead of the merge frontier while the
+  // frontier's own -- earlier-started -- node is still running: live
+  // buffers are bounded by the number of executing threads, not by the
+  // group count.
   std::mutex merge_mutex;
+  std::map<std::size_t, std::vector<double>> staged;
+  std::size_t merge_next = 0;
   double superposition_seconds = 0.0;
-  std::atomic<std::size_t> next_group{0};
+  std::exception_ptr first_error;
+  std::atomic<bool> aborted{false};  // lock-free mirror of first_error
+
+  const auto drain_staged_locked = [&] {
+    while (!staged.empty() && staged.begin()->first == merge_next) {
+      solver::Stopwatch sup_clock;
+      const std::vector<double>& buffer = staged.begin()->second;
+      for (std::size_t ti = 0; ti < t_count; ++ti) {
+        double* row = accum[ti].data();
+        const double* src = buffer.data() + ti * n;
+        for (std::size_t i = 0; i < n; ++i) row[i] += src[i];
+      }
+      superposition_seconds += sup_clock.seconds();
+      staged.erase(staged.begin());
+      ++merge_next;
+    }
+  };
 
   // One emulated slave node: simulate group `gi` into a private buffer,
-  // then superpose under the merge lock (the scheduler-side write-back).
-  const auto run_node = [&](std::size_t gi,
-                            std::vector<double>& node_buffer) {
+  // then hand it to the in-order superposition (the scheduler-side
+  // write-back of Fig. 4).
+  const auto run_node = [&](std::size_t gi) {
+    if (aborted.load()) return;  // a sibling failed; don't waste the work
     const SourceGroup& group = decomp.groups[gi];
     const GroupInput input(mna, group.members, options.t_start);
+    std::vector<double> node_buffer(t_count * n);
 
     solver::Stopwatch node_clock;
     MatexCircuitSolver* node_solver = shared_solver.get();
@@ -68,7 +143,8 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
     if (!node_solver) {
       local = std::make_unique<MatexCircuitSolver>(
           mna, options.solver,
-          options.share_g_factors ? dc.g_factors : nullptr);
+          options.share_g_factors ? dc.g_factors : nullptr,
+          options.factor_cache);
       node_solver = local.get();
     }
 
@@ -90,46 +166,46 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
     report.source_count = group.members.size();
     report.lts_size =
         input.transition_spots(options.t_start, options.t_end).size();
+    report.cache_hits = local ? local->setup_cache_hits() : 0;
     report.stats = stats;
     if (!options.share_factorizations) report.stats.total_seconds = node_total;
 
     const std::lock_guard<std::mutex> lock(merge_mutex);
-    solver::Stopwatch sup_clock;
-    for (std::size_t ti = 0; ti < t_count; ++ti) {
-      double* row = accum[ti].data();
-      const double* src = node_buffer.data() + ti * n;
-      for (std::size_t i = 0; i < n; ++i) row[i] += src[i];
-    }
-    superposition_seconds += sup_clock.seconds();
     result.max_node_transient_seconds = std::max(
         result.max_node_transient_seconds, stats.transient_seconds);
     result.max_node_total_seconds =
         std::max(result.max_node_total_seconds, report.stats.total_seconds);
+    result.factor_cache_hits += report.cache_hits;
     result.aggregate.merge(report.stats);
     result.nodes[gi] = std::move(report);
+    staged.emplace(gi, std::move(node_buffer));
+    drain_staged_locked();
   };
 
-  const auto worker = [&]() {
-    std::vector<double> node_buffer(t_count * n);
-    for (;;) {
-      const std::size_t gi = next_group.fetch_add(1);
-      if (gi >= decomp.groups.size()) return;
-      run_node(gi, node_buffer);
-    }
-  };
-
-  const int workers =
-      std::min<int>(options.parallelism,
-                    static_cast<int>(std::max<std::size_t>(
-                        decomp.groups.size(), 1)));
-  if (workers <= 1) {
-    worker();
+  if (pool) {
+    result.workers_used = pool->size();
+    std::vector<std::future<void>> futures;
+    futures.reserve(group_count);
+    for (std::size_t gi = 0; gi < group_count; ++gi)
+      futures.push_back(pool->submit_ordered([&, gi] {
+        // Capture instead of throwing across the pool: every task must
+        // finish before the locals it references go out of scope.
+        try {
+          run_node(gi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          if (!first_error) first_error = std::current_exception();
+          aborted.store(true);
+        }
+      }));
+    for (auto& f : futures) pool->await(f);
+    if (first_error) std::rethrow_exception(first_error);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    result.workers_used = 1;
+    for (std::size_t gi = 0; gi < group_count; ++gi) run_node(gi);
   }
+  MATEX_CHECK(merge_next == group_count,
+              "superposition did not merge every node");
   result.superposition_seconds = superposition_seconds;
 
   if (observer)

@@ -42,6 +42,20 @@ CircuitOperator::CircuitOperator(const la::CscMatrix& c, const la::CscMatrix& g,
   }
 }
 
+CircuitOperator::CircuitOperator(const la::CscMatrix& c, const la::CscMatrix& g,
+                                 KrylovKind kind, double gamma,
+                                 std::shared_ptr<la::SparseLU> factors)
+    : c_(&c), g_(&g), kind_(kind), gamma_(gamma), lu_(std::move(factors)) {
+  MATEX_CHECK(c.rows() == c.cols() && g.rows() == g.cols() &&
+                  c.rows() == g.rows(),
+              "C and G must be square with equal dimension");
+  MATEX_CHECK(lu_ != nullptr, "adopted factorization must not be null");
+  MATEX_CHECK(lu_->order() == c.rows(),
+              "adopted factorization order does not match the system");
+  MATEX_CHECK(kind_ != KrylovKind::kRational || gamma_ > 0.0,
+              "R-MATEX requires gamma > 0");
+}
+
 void CircuitOperator::apply(std::span<const double> x,
                             std::span<double> y) const {
   MATEX_CHECK(x.size() == static_cast<std::size_t>(dimension()) &&

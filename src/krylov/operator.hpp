@@ -60,6 +60,15 @@ class CircuitOperator {
                   KrylovKind kind, double gamma = 0.0,
                   la::SparseLuOptions lu_options = {});
 
+  /// Adopts a prebuilt factorization of X1 instead of computing one --
+  /// the hook the runtime factorization cache uses to share LU(G) /
+  /// LU(C + gamma*G) across nodes, methods, and jobs. `factors` must be
+  /// the LU of exactly the matrix the (c, g, kind, gamma) combination
+  /// would factorize (the cache guarantees this by content addressing).
+  CircuitOperator(const la::CscMatrix& c, const la::CscMatrix& g,
+                  KrylovKind kind, double gamma,
+                  std::shared_ptr<la::SparseLU> factors);
+
   /// y := Op(x). Sizes must equal dimension(). Thread-safe: concurrent
   /// applies against one operator are allowed.
   void apply(std::span<const double> x, std::span<double> y) const;
@@ -81,7 +90,7 @@ class CircuitOperator {
   const la::CscMatrix* g_;
   KrylovKind kind_;
   double gamma_;
-  std::unique_ptr<la::SparseLU> lu_;
+  std::shared_ptr<la::SparseLU> lu_;
 };
 
 }  // namespace matex::krylov

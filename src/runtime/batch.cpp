@@ -1,0 +1,164 @@
+#include "runtime/batch.hpp"
+
+#include <atomic>
+#include <bit>
+
+#include "la/error.hpp"
+#include "solver/observer.hpp"
+#include "solver/stats.hpp"
+
+namespace matex::runtime {
+
+BatchEngine::BatchEngine(BatchOptions options)
+    : options_(options), cache_(options.cache_capacity) {
+  if (options_.pool) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+std::size_t BatchEngine::add_deck(std::string label,
+                                  circuit::Netlist netlist) {
+  decks_.push_back({std::move(label), std::move(netlist)});
+  return decks_.size() - 1;
+}
+
+const std::string& BatchEngine::deck_label(std::size_t index) const {
+  MATEX_CHECK(index < decks_.size(), "deck index out of range");
+  return decks_[index].label;
+}
+
+std::vector<std::string> BatchEngine::deck_labels() const {
+  std::vector<std::string> labels;
+  labels.reserve(decks_.size());
+  for (const Deck& d : decks_) labels.push_back(d.label);
+  return labels;
+}
+
+std::vector<ScenarioSpec> BatchEngine::expand(
+    const CampaignSweep& sweep) const {
+  return expand_campaign(sweep, deck_labels());
+}
+
+const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
+                                                   double vdd_scale) {
+  MATEX_CHECK(deck_index < decks_.size(), "deck index out of range");
+  const auto key = std::make_pair(deck_index,
+                                  std::bit_cast<std::uint64_t>(vdd_scale));
+  std::promise<const Variant*> promise;
+  {
+    // First requester of a variant assembles it; concurrent requesters
+    // wait on the leader's future (same discipline as the factor cache).
+    std::shared_future<const Variant*> existing;
+    {
+      const std::lock_guard<std::mutex> lock(variants_mutex_);
+      const auto it = variants_.find(key);
+      if (it != variants_.end()) {
+        existing = it->second;
+      } else {
+        variants_.emplace(key, promise.get_future().share());
+      }
+    }
+    if (existing.valid()) return *existing.get()->mna;
+  }
+  try {
+    auto variant = std::make_unique<Variant>();
+    const circuit::Netlist* source = &decks_[deck_index].netlist;
+    if (vdd_scale != 1.0) {
+      variant->scaled = std::make_unique<circuit::Netlist>(
+          scale_supplies(*source, vdd_scale));
+      source = variant->scaled.get();
+    }
+    variant->mna = std::make_unique<circuit::MnaSystem>(*source);
+    const std::lock_guard<std::mutex> lock(variants_mutex_);
+    variant_storage_.push_back(std::move(variant));
+    promise.set_value(variant_storage_.back().get());
+    return *variant_storage_.back()->mna;
+  } catch (...) {
+    auto error = std::current_exception();
+    promise.set_exception(error);
+    const std::lock_guard<std::mutex> lock(variants_mutex_);
+    variants_.erase(key);
+    std::rethrow_exception(error);
+  }
+}
+
+BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
+                             const ScenarioSink& sink) {
+  BatchReport report;
+  report.results.resize(scenarios.size());
+  const FactorCacheStats cache_before = cache_.stats();
+  const ThreadPoolStats pool_before = pool_->stats();
+  solver::Stopwatch campaign_clock;
+
+  std::mutex sink_mutex;
+  std::atomic<int> failures{0};
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(scenarios.size());
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    // submit_job: scenario jobs fan out node subtasks and block on them;
+    // only idle workers may start one, so in-flight jobs (and their
+    // accumulator memory) stay bounded by the pool size while awaiting
+    // threads still help with everyone's node tasks.
+    futures.push_back(pool_->submit_job([&, si] {
+      const ScenarioSpec& spec = scenarios[si];
+      ScenarioResult& out = report.results[si];
+      out.name = spec.name;
+      out.deck_index = spec.deck_index;
+      out.scenario_index = si;
+      solver::Stopwatch job_clock;
+      try {
+        const circuit::MnaSystem& mna =
+            variant_mna(spec.deck_index, spec.vdd_scale);
+
+        core::SchedulerOptions opts = spec.scheduler;
+        opts.factor_cache = &cache_;
+        opts.pool = options_.nodes_on_pool ? pool_ : nullptr;
+        if (!options_.nodes_on_pool) opts.parallelism = 1;
+
+        solver::ProbeRecorder recorder(spec.probes);
+        out.distributed = core::run_distributed_matex(
+            mna, opts,
+            spec.probes.empty() ? solver::Observer()
+                                : recorder.observer());
+        out.times = opts.output_times;
+        out.probe_waveforms.reserve(spec.probes.size());
+        for (std::size_t p = 0; p < spec.probes.size(); ++p)
+          out.probe_waveforms.push_back(recorder.waveform(p));
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+        failures.fetch_add(1);
+      }
+      out.wall_seconds = job_clock.seconds();
+      if (sink) {
+        const std::lock_guard<std::mutex> lock(sink_mutex);
+        sink(out);
+      }
+    }));
+  }
+  for (auto& f : futures) pool_->await(f);
+
+  report.wall_seconds = campaign_clock.seconds();
+  report.failures = failures.load();
+  const FactorCacheStats cache_after = cache_.stats();
+  report.cache.hits = cache_after.hits - cache_before.hits;
+  report.cache.misses = cache_after.misses - cache_before.misses;
+  report.cache.evictions = cache_after.evictions - cache_before.evictions;
+  report.cache.factor_seconds =
+      cache_after.factor_seconds - cache_before.factor_seconds;
+  const ThreadPoolStats pool_after = pool_->stats();
+  report.pool.tasks_executed =
+      pool_after.tasks_executed - pool_before.tasks_executed;
+  report.pool.tasks_stolen = pool_after.tasks_stolen - pool_before.tasks_stolen;
+  report.pool.tasks_helped = pool_after.tasks_helped - pool_before.tasks_helped;
+  report.pool.busy_seconds = pool_after.busy_seconds - pool_before.busy_seconds;
+  report.pool.max_task_seconds = pool_after.max_task_seconds;
+  return report;
+}
+
+}  // namespace matex::runtime

@@ -1,0 +1,132 @@
+/// \file batch.hpp
+/// \brief The scenario batch engine: many distributed MATEX jobs, one
+///        shared thread pool, one shared factorization cache.
+///
+/// The engine is the campaign-level counterpart of the Fig. 4 scheduler:
+/// where the scheduler fans one simulation out over emulated slave nodes,
+/// the engine fans a *campaign* (decks x methods x gamma/tolerance/Vdd
+/// sweeps) out over whole jobs. Scenarios run concurrently on the shared
+/// work-stealing pool; each job's node subtasks are submitted to the same
+/// pool (a blocked job helps execute pending work, so nesting cannot
+/// deadlock); and every factorization goes through the shared
+/// content-addressed cache, so LU(G) and LU(C + gamma*G) are computed
+/// once per distinct matrix for the whole campaign.
+///
+/// Results stream: a sink callback receives each ScenarioResult the
+/// moment its job finishes (serialized -- the sink needs no locking), and
+/// the final report collects everything plus the cache hit rate and pool
+/// counters. A failed scenario is reported with its error message and
+/// never sinks the rest of the campaign.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "runtime/factor_cache.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace matex::runtime {
+
+/// Engine configuration.
+struct BatchOptions {
+  /// Worker threads of the engine-owned pool; 0 = hardware concurrency.
+  /// Ignored when `pool` is set.
+  int threads = 0;
+  /// External pool to run on (not owned; must outlive the engine).
+  ThreadPool* pool = nullptr;
+  /// Factorization-cache capacity (distinct factorizations kept resident).
+  /// 0 disables caching -- the uncached baseline for benches.
+  std::size_t cache_capacity = FactorCache::kDefaultCapacity;
+  /// If true (default), each scenario's node subtasks run on the shared
+  /// pool too, so a campaign smaller than the machine still uses every
+  /// core. If false, nodes run inline in their scenario's task
+  /// (scenario-level parallelism only).
+  bool nodes_on_pool = true;
+};
+
+/// Campaign outcome: per-scenario results in campaign order plus the
+/// shared-infrastructure counters.
+struct BatchReport {
+  std::vector<ScenarioResult> results;
+  double wall_seconds = 0.0;       ///< whole-campaign wall time
+  int failures = 0;                ///< scenarios with ok == false
+  FactorCacheStats cache;          ///< hits/misses/evictions this run
+  /// Pool counters for this run (deltas; max_task_seconds is the pool's
+  /// high-water mark, which with a fresh engine is also this run's).
+  ThreadPoolStats pool;
+
+  double cache_hit_rate() const { return cache.hit_rate(); }
+};
+
+/// Called as each scenario completes (in completion order, serialized).
+using ScenarioSink = std::function<void(const ScenarioResult&)>;
+
+/// Runs scenario campaigns over registered decks (see file comment).
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchOptions options = {});
+
+  /// Registers a deck. The netlist is copied and owned by the engine;
+  /// MNA assembly happens lazily, once per (deck, Vdd scale) variant.
+  /// \returns the deck index ScenarioSpec::deck_index refers to.
+  std::size_t add_deck(std::string label, circuit::Netlist netlist);
+
+  std::size_t deck_count() const { return decks_.size(); }
+  const std::string& deck_label(std::size_t index) const;
+  std::vector<std::string> deck_labels() const;
+
+  /// Expands `sweep` against the registered decks (convenience wrapper
+  /// over expand_campaign).
+  std::vector<ScenarioSpec> expand(const CampaignSweep& sweep) const;
+
+  /// Runs a campaign. Blocks until every scenario finished; `sink` (when
+  /// set) receives each result as it completes. Cache counters in the
+  /// report cover this run only; the cache itself stays warm across
+  /// run() calls, so a follow-up campaign on the same decks starts hot.
+  BatchReport run(std::span<const ScenarioSpec> scenarios,
+                  const ScenarioSink& sink = nullptr);
+
+  ThreadPool& pool() { return *pool_; }
+  FactorCache& factor_cache() { return cache_; }
+
+ private:
+  struct Deck {
+    std::string label;
+    circuit::Netlist netlist;
+  };
+  /// One assembled (deck, Vdd scale) combination, built on first use and
+  /// shared by every scenario that needs it.
+  struct Variant {
+    std::unique_ptr<circuit::Netlist> scaled;  ///< null at scale 1.0
+    std::unique_ptr<circuit::MnaSystem> mna;
+  };
+
+  const circuit::MnaSystem& variant_mna(std::size_t deck_index,
+                                        double vdd_scale);
+
+  BatchOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  FactorCache cache_;
+  std::vector<Deck> decks_;
+
+  std::mutex variants_mutex_;
+  /// Keyed by (deck index, Vdd-scale bit pattern).
+  std::map<std::pair<std::size_t, std::uint64_t>,
+           std::shared_future<const Variant*>>
+      variants_;
+  std::vector<std::unique_ptr<Variant>> variant_storage_;
+};
+
+}  // namespace matex::runtime

@@ -1,0 +1,207 @@
+#include "runtime/factor_cache.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "la/error.hpp"
+#include "solver/stats.hpp"
+
+namespace matex::runtime {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <class T>
+void fnv_span(std::uint64_t& h, std::span<const T> v) {
+  fnv_bytes(h, v.data(), v.size() * sizeof(T));
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer: spreads the combined words over all bits.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const la::CscMatrix& m) {
+  std::uint64_t h = kFnvOffset;
+  const std::int64_t shape[2] = {m.rows(), m.cols()};
+  fnv_bytes(h, shape, sizeof(shape));
+  fnv_span(h, m.col_ptr());
+  fnv_span(h, m.row_idx());
+  fnv_span(h, std::span<const double>(m.values()));
+  return h;
+}
+
+std::size_t FactorCache::KeyHash::operator()(const FactorKey& k) const {
+  std::uint64_t h = k.fp_a;
+  h = mix(h, k.fp_b);
+  h = mix(h, static_cast<std::uint64_t>(k.family));
+  h = mix(h, k.gamma_bits);
+  h = mix(h, static_cast<std::uint64_t>(k.ordering));
+  h = mix(h, k.pivot_bits);
+  return static_cast<std::size_t>(h);
+}
+
+FactorCache::FactorCache(std::size_t capacity) : capacity_(capacity) {}
+
+FactorCache::Entry FactorCache::get_or_factorize(
+    const FactorKey& key,
+    const std::function<std::shared_ptr<la::SparseLU>()>& factorize) {
+  if (capacity_ == 0) {
+    // Caching disabled: factorize unconditionally, keep the miss counters
+    // meaningful for uncached-baseline comparisons.
+    solver::Stopwatch clock;
+    auto factors = factorize();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    stats_.factor_seconds += clock.seconds();
+    return {std::move(factors), false};
+  }
+
+  std::promise<std::shared_ptr<la::SparseLU>> promise;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      auto future = it->second.future;
+      lock.unlock();
+      // May wait for an in-flight leader; either way the factorization
+      // cost is paid once (a failed leader rethrows here too).
+      return {future.get(), true};
+    }
+    ++stats_.misses;
+    Slot slot;
+    slot.future = promise.get_future().share();
+    lru_.push_front(key);
+    slot.lru_it = lru_.begin();
+    map_.emplace(key, std::move(slot));
+  }
+
+  solver::Stopwatch clock;
+  std::shared_ptr<la::SparseLU> factors;
+  try {
+    factors = factorize();
+  } catch (...) {
+    auto error = std::current_exception();
+    promise.set_exception(error);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.erase(it->second.lru_it);
+      map_.erase(it);
+    }
+    std::rethrow_exception(error);
+  }
+  promise.set_value(factors);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.factor_seconds += clock.seconds();
+  if (const auto it = map_.find(key); it != map_.end())
+    it->second.ready = true;
+  evict_excess_locked();
+  return {std::move(factors), false};
+}
+
+void FactorCache::evict_excess_locked() {
+  auto it = lru_.end();
+  while (map_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    const auto mit = map_.find(*it);
+    if (mit == map_.end() || !mit->second.ready) continue;  // pin in-flight
+    map_.erase(mit);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+FactorCache::Entry FactorCache::g_factors(const la::CscMatrix& g,
+                                          const la::SparseLuOptions& options) {
+  return g_factors(fingerprint(g), g, options);
+}
+
+FactorCache::Entry FactorCache::g_factors(std::uint64_t fp_g,
+                                          const la::CscMatrix& g,
+                                          const la::SparseLuOptions& options) {
+  FactorKey key;
+  key.family = FactorKey::Family::kG;
+  key.fp_b = fp_g;
+  key.ordering = static_cast<int>(options.ordering);
+  key.pivot_bits = std::bit_cast<std::uint64_t>(options.pivot_tol);
+  return get_or_factorize(
+      key, [&] { return std::make_shared<la::SparseLU>(g, options); });
+}
+
+FactorCache::Entry FactorCache::operator_factors(
+    const la::CscMatrix& c, const la::CscMatrix& g, krylov::KrylovKind kind,
+    double gamma, const la::SparseLuOptions& options) {
+  const std::uint64_t fp_c =
+      kind == krylov::KrylovKind::kInverted ? 0 : fingerprint(c);
+  return operator_factors(fp_c, fingerprint(g), c, g, kind, gamma, options);
+}
+
+FactorCache::Entry FactorCache::operator_factors(
+    std::uint64_t fp_c, std::uint64_t fp_g, const la::CscMatrix& c,
+    const la::CscMatrix& g, krylov::KrylovKind kind, double gamma,
+    const la::SparseLuOptions& options) {
+  if (kind == krylov::KrylovKind::kInverted)
+    return g_factors(fp_g, g, options);
+
+  FactorKey key;
+  key.ordering = static_cast<int>(options.ordering);
+  key.pivot_bits = std::bit_cast<std::uint64_t>(options.pivot_tol);
+  if (kind == krylov::KrylovKind::kStandard) {
+    key.family = FactorKey::Family::kC;
+    key.fp_a = fp_c;
+    return get_or_factorize(
+        key, [&] { return std::make_shared<la::SparseLU>(c, options); });
+  }
+  MATEX_CHECK(gamma > 0.0, "R-MATEX requires gamma > 0");
+  key.family = FactorKey::Family::kCGammaG;
+  key.fp_a = fp_c;
+  key.fp_b = fp_g;
+  key.gamma_bits = std::bit_cast<std::uint64_t>(gamma);
+  return get_or_factorize(key, [&] {
+    const la::CscMatrix shifted = la::add_scaled(1.0, c, gamma, g);
+    return std::make_shared<la::SparseLU>(shifted, options);
+  });
+}
+
+std::size_t FactorCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [key, slot] : map_)
+    if (slot.ready) ++ready;
+  return ready;
+}
+
+FactorCacheStats FactorCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FactorCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+  stats_ = {};
+}
+
+}  // namespace matex::runtime

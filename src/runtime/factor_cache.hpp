@@ -1,0 +1,154 @@
+/// \file factor_cache.hpp
+/// \brief Process-wide cache of sparse LU factorizations keyed by matrix
+///        content.
+///
+/// Every MATEX method performs its factorizations exactly once per run
+/// ("one factorization at the beginning", Sec. 3.3) -- but a *campaign* of
+/// related runs repeats them: each emulated slave node of one distributed
+/// run factorizes the same G and the same C + gamma*G, every scenario of
+/// a gamma/tolerance sweep over one deck re-factorizes LU(G), and repeated
+/// jobs over the same deck redo everything. The companion journal work
+/// (Zhuang et al., TCAD'16) stresses precisely this amortization across
+/// related runs.
+///
+/// The cache is content-addressed: a key is the 64-bit fingerprint of the
+/// factorized matrix (for R-MATEX, the fingerprints of C and G plus the
+/// gamma shift), the operator family, and the LU options. Two decks that
+/// assemble identical matrices therefore share factors automatically, and
+/// I-MATEX's Krylov operator -- which *is* LU(G) -- shares its entry with
+/// the particular-solution/DC factorization of every other method.
+///
+/// Thread-safe: concurrent lookups of the same missing key factorize once
+/// (followers wait on the leader's shared_future and count as hits).
+/// Eviction is LRU with a configurable capacity; capacity 0 disables
+/// caching entirely (every request factorizes, nothing is stored), which
+/// gives benches an apples-to-apples uncached baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "krylov/operator.hpp"
+#include "la/sparse_csc.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace matex::runtime {
+
+/// 64-bit content fingerprint of a sparse matrix (FNV-1a over the shape,
+/// pattern, and value bit patterns). Collisions are astronomically
+/// unlikely for the handful of matrices a campaign touches; keys also
+/// carry the operator family, so a collision additionally needs matching
+/// metadata.
+std::uint64_t fingerprint(const la::CscMatrix& m);
+
+/// Cache key: which matrix (by content) under which factorization.
+struct FactorKey {
+  /// What was factorized (determines how fp_a/fp_b/gamma_bits are read).
+  enum class Family : int {
+    kC = 0,         ///< LU(C) -- MEXP's standard operator
+    kG = 1,         ///< LU(G) -- I-MATEX operator, DC, particular solution
+    kCGammaG = 2,   ///< LU(C + gamma*G) -- R-MATEX operator
+  };
+
+  std::uint64_t fp_a = 0;      ///< fingerprint of C (kC, kCGammaG)
+  std::uint64_t fp_b = 0;      ///< fingerprint of G (kG, kCGammaG)
+  Family family = Family::kG;
+  std::uint64_t gamma_bits = 0;  ///< bit pattern of gamma (kCGammaG)
+  int ordering = 0;              ///< la::Ordering of the factorization
+  std::uint64_t pivot_bits = 0;  ///< bit pattern of pivot_tol
+
+  friend bool operator==(const FactorKey&, const FactorKey&) = default;
+};
+
+/// Counters of a FactorCache (monotonic since construction/clear).
+struct FactorCacheStats {
+  long long hits = 0;        ///< requests served from the cache
+  long long misses = 0;      ///< requests that factorized
+  long long evictions = 0;   ///< entries dropped by LRU
+  double factor_seconds = 0.0;  ///< wall time spent factorizing on misses
+
+  double hit_rate() const {
+    const long long total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Content-addressed LRU cache of SparseLU factorizations (see file
+/// comment).
+class FactorCache {
+ public:
+  /// \param capacity maximum resident factorizations; 0 disables caching.
+  explicit FactorCache(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  /// Lookup result: the factors plus whether they came from the cache.
+  struct Entry {
+    std::shared_ptr<la::SparseLU> factors;
+    bool hit = false;
+  };
+
+  /// Generic get-or-compute. `factorize` runs at most once per resident
+  /// key; concurrent requesters of an in-flight key wait for the leader.
+  /// Exceptions from `factorize` propagate to every waiter and the key is
+  /// not cached.
+  Entry get_or_factorize(
+      const FactorKey& key,
+      const std::function<std::shared_ptr<la::SparseLU>()>& factorize);
+
+  /// LU(G): the factorization DC analysis, the particular-solution terms,
+  /// and the I-MATEX operator all share.
+  Entry g_factors(const la::CscMatrix& g, const la::SparseLuOptions& options);
+
+  /// The Krylov operator factorization of `kind` (Sec. 3.3): LU(C) for
+  /// MEXP, LU(G) for I-MATEX (same entry as g_factors), LU(C + gamma*G)
+  /// for R-MATEX.
+  Entry operator_factors(const la::CscMatrix& c, const la::CscMatrix& g,
+                         krylov::KrylovKind kind, double gamma,
+                         const la::SparseLuOptions& options);
+
+  /// Precomputed-fingerprint overloads: lookups are O(nnz) because of the
+  /// content hash, so callers that need several entries for the same
+  /// matrices (every node solver wants the operator LU *and* LU(G))
+  /// should fingerprint once and reuse. `fp_g`/`fp_c` must be
+  /// fingerprint(g)/fingerprint(c); `fp_c` is ignored for I-MATEX.
+  Entry g_factors(std::uint64_t fp_g, const la::CscMatrix& g,
+                  const la::SparseLuOptions& options);
+  Entry operator_factors(std::uint64_t fp_c, std::uint64_t fp_g,
+                         const la::CscMatrix& c, const la::CscMatrix& g,
+                         krylov::KrylovKind kind, double gamma,
+                         const la::SparseLuOptions& options);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Number of resident (completed) factorizations.
+  std::size_t size() const;
+  FactorCacheStats stats() const;
+  /// Drops all entries and resets the counters.
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const FactorKey& k) const;
+  };
+  struct Slot {
+    std::shared_future<std::shared_ptr<la::SparseLU>> future;
+    bool ready = false;
+    std::list<FactorKey>::iterator lru_it;
+  };
+
+  void evict_excess_locked();
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<FactorKey, Slot, KeyHash> map_;
+  std::list<FactorKey> lru_;  ///< most recently used at the front
+  FactorCacheStats stats_;
+};
+
+}  // namespace matex::runtime

@@ -1,0 +1,124 @@
+#include "runtime/scenario.hpp"
+
+#include <cstdio>
+#include <limits>
+
+#include "la/error.hpp"
+
+namespace matex::runtime {
+namespace {
+
+using circuit::Netlist;
+using circuit::Waveform;
+
+const std::string& node_name(const Netlist& netlist, circuit::NodeId id) {
+  static const std::string kGround = "0";
+  return id == circuit::kGroundNode ? kGround : netlist.node_name(id);
+}
+
+/// w scaled by f, exactly (every supported waveform family is closed
+/// under scalar multiplication).
+Waveform scale_waveform(const Waveform& w, double f) {
+  if (const auto pulse = w.pulse_spec()) {
+    circuit::PulseSpec s = *pulse;
+    s.v1 *= f;
+    s.v2 *= f;
+    return Waveform::pulse(s);
+  }
+  if (const auto sin = w.sin_spec()) {
+    circuit::SinSpec s = *sin;
+    s.offset *= f;
+    s.amplitude *= f;
+    return Waveform::sin(s);
+  }
+  if (w.is_dc()) return Waveform::dc(w.value(0.0) * f);
+  // PWL: rebuild from its breakpoints (the waveform is linear between
+  // them and constant outside, so this reconstruction is exact).
+  const double huge = std::numeric_limits<double>::max();
+  std::vector<double> times = w.transition_spots(-huge, huge);
+  if (times.empty()) return Waveform::dc(w.value(0.0) * f);
+  std::vector<double> values(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i)
+    values[i] = w.value(times[i]) * f;
+  return Waveform::pwl(std::move(times), std::move(values));
+}
+
+}  // namespace
+
+circuit::Netlist scale_supplies(const circuit::Netlist& netlist,
+                                double factor) {
+  MATEX_CHECK(factor > 0.0, "supply scale must be positive");
+  Netlist scaled;
+  for (const auto& r : netlist.resistors())
+    scaled.add_resistor(r.name, node_name(netlist, r.n1),
+                        node_name(netlist, r.n2), r.value);
+  for (const auto& c : netlist.capacitors())
+    scaled.add_capacitor(c.name, node_name(netlist, c.n1),
+                         node_name(netlist, c.n2), c.value);
+  for (const auto& l : netlist.inductors())
+    scaled.add_inductor(l.name, node_name(netlist, l.n1),
+                        node_name(netlist, l.n2), l.value);
+  for (const auto& i : netlist.current_sources())
+    scaled.add_current_source(i.name, node_name(netlist, i.n1),
+                              node_name(netlist, i.n2), i.waveform);
+  for (const auto& v : netlist.voltage_sources())
+    scaled.add_voltage_source(v.name, node_name(netlist, v.n1),
+                              node_name(netlist, v.n2),
+                              scale_waveform(v.waveform, factor));
+  return scaled;
+}
+
+std::vector<ScenarioSpec> expand_campaign(
+    const CampaignSweep& sweep, const std::vector<std::string>& deck_labels) {
+  std::vector<double> gammas = sweep.gammas;
+  if (gammas.empty()) gammas.push_back(sweep.base.solver.gamma);
+  std::vector<double> tolerances = sweep.tolerances;
+  if (tolerances.empty()) tolerances.push_back(sweep.base.solver.tolerance);
+  MATEX_CHECK(!sweep.deck_indices.empty(), "campaign needs at least one deck");
+  MATEX_CHECK(!sweep.methods.empty(), "campaign needs at least one method");
+  MATEX_CHECK(!sweep.vdd_scales.empty(),
+              "campaign needs at least one Vdd scale");
+
+  std::vector<ScenarioSpec> scenarios;
+  char buf[64];
+  for (const std::size_t deck : sweep.deck_indices) {
+    MATEX_CHECK(deck < deck_labels.size(), "deck index out of range");
+    for (const krylov::KrylovKind method : sweep.methods) {
+      // Gamma only matters to R-MATEX; other methods appear once.
+      const std::size_t gamma_count =
+          method == krylov::KrylovKind::kRational ? gammas.size() : 1;
+      for (std::size_t gi = 0; gi < gamma_count; ++gi) {
+        for (const double tol : tolerances) {
+          for (const double vdd : sweep.vdd_scales) {
+            ScenarioSpec spec;
+            spec.deck_index = deck;
+            spec.scheduler = sweep.base;
+            spec.scheduler.solver.kind = method;
+            spec.scheduler.solver.gamma = gammas[gi];
+            spec.scheduler.solver.tolerance = tol;
+            spec.vdd_scale = vdd;
+            spec.probes = sweep.probes;
+
+            spec.name = deck_labels[deck];
+            spec.name += '/';
+            spec.name += krylov::kind_name(method);
+            if (method == krylov::KrylovKind::kRational) {
+              std::snprintf(buf, sizeof(buf), "/g=%g", gammas[gi]);
+              spec.name += buf;
+            }
+            std::snprintf(buf, sizeof(buf), "/tol=%g", tol);
+            spec.name += buf;
+            if (vdd != 1.0 || sweep.vdd_scales.size() > 1) {
+              std::snprintf(buf, sizeof(buf), "/vdd=%g", vdd);
+              spec.name += buf;
+            }
+            scenarios.push_back(std::move(spec));
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+}  // namespace matex::runtime

@@ -1,0 +1,173 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "solver/stats.hpp"
+
+namespace matex::runtime {
+namespace {
+
+/// Identity of the pool worker running on this thread (nullptr outside).
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  unsigned n = threads > 0 ? static_cast<unsigned>(threads)
+                           : std::thread::hardware_concurrency();
+  n = std::max(1u, n);
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  {
+    // Pair the notify with the wake mutex so a worker between its empty
+    // re-check and its wait cannot miss the stop signal.
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::enqueue(Task task, bool fifo) {
+  if (!fifo && tl_pool == this) {
+    Worker& w = *queues_[tl_index];
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    w.queue.push_back(std::move(task));
+  } else {
+    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    inject_.push_back(std::move(task));
+  }
+  pending_.fetch_add(1);
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(Task& out, std::size_t self_index, bool is_worker,
+                         bool helpable_only) {
+  // Takes the first eligible task scanning from `from` toward the other
+  // end (non-helpable jobs are skipped by helpers, not reordered).
+  const auto take = [&](std::deque<Task>& q, bool from_back) {
+    if (from_back) {
+      for (auto it = q.rbegin(); it != q.rend(); ++it)
+        if (!helpable_only || it->helpable) {
+          out = std::move(*it);
+          q.erase(std::next(it).base());
+          return true;
+        }
+    } else {
+      for (auto it = q.begin(); it != q.end(); ++it)
+        if (!helpable_only || it->helpable) {
+          out = std::move(*it);
+          q.erase(it);
+          return true;
+        }
+    }
+    return false;
+  };
+  // Own deque first, newest first: nested submissions stay cache-warm.
+  if (is_worker) {
+    Worker& w = *queues_[self_index];
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    if (take(w.queue, /*from_back=*/true)) return true;
+  }
+  // External submissions, oldest first.
+  {
+    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (take(inject_, /*from_back=*/false)) return true;
+  }
+  // Steal from the other workers, oldest first (the opposite end of the
+  // owner's LIFO pops, the classic work-stealing discipline).
+  for (std::size_t k = 1; k <= queues_.size(); ++k) {
+    const std::size_t victim = (self_index + k) % queues_.size();
+    if (is_worker && victim == self_index) continue;
+    Worker& w = *queues_[victim];
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    if (take(w.queue, /*from_back=*/false)) {
+      const std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.tasks_stolen;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::execute(Task& task, bool helped) {
+  // executing_ rises before pending_ falls so wait_idle() can never
+  // observe both at zero while a popped task has yet to run.
+  executing_.fetch_add(1);
+  pending_.fetch_sub(1);
+  solver::Stopwatch clock;
+  task.fn();
+  const double seconds = clock.seconds();
+  executing_.fetch_sub(1);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.tasks_executed;
+    if (helped) ++stats_.tasks_helped;
+    stats_.busy_seconds += seconds;
+    stats_.max_task_seconds = std::max(stats_.max_task_seconds, seconds);
+  }
+  // A finished task may be what an await()-er inside a worker is waiting
+  // for while that worker sleeps in help_until's timed wait; the notify
+  // keeps wake-up latency bounded by the timed wait either way.
+  wake_.notify_all();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_index = index;
+  Task task;
+  for (;;) {
+    if (try_pop(task, index, /*is_worker=*/true, /*helpable_only=*/false)) {
+      execute(task, /*helped=*/false);
+      task = {};
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_.load() && pending_.load() == 0) return;
+    wake_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+      return stop_.load() || pending_.load() > 0;
+    });
+    if (stop_.load() && pending_.load() == 0) return;
+  }
+}
+
+bool ThreadPool::run_one() {
+  const bool is_worker = tl_pool == this;
+  Task task;
+  if (!try_pop(task, is_worker ? tl_index : 0, is_worker,
+               /*helpable_only=*/true))
+    return false;
+  execute(task, /*helped=*/true);
+  return true;
+}
+
+void ThreadPool::help_until(const std::function<bool()>& done) {
+  while (!done()) {
+    if (run_one()) continue;
+    // Nothing runnable: the awaited work is executing elsewhere. Back off
+    // briefly instead of spinning.
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (done()) return;
+    wake_.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
+void ThreadPool::wait_idle() {
+  help_until(
+      [this] { return pending_.load() == 0 && executing_.load() == 0; });
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace matex::runtime

@@ -1,0 +1,173 @@
+/// \file thread_pool.hpp
+/// \brief Work-stealing thread pool shared by the distributed scheduler and
+///        the scenario batch engine.
+///
+/// The paper's distributed MATEX (Sec. 3.4, Fig. 4) works because slave
+/// nodes share nothing during the transient: every subtask is an
+/// independent, coarse-grained unit of work. This pool is the process-wide
+/// stand-in for the cluster: node subtasks, whole scenario jobs, and any
+/// future sharded work are all submitted here instead of spawning ad-hoc
+/// threads per run.
+///
+/// Design:
+///  - one deque per worker plus a FIFO injection queue for external
+///    submissions; workers pop their own deque LIFO (cache-warm), take
+///    injected work FIFO, and steal from other workers FIFO;
+///  - submission from inside a worker goes to that worker's own deque, so
+///    nested fan-out stays local until stolen;
+///  - tasks return values through std::future; every task is wrapped in a
+///    stopwatch, so the pool can report per-task wall times (the
+///    max-over-tasks measurement the scheduler's Sec. 4.3 protocol needs
+///    is taken by the caller, the pool keeps the aggregate view);
+///  - waiting never deadlocks: await() and wait_idle() *help*, i.e. they
+///    execute pending tasks on the waiting thread while the awaited result
+///    is not ready. A scenario job running on the pool can therefore
+///    submit its node subtasks to the same pool and block on them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace matex::runtime {
+
+/// Aggregate execution counters of a pool (monotonic since construction).
+/// Note on nesting: a task that awaits subtasks on the same pool helps
+/// execute them, so its own wall time *contains* theirs -- busy_seconds
+/// can then exceed elapsed * size(). Compare per-level, not across.
+struct ThreadPoolStats {
+  long long tasks_executed = 0;  ///< tasks completed (by workers or helpers)
+  long long tasks_stolen = 0;    ///< tasks taken from another worker's deque
+  long long tasks_helped = 0;    ///< tasks run by threads inside await()
+  double busy_seconds = 0.0;     ///< sum of per-task wall times
+  double max_task_seconds = 0.0; ///< longest single task
+};
+
+/// Work-stealing thread pool (see file comment).
+class ThreadPool {
+ public:
+  /// \param threads worker count; <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Submits a nullary callable; returns a future for its result. The
+  /// callable runs on a worker thread (or on a thread helping inside
+  /// await()/wait_idle()). Submission from inside a worker goes to that
+  /// worker's own deque (popped LIFO, stolen FIFO).
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    return submit_impl(std::forward<F>(fn), /*fifo=*/false,
+                       /*helpable=*/true);
+  }
+
+  /// Like submit(), but always enqueues on the global FIFO injection
+  /// queue, so tasks *start* in submission order no matter which thread
+  /// submits or executes them. Use for task sets with an ordered
+  /// consumption protocol (the scheduler's in-order superposition): with
+  /// FIFO starts, tasks completed ahead of the merge frontier are
+  /// bounded by the number of executing threads, never the task count.
+  template <class F>
+  auto submit_ordered(F&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    return submit_impl(std::forward<F>(fn), /*fifo=*/true,
+                       /*helpable=*/true);
+  }
+
+  /// Like submit_ordered(), but the task is only ever started by an idle
+  /// worker, never by a thread helping inside await()/help_until(). Use
+  /// for *fanning* jobs -- tasks that submit subtasks and block on them
+  /// (the batch engine's scenario jobs): if helpers could start them,
+  /// every job in the queue could end up nested inside one awaiting
+  /// worker, making in-flight jobs (and their memory) O(queue) instead
+  /// of O(workers).
+  template <class F>
+  auto submit_job(F&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    return submit_impl(std::forward<F>(fn), /*fifo=*/true,
+                       /*helpable=*/false);
+  }
+
+  /// Executes one pending *helpable* task on the calling thread, if any
+  /// (jobs submitted with submit_job are left to idle workers).
+  /// \returns true if a task was run.
+  bool run_one();
+
+  /// Waits for `fut`, helping with pending pool work meanwhile, and
+  /// returns the result (rethrows the task's exception). Safe to call
+  /// from inside a pool task: the blocked worker keeps the pool moving.
+  template <class T>
+  T await(std::future<T>& fut) {
+    help_until([&] {
+      return fut.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    });
+    return fut.get();
+  }
+
+  /// Helps run pending work until `done()` returns true.
+  void help_until(const std::function<bool()>& done);
+
+  /// Runs pending tasks on the calling thread until the pool is idle (no
+  /// queued and no executing tasks).
+  void wait_idle();
+
+  /// Snapshot of the execution counters.
+  ThreadPoolStats stats() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    bool helpable = true;  ///< false: only idle workers may start it
+  };
+
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> queue;
+  };
+
+  template <class F>
+  auto submit_impl(F&& fn, bool fifo, bool helpable)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue({[task]() { (*task)(); }, helpable}, fifo);
+    return fut;
+  }
+
+  void enqueue(Task task, bool fifo);
+  bool try_pop(Task& out, std::size_t self_index, bool is_worker,
+               bool helpable_only);
+  void execute(Task& task, bool helped);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex inject_mutex_;
+  std::deque<Task> inject_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::atomic<long long> pending_{0};    // queued, not yet started
+  std::atomic<long long> executing_{0};  // started, not yet finished
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex stats_mutex_;
+  ThreadPoolStats stats_;
+};
+
+}  // namespace matex::runtime

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "la/error.hpp"
+
 namespace matex::solver {
 
 DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
@@ -9,6 +11,24 @@ DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
   const auto clock_start = std::chrono::steady_clock::now();
   DcResult result;
   result.g_factors = std::make_shared<la::SparseLU>(mna.g(), lu_options);
+  std::vector<double> rhs(static_cast<std::size_t>(mna.dimension()));
+  mna.rhs_at(t_start, rhs);
+  result.x = result.g_factors->solve(rhs);
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    clock_start)
+          .count();
+  return result;
+}
+
+DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
+                            std::shared_ptr<la::SparseLU> g_factors) {
+  MATEX_CHECK(g_factors != nullptr, "g_factors must not be null");
+  MATEX_CHECK(g_factors->order() == mna.dimension(),
+              "g_factors order does not match the system");
+  const auto clock_start = std::chrono::steady_clock::now();
+  DcResult result;
+  result.g_factors = std::move(g_factors);
   std::vector<double> rhs(static_cast<std::size_t>(mna.dimension()));
   mna.rhs_at(t_start, rhs);
   result.x = result.g_factors->solve(rhs);

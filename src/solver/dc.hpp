@@ -33,4 +33,10 @@ DcResult dc_operating_point(const circuit::MnaSystem& mna,
                             double t_start = 0.0,
                             la::SparseLuOptions lu_options = {});
 
+/// DC operating point against a prebuilt LU(G) (e.g. from the runtime
+/// factorization cache): only the solve is performed, so `seconds`
+/// excludes factorization. `g_factors` must factorize exactly mna.g().
+DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
+                            std::shared_ptr<la::SparseLU> g_factors);
+
 }  // namespace matex::solver

@@ -11,6 +11,7 @@
 #include "core/input_view.hpp"
 #include "core/scheduler.hpp"
 #include "la/error.hpp"
+#include "runtime/thread_pool.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
 #include "solver/observer.hpp"
@@ -103,6 +104,50 @@ TEST(Decomposition, MaxGroupsMergesRoundRobin) {
   const auto d = decompose_sources(*f.mna, opt);
   ASSERT_EQ(d.groups.size(), 1u);
   EXPECT_EQ(d.groups[0].members.size(), 4u);
+}
+
+TEST(Decomposition, RoundRobinMergeDistributesShapesEvenly) {
+  // Five distinct shapes onto two nodes: round-robin assigns shapes
+  // 0,2,4 to node 0 and shapes 1,3 to node 1 (deterministic, sorted by
+  // shape key).
+  Netlist n;
+  n.add_resistor("R1", "a", "0", 1.0);
+  for (int i = 0; i < 5; ++i)
+    n.add_current_source(
+        "I" + std::to_string(i), "a", "0",
+        Waveform::pulse(bump(0.1 * (i + 1), 0.05, 0.2, 0.05, 1.0)));
+  const MnaSystem mna(n);
+  DecompositionOptions opt;
+  opt.t_end = 2.0;
+  opt.max_groups = 2;
+  const auto d = decompose_sources(mna, opt);
+  ASSERT_EQ(d.groups.size(), 2u);
+  EXPECT_EQ(d.groups[0].members.size(), 3u);
+  EXPECT_EQ(d.groups[1].members.size(), 2u);
+  // Merged keys record every shape assigned to the node.
+  EXPECT_NE(d.groups[0].shape_key.find('+'), std::string::npos);
+  // No source lost or duplicated.
+  std::set<la::index_t> all;
+  for (const auto& g : d.groups)
+    all.insert(g.members.begin(), g.members.end());
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(Decomposition, ShapeKeyIsStableAcrossRuns) {
+  // The shape key depends only on pulse timing (not amplitude), and
+  // repeated decompositions produce identical keys in identical order.
+  PdnFixture f;
+  DecompositionOptions opt;
+  opt.t_end = 2.0;
+  const auto d1 = decompose_sources(*f.mna, opt);
+  const auto d2 = decompose_sources(*f.mna, opt);
+  ASSERT_EQ(d1.groups.size(), d2.groups.size());
+  for (std::size_t g = 0; g < d1.groups.size(); ++g) {
+    EXPECT_EQ(d1.groups[g].shape_key, d2.groups[g].shape_key);
+    EXPECT_EQ(d1.groups[g].members, d2.groups[g].members);
+  }
+  // I1/I2 share timing but not amplitude: one group, one key.
+  EXPECT_EQ(d1.groups[0].members.size(), 2u);
 }
 
 TEST(Decomposition, WindowValidation) {
@@ -294,11 +339,45 @@ TEST(Scheduler, ParallelWorkersMatchSequential) {
   ASSERT_EQ(seq.sample_count(), par.sample_count());
   for (std::size_t i = 0; i < seq.sample_count(); ++i)
     for (std::size_t j = 0; j < seq.state(i).size(); ++j)
-      // Accumulation order may differ across threads: allow round-off.
-      EXPECT_NEAR(seq.state(i)[j], par.state(i)[j], 1e-12);
+      // Superposition merges in group order regardless of thread timing,
+      // so parallel and sequential runs agree bit for bit.
+      EXPECT_EQ(seq.state(i)[j], par.state(i)[j]);
   // Node reports keep their group identity regardless of thread order.
   for (std::size_t g = 0; g < rp.nodes.size(); ++g)
     EXPECT_EQ(rp.nodes[g].group_index, g);
+}
+
+TEST(Scheduler, BitwiseDeterministicAcrossParallelism) {
+  // The superposition order is fixed (group-index order) no matter how
+  // many workers execute the node subtasks, so every parallelism setting
+  // -- including a shared runtime pool -- produces the same bits.
+  PdnFixture f;
+  SchedulerOptions opt;
+  opt.t_end = 2.0;
+  opt.solver.gamma = 0.05;
+  opt.solver.tolerance = 1e-10;
+  opt.decomposition.max_groups = 2;
+  opt.output_times = uniform_grid(0.0, 2.0, 0.2);
+
+  StateRecorder reference;
+  run_distributed_matex(*f.mna, opt, reference.observer());
+
+  runtime::ThreadPool pool(3);
+  for (const int parallelism : {2, 4, 0}) {
+    opt.parallelism = parallelism;
+    for (const bool use_pool : {false, true}) {
+      opt.pool = use_pool ? &pool : nullptr;
+      StateRecorder rec;
+      run_distributed_matex(*f.mna, opt, rec.observer());
+      ASSERT_EQ(rec.sample_count(), reference.sample_count());
+      for (std::size_t i = 0; i < rec.sample_count(); ++i)
+        for (std::size_t j = 0; j < rec.state(i).size(); ++j)
+          EXPECT_EQ(rec.state(i)[j], reference.state(i)[j])
+              << "parallelism=" << parallelism << " pool=" << use_pool
+              << " t=" << rec.times()[i] << " unknown " << j;
+    }
+  }
+  opt.pool = nullptr;
 }
 
 TEST(Scheduler, ParallelWithSharedFactorizations) {
@@ -329,9 +408,32 @@ TEST(Scheduler, InvalidOptionsThrow) {
   EXPECT_THROW(run_distributed_matex(*f.mna, opt, nullptr),
                InvalidArgument);
   opt.output_times = {0.25, 0.5};
-  opt.parallelism = 0;
+  opt.parallelism = -1;  // 0 is valid (= hardware concurrency); < 0 is not
   EXPECT_THROW(run_distributed_matex(*f.mna, opt, nullptr),
                InvalidArgument);
+}
+
+TEST(Scheduler, ParallelismZeroMeansHardwareConcurrency) {
+  PdnFixture f;
+  SchedulerOptions opt;
+  opt.t_end = 2.0;
+  opt.solver.gamma = 0.05;
+  opt.solver.tolerance = 1e-10;
+  opt.output_times = uniform_grid(0.0, 2.0, 0.25);
+
+  StateRecorder seq;
+  const auto rs = run_distributed_matex(*f.mna, opt, seq.observer());
+  opt.parallelism = 0;
+  StateRecorder hw;
+  const auto rh = run_distributed_matex(*f.mna, opt, hw.observer());
+
+  EXPECT_GE(rh.workers_used, 1);
+  EXPECT_EQ(rs.group_count, rh.group_count);
+  ASSERT_EQ(seq.sample_count(), hw.sample_count());
+  // Superposition order is fixed, so the answers agree bit for bit.
+  for (std::size_t i = 0; i < seq.sample_count(); ++i)
+    for (std::size_t j = 0; j < seq.state(i).size(); ++j)
+      EXPECT_EQ(seq.state(i)[j], hw.state(i)[j]);
 }
 
 // ---------------------------------------------------------------- Eq 11/12
