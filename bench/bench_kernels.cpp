@@ -53,14 +53,36 @@ BENCHMARK(BM_Spmv);
 void BM_SubstitutionPair_Tbs(benchmark::State& state) {
   auto& g = grid();
   const std::size_t n = static_cast<std::size_t>(g.mna->dimension());
-  std::vector<double> b(n, 1.0);
+  std::vector<double> b(n, 1.0), x(n), work(n);
   for (auto _ : state) {
-    std::vector<double> x = b;
-    g.g_lu->solve_in_place(x);
+    la::copy(b, x);
+    g.g_lu->solve_in_place(x, work);  // allocation-free hot-loop variant
     benchmark::DoNotOptimize(x.data());
   }
 }
 BENCHMARK(BM_SubstitutionPair_Tbs);
+
+void BM_SparseRhsSolve(benchmark::State& state) {
+  // Reach-restricted substitution for a localized current-source vector
+  // (state.range(0) nonzero rows).
+  auto& g = grid();
+  const std::size_t n = static_cast<std::size_t>(g.mna->dimension());
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<la::index_t> rows;
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < k; ++i) {
+    rows.push_back(static_cast<la::index_t>((i * 7919 + 13) % n));
+    vals.push_back(1e-3 * static_cast<double>(i + 1));
+  }
+  la::SparseRhsWorkspace ws(static_cast<la::index_t>(n));
+  std::vector<double> x(n, 0.0);
+  for (auto _ : state) {
+    const auto pattern = g.g_lu->solve_sparse_rhs(rows, vals, x, ws);
+    for (const la::index_t i : pattern) x[static_cast<std::size_t>(i)] = 0.0;
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SparseRhsSolve)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_FactorizeG(benchmark::State& state) {
   auto& g = grid();
@@ -80,6 +102,20 @@ void BM_FactorizeShifted(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FactorizeShifted);
+
+void BM_RefactorizeShifted(benchmark::State& state) {
+  // Numeric-only refill along a cached symbolic analysis: the per-gamma
+  // cost of a same-pattern sweep (compare against BM_FactorizeShifted).
+  auto& g = grid();
+  const auto shifted = la::add_scaled(1.0, g.mna->c(), 1e-10, g.mna->g());
+  const la::SparseLU first(shifted);
+  const auto symbolic = first.symbolic();
+  for (auto _ : state) {
+    la::SparseLU lu(shifted, symbolic);
+    benchmark::DoNotOptimize(lu.nnz_l());
+  }
+}
+BENCHMARK(BM_RefactorizeShifted);
 
 void BM_OrderingMinDegree(benchmark::State& state) {
   auto& g = grid();

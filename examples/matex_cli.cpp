@@ -5,6 +5,7 @@
 ///   matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|dist]
 ///             [--tstep S] [--tstop S] [--gamma S] [--tol EPS]
 ///             [--threads N] [--batch] [--probe NODE]... [--out FILE]
+///             [--perf-json FILE]
 ///
 /// Defaults: method=rmatex, .tran card from the deck (or 10ps/10ns),
 /// gamma=tstep*10, probes = first few nodes, out = stdout table.
@@ -21,11 +22,17 @@
 /// --method mexp narrows the sweep to that Krylov method. Per-scenario stats
 /// stream as jobs finish; --out FILE writes one waveform table per
 /// scenario to FILE.<scenario>.
+///
+/// --perf-json FILE dumps the run's timing / counter / cache-hit stats as
+/// JSON (same writer as the BENCH_*.json artifacts), so campaigns can be
+/// tracked by dashboards without scraping stderr.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <fstream>
 
 #include "circuit/mna.hpp"
 #include "circuit/spice.hpp"
@@ -35,6 +42,7 @@
 #include "runtime/batch.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
+#include "solver/json_writer.hpp"
 #include "solver/observer.hpp"
 #include "solver/tr_adaptive.hpp"
 #include "solver/waveform_io.hpp"
@@ -86,7 +94,35 @@ struct CliOptions {
   bool batch = false;
   std::vector<std::string> probes;
   std::string out_path;
+  std::string perf_json_path;
 };
+
+/// Serializes TransientStats counters into an open JSON object.
+void write_stats_fields(solver::JsonWriter& w,
+                        const solver::TransientStats& stats) {
+  w.key("steps").value(stats.steps);
+  w.key("rejected_steps").value(stats.rejected_steps);
+  w.key("solves").value(stats.solves);
+  w.key("factorizations").value(stats.factorizations);
+  w.key("refactorizations").value(stats.refactorizations);
+  w.key("krylov_subspaces").value(stats.krylov_subspaces);
+  w.key("krylov_dim_avg").value(stats.krylov_dim_avg());
+  w.key("krylov_dim_peak").value(stats.krylov_dim_peak);
+  w.key("transient_seconds").value(stats.transient_seconds);
+  w.key("total_seconds").value(stats.total_seconds);
+}
+
+/// Writes the --perf-json artifact (returns false on I/O failure).
+bool write_perf_json(const std::string& path, const solver::JsonWriter& w) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "matex_cli: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << w.str();
+  std::fprintf(stderr, "wrote perf stats to %s\n", path.c_str());
+  return true;
+}
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
@@ -95,7 +131,7 @@ struct CliOptions {
       "dist]\n"
       "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
       "                 [--threads N] [--batch]\n"
-      "                 [--probe NODE]... [--out FILE]\n");
+      "                 [--probe NODE]... [--out FILE] [--perf-json FILE]\n");
   std::exit(2);
 }
 
@@ -131,6 +167,8 @@ CliOptions parse_args(int argc, char** argv) {
       opt.probes.push_back(next());
     } else if (arg == "--out") {
       opt.out_path = next();
+    } else if (arg == "--perf-json") {
+      opt.perf_json_path = next();
     } else if (arg.rfind("--", 0) == 0) {
       usage_and_exit();
     } else if (opt.deck_path.empty()) {
@@ -264,6 +302,36 @@ int main(int argc, char** argv) try {
                        static_cast<std::size_t>(report.failures),
                    cli.out_path.c_str());
     }
+    if (!cli.perf_json_path.empty()) {
+      solver::JsonWriter w;
+      w.begin_object();
+      w.key("mode").value("batch");
+      w.key("scenarios").value(report.results.size());
+      w.key("failures").value(report.failures);
+      w.key("threads").value(engine.pool().size());
+      w.key("wall_seconds").value(report.wall_seconds);
+      w.key("factor_cache").begin_object();
+      w.key("hits").value(report.cache.hits);
+      w.key("misses").value(report.cache.misses);
+      w.key("hit_rate").value(report.cache.hit_rate());
+      w.key("symbolic_hits").value(report.cache.symbolic_hits);
+      w.key("refactor_fallbacks").value(report.cache.refactor_fallbacks);
+      w.key("evictions").value(report.cache.evictions);
+      w.key("factor_seconds").value(report.cache.factor_seconds);
+      w.end_object();
+      w.key("per_scenario").begin_array();
+      for (const auto& r : report.results) {
+        w.begin_object();
+        w.key("name").value(r.name);
+        w.key("ok").value(r.ok);
+        w.key("wall_seconds").value(r.wall_seconds);
+        write_stats_fields(w, r.distributed.aggregate);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      if (!write_perf_json(cli.perf_json_path, w)) return 1;
+    }
     return report.failures == 0 ? 0 : 1;
   }
 
@@ -328,6 +396,20 @@ int main(int argc, char** argv) try {
                cli.method.c_str(), stats.steps, stats.solves,
                stats.factorizations, stats.krylov_subspaces,
                stats.krylov_dim_avg(), stats.transient_seconds);
+
+  if (!cli.perf_json_path.empty()) {
+    solver::JsonWriter w;
+    w.begin_object();
+    w.key("mode").value("single");
+    w.key("method").value(cli.method);
+    w.key("unknowns").value(static_cast<long long>(mna.dimension()));
+    w.key("tstep").value(tstep);
+    w.key("tstop").value(tstop);
+    w.key("dc_seconds").value(dc.seconds);
+    write_stats_fields(w, stats);
+    w.end_object();
+    if (!write_perf_json(cli.perf_json_path, w)) return 1;
+  }
 
   const auto table =
       solver::WaveformTable::from_recorder(recorder, probe_names);

@@ -10,12 +10,6 @@
 namespace matex::core {
 namespace {
 
-bool all_zero(std::span<const double> v) {
-  for (double x : v)
-    if (x != 0.0) return false;
-  return true;
-}
-
 /// C + delta on every zero diagonal entry (MEXP regularization; cf. Chen,
 /// Weng, Cheng TCAD'12 for the principled version this stands in for).
 la::CscMatrix regularize_c(const la::CscMatrix& c, double delta) {
@@ -161,6 +155,42 @@ solver::TransientStats MatexCircuitSolver::run(
   const std::size_t nu = static_cast<std::size_t>(input.count());
   std::vector<double> u(nu), du(nu);
   std::vector<double> tmp(n), w1(n), ws(n), w2(n), v(n), y(n);
+  std::vector<double> lu_work(n);
+  // Sparse-RHS machinery for the particular-solution solves: B u and
+  // B u' are localized (a handful of current-source rows per node in the
+  // distributed decomposition), so the triangular substitutions are
+  // restricted to the symbolic reach of that pattern. The pattern of the
+  // previous segment's solution is kept so w1/ws can be re-zeroed in
+  // O(|reach|).
+  la::SparseRhsWorkspace sparse_ws(mna_->dimension());
+  std::vector<la::index_t> rhs_idx, w1_pattern, ws_pattern;
+  rhs_idx.reserve(n);
+  w1_pattern.reserve(n);
+  ws_pattern.reserve(n);
+  std::vector<double> rhs_vals;
+  rhs_vals.reserve(n);
+  // tmp_in -> (w_out, pattern_out): w_out = G^{-1} tmp_in via the
+  // reach-restricted solve; bitwise identical to the dense solve.
+  const auto solve_particular = [&](std::span<const double> tmp_in,
+                                    std::span<double> w_out,
+                                    std::vector<la::index_t>& pattern_out) {
+    for (const la::index_t i : pattern_out)
+      w_out[static_cast<std::size_t>(i)] = 0.0;
+    pattern_out.clear();
+    rhs_idx.clear();
+    rhs_vals.clear();
+    for (std::size_t i = 0; i < tmp_in.size(); ++i)
+      if (tmp_in[i] != 0.0) {
+        rhs_idx.push_back(static_cast<la::index_t>(i));
+        rhs_vals.push_back(tmp_in[i]);
+      }
+    if (rhs_idx.empty()) return false;
+    const auto pattern =
+        glu.solve_sparse_rhs(rhs_idx, rhs_vals, w_out, sparse_ws);
+    pattern_out.assign(pattern.begin(), pattern.end());
+    ++stats.solves;
+    return true;
+  };
 
   krylov::ArnoldiOptions aopts;
   aopts.max_dim = options_.max_dim;
@@ -179,13 +209,7 @@ solver::TransientStats MatexCircuitSolver::run(
     // F(l + ha) = -w1 - ha*ws + w2.
     input.value(l, u);
     mna_->b().multiply(u, tmp);
-    if (all_zero(tmp)) {
-      la::set_zero(w1);
-    } else {
-      la::copy(tmp, w1);
-      glu.solve_in_place(w1);
-      ++stats.solves;
-    }
+    solve_particular(tmp, w1, w1_pattern);
     // Segment slope as a finite difference over the segment endpoints:
     // exact for PWL inputs and, unlike slope_after(l), immune to
     // floating-point boundary round-off (at l = delay + rise the pulse's
@@ -195,16 +219,13 @@ solver::TransientStats MatexCircuitSolver::run(
     for (std::size_t k2 = 0; k2 < nu; ++k2)
       du[k2] = (du[k2] - u[k2]) / h_seg;
     mna_->b().multiply(du, tmp);
-    if (all_zero(tmp)) {
-      la::set_zero(ws);
+    if (!solve_particular(tmp, ws, ws_pattern)) {
       la::set_zero(w2);
     } else {
-      la::copy(tmp, ws);
-      glu.solve_in_place(ws);
       mna_->c().multiply(ws, tmp);
       la::copy(tmp, w2);
-      glu.solve_in_place(w2);
-      stats.solves += 2;
+      glu.solve_in_place(w2, lu_work);
+      ++stats.solves;
     }
 
     // --- Krylov subspace at the segment's LTS (Alg. 2 line 7).

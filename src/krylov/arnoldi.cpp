@@ -1,5 +1,6 @@
 #include "krylov/arnoldi.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "la/error.hpp"
@@ -17,10 +18,33 @@ la::DenseMatrix KrylovSubspace::projected_hessenberg() const {
   return h_hat_.top_left(static_cast<std::size_t>(m_));
 }
 
+std::span<double> KrylovSubspace::col(int j) {
+  const std::size_t n = static_cast<std::size_t>(op_->dimension());
+  return {vbuf_.data() + static_cast<std::size_t>(j) * n, n};
+}
+
+std::span<const double> KrylovSubspace::col(int j) const {
+  const std::size_t n = static_cast<std::size_t>(op_->dimension());
+  return {vbuf_.data() + static_cast<std::size_t>(j) * n, n};
+}
+
+void KrylovSubspace::reserve_basis(int max_dim) {
+  // Reserve capacity for v_1..v_{max_dim + 1} without touching the
+  // memory: columns are resized into existence one iteration at a time
+  // (never reallocating thanks to the reservation), so a subspace that
+  // converges at small m never pays a max_dim-sized zero-fill. reserve()
+  // preserves existing columns (the stride n never changes).
+  const std::size_t n = static_cast<std::size_t>(op_->dimension());
+  if (vcap_ < max_dim + 1) {
+    vbuf_.reserve(static_cast<std::size_t>(max_dim + 1) * n);
+    vcap_ = max_dim + 1;
+  }
+  if (op_work_.size() != n) op_work_.resize(n);
+}
+
 std::span<const double> KrylovSubspace::basis_vector(int j) const {
-  MATEX_CHECK(j >= 0 && static_cast<std::size_t>(j) < v_.size(),
-              "basis vector index out of range");
-  return v_[static_cast<std::size_t>(j)];
+  MATEX_CHECK(j >= 0 && j < vcount_, "basis vector index out of range");
+  return col(j);
 }
 
 void KrylovSubspace::finalize() {
@@ -71,8 +95,7 @@ void KrylovSubspace::combine(std::span<const double> w,
   if (trivial()) return;
   MATEX_CHECK(w.size() == static_cast<std::size_t>(m_));
   for (int j = 0; j < m_; ++j)
-    la::axpy(beta_ * w[static_cast<std::size_t>(j)],
-             v_[static_cast<std::size_t>(j)], y);
+    la::axpy(beta_ * w[static_cast<std::size_t>(j)], col(j), y);
 }
 
 double KrylovSubspace::evaluate(double h, std::span<double> y) const {
@@ -95,10 +118,9 @@ void KrylovSubspace::grow(double h, const ArnoldiOptions& options) {
     converged_ = true;
     return;
   }
-  const std::size_t n = static_cast<std::size_t>(op_->dimension());
 
-  // Ensure the projection store is large enough (extensions may raise
-  // max_dim beyond the original allocation).
+  // Ensure the projection and basis stores are large enough (extensions
+  // may raise max_dim beyond the original allocation).
   if (h_hat_.cols() < static_cast<std::size_t>(options.max_dim)) {
     la::DenseMatrix bigger(static_cast<std::size_t>(options.max_dim) + 1,
                            static_cast<std::size_t>(options.max_dim));
@@ -107,9 +129,9 @@ void KrylovSubspace::grow(double h, const ArnoldiOptions& options) {
         bigger(i, j) = h_hat_(i, j);
     h_hat_ = std::move(bigger);
   }
+  reserve_basis(options.max_dim);
 
   converged_ = false;
-  std::vector<double> w(n);
   // Small solution at the previous convergence check. Successive iterates
   // all live in span(V_m) with V orthonormal, so
   // ||y_m - y_m'|| = beta * ||w_m - pad(w_m')|| exactly; this guards the
@@ -142,27 +164,34 @@ void KrylovSubspace::grow(double h, const ArnoldiOptions& options) {
     w_prev = hump.w;
     return est < options.tolerance;
   };
+  const std::size_t n = static_cast<std::size_t>(op_->dimension());
   while (m_ < options.max_dim) {
     const int j = m_;
-    op_->apply(v_[static_cast<std::size_t>(j)], w);
+    // The candidate vector is built directly in the next basis slot: no
+    // per-iteration heap traffic on the O(n) path (the resize stays
+    // within the reserved capacity and apply() overwrites the column).
+    if (vbuf_.size() < static_cast<std::size_t>(j + 2) * n)
+      vbuf_.resize(static_cast<std::size_t>(j + 2) * n);
+    const std::span<double> w = col(j + 1);
+    op_->apply(col(j), w, op_work_);
     ++ops_;
     const double w_norm_before = la::norm2(w);
 
     // Modified Gram-Schmidt (Alg. 1 lines 4-7).
     for (int i = 0; i <= j; ++i) {
-      const double hij = la::dot(w, v_[static_cast<std::size_t>(i)]);
+      const double hij = la::dot(w, col(i));
       h_hat_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = hij;
-      la::axpy(-hij, v_[static_cast<std::size_t>(i)], w);
+      la::axpy(-hij, col(i), w);
     }
     // One conditional reorthogonalization pass: when cancellation removed
     // most of w, a second sweep restores orthogonality (Kahan-Parlett
     // "twice is enough").
     if (la::norm2(w) < 0.5 * w_norm_before) {
       for (int i = 0; i <= j; ++i) {
-        const double corr = la::dot(w, v_[static_cast<std::size_t>(i)]);
+        const double corr = la::dot(w, col(i));
         h_hat_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
             corr;
-        la::axpy(-corr, v_[static_cast<std::size_t>(i)], w);
+        la::axpy(-corr, col(i), w);
       }
     }
 
@@ -180,9 +209,8 @@ void KrylovSubspace::grow(double h, const ArnoldiOptions& options) {
       return;
     }
 
-    std::vector<double> vnext = w;
-    la::scale(1.0 / hnext, vnext);
-    v_.push_back(std::move(vnext));
+    la::scale(1.0 / hnext, w);
+    vcount_ = m_ + 1;
 
     const bool check = m_ <= options.dense_check_limit ||
                        m_ % options.check_stride == 0 ||
@@ -223,9 +251,12 @@ KrylovSubspace arnoldi(const CircuitOperator& op, std::span<const double> v0,
   }
   s.h_hat_ = la::DenseMatrix(static_cast<std::size_t>(options.max_dim) + 1,
                              static_cast<std::size_t>(options.max_dim));
-  std::vector<double> v1(v0.begin(), v0.end());
+  s.reserve_basis(options.max_dim);
+  s.vbuf_.resize(static_cast<std::size_t>(op.dimension()));
+  const auto v1 = s.col(0);
+  std::copy(v0.begin(), v0.end(), v1.begin());
   la::scale(1.0 / s.beta_, v1);
-  s.v_.push_back(std::move(v1));
+  s.vcount_ = 1;
   s.grow(h, options);
   return s;
 }

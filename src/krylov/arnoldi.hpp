@@ -93,9 +93,18 @@ class KrylovSubspace {
 
   void grow(double h, const ArnoldiOptions& options);
   void finalize();
+  void reserve_basis(int max_dim);
+  std::span<double> col(int j);
+  std::span<const double> col(int j) const;
 
   const CircuitOperator* op_ = nullptr;
-  std::vector<std::vector<double>> v_;  // basis vectors v_1..v_{m+1}
+  // Basis vectors v_1..v_{m+1} stored contiguously column-major (stride
+  // n): one buffer sized at construction instead of one heap vector per
+  // Arnoldi iteration, so grow() performs no per-step allocation.
+  std::vector<double> vbuf_;
+  int vcount_ = 0;     // columns currently held (m_ or m_ + 1)
+  int vcap_ = 0;       // column capacity of vbuf_
+  std::vector<double> op_work_;         // persistent apply() workspace
   la::DenseMatrix h_hat_;               // (max_dim+1) x max_dim projections
   la::DenseMatrix hm_;                  // transformed m x m matrix
   // Posterior-estimate ingredients (Eqs. 7/8/10 without the unavailable

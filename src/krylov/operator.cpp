@@ -58,26 +58,31 @@ CircuitOperator::CircuitOperator(const la::CscMatrix& c, const la::CscMatrix& g,
 
 void CircuitOperator::apply(std::span<const double> x,
                             std::span<double> y) const {
+  std::vector<double> work(x.size());
+  apply(x, y, work);
+}
+
+void CircuitOperator::apply(std::span<const double> x, std::span<double> y,
+                            std::span<double> work) const {
   MATEX_CHECK(x.size() == static_cast<std::size_t>(dimension()) &&
-              y.size() == x.size());
-  std::vector<double> scratch(x.size());
+              y.size() == x.size() && work.size() == x.size());
   switch (kind_) {
     case KrylovKind::kStandard:
       // y = -C^{-1} (G x)
-      g_->multiply(x, scratch);
+      g_->multiply(x, y);
       break;
     case KrylovKind::kInverted:
       // y = -G^{-1} (C x)
-      c_->multiply(x, scratch);
+      c_->multiply(x, y);
       break;
     case KrylovKind::kRational:
       // y = (C + gamma G)^{-1} (C x)
-      c_->multiply(x, scratch);
+      c_->multiply(x, y);
       break;
   }
-  lu_->solve_in_place(scratch);
-  const double sign = kind_ == KrylovKind::kRational ? 1.0 : -1.0;
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] = sign * scratch[i];
+  lu_->solve_in_place(y, work);
+  if (kind_ != KrylovKind::kRational)
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = -y[i];
 }
 
 la::DenseMatrix CircuitOperator::to_exponential_matrix(

@@ -69,9 +69,15 @@ class CircuitOperator {
                   KrylovKind kind, double gamma,
                   std::shared_ptr<la::SparseLU> factors);
 
-  /// y := Op(x). Sizes must equal dimension(). Thread-safe: concurrent
-  /// applies against one operator are allowed.
+  /// y := Op(x). Sizes must equal dimension(); x and y must not alias
+  /// (y doubles as the spmv target). Thread-safe: concurrent applies
+  /// against one operator are allowed.
   void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Allocation-free variant for hot loops: `work` must have dimension()
+  /// elements, be private to the calling thread, and not alias x or y.
+  void apply(std::span<const double> x, std::span<double> y,
+             std::span<double> work) const;
 
   la::index_t dimension() const { return c_->rows(); }
   KrylovKind kind() const { return kind_; }

@@ -45,8 +45,20 @@ namespace detail {
 /// Precondition check that throws InvalidArgument with location info.
 /// Used for conditions that depend on caller input and must survive in
 /// release builds (unlike assert).
+///
+/// The const char* overload is what string-literal messages bind to: it
+/// keeps the success path free of temporary std::string construction
+/// (i.e. free of heap allocation), which matters because these checks
+/// guard the per-step solve/apply kernels.
 inline void check(bool condition, const char* what,
-                  const std::string& message = "",
+                  const char* message = "",
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!condition) detail::throw_check_failure(what, message, loc);
+}
+
+inline void check(bool condition, const char* what,
+                  const std::string& message,
                   const std::source_location loc =
                       std::source_location::current()) {
   if (!condition) detail::throw_check_failure(what, message, loc);

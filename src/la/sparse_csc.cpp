@@ -174,6 +174,24 @@ std::vector<double> CscMatrix::to_dense_column_major() const {
   return d;
 }
 
+std::uint64_t pattern_fingerprint(const CscMatrix& m) {
+  constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  std::uint64_t h = kFnvOffset;
+  const auto mix_bytes = [&h](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= kFnvPrime;
+    }
+  };
+  const std::int64_t shape[2] = {m.rows(), m.cols()};
+  mix_bytes(shape, sizeof(shape));
+  mix_bytes(m.col_ptr().data(), m.col_ptr().size() * sizeof(index_t));
+  mix_bytes(m.row_idx().data(), m.row_idx().size() * sizeof(index_t));
+  return h;
+}
+
 CscMatrix add_scaled(double alpha, const CscMatrix& a, double beta,
                      const CscMatrix& b) {
   MATEX_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),

@@ -91,6 +91,12 @@ class CscMatrix {
   std::vector<double> values_;
 };
 
+/// 64-bit FNV-1a fingerprint of the sparsity *pattern* only (shape,
+/// col_ptr, row_idx -- values excluded). Matrices produced by sweeping
+/// numeric parameters over one structure (gamma, Vdd, step size) share
+/// this fingerprint, which keys the reuse of symbolic LU analyses.
+std::uint64_t pattern_fingerprint(const CscMatrix& m);
+
 /// Returns alpha*A + beta*B (pattern union; shapes must match).
 CscMatrix add_scaled(double alpha, const CscMatrix& a, double beta,
                      const CscMatrix& b);

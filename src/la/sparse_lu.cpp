@@ -59,22 +59,124 @@ index_t symbolic_reach(const CscMatrix& a, index_t col,
   return top;
 }
 
+/// Depth-first reach of `start` in the column graph of a *completed*
+/// triangular factor stored in pivot coordinates: the neighbors of node j
+/// are rows[colptr[j]+head_skip .. colptr[j+1]-1-tail_skip). Appends newly
+/// reached nodes to `reach` (arbitrary order; callers sort) and leaves
+/// them marked. Allocation-free; stacks must have capacity n.
+///
+/// Stops early once `reach` exceeds `max_reach` entries and returns true
+/// ("reach is dense-ish, give up"): every marked node is still listed in
+/// `reach` so the caller can clear the marks, but the list is then
+/// incomplete and only usable for that cleanup.
+bool factor_reach(index_t start, std::span<const index_t> colptr,
+                  std::span<const index_t> rows, index_t head_skip,
+                  index_t tail_skip, index_t max_reach,
+                  std::vector<char>& marked, std::vector<index_t>& reach,
+                  std::vector<index_t>& node_stack,
+                  std::vector<index_t>& pos_stack) {
+  if (marked[static_cast<std::size_t>(start)]) return false;
+  index_t head = 0;
+  node_stack[0] = start;
+  while (head >= 0) {
+    const index_t j = node_stack[static_cast<std::size_t>(head)];
+    if (!marked[static_cast<std::size_t>(j)]) {
+      marked[static_cast<std::size_t>(j)] = 1;
+      pos_stack[static_cast<std::size_t>(head)] =
+          colptr[static_cast<std::size_t>(j)] + head_skip;
+      if (static_cast<index_t>(reach.size()) + head > max_reach) {
+        // Abort: flush the in-flight stack so `reach` covers every
+        // marked node, then report the overflow.
+        for (index_t u = 0; u <= head; ++u)
+          reach.push_back(node_stack[static_cast<std::size_t>(u)]);
+        return true;
+      }
+    }
+    bool descended = false;
+    const index_t pend = colptr[static_cast<std::size_t>(j) + 1] - tail_skip;
+    for (index_t p = pos_stack[static_cast<std::size_t>(head)]; p < pend;
+         ++p) {
+      const index_t i = rows[static_cast<std::size_t>(p)];
+      if (marked[static_cast<std::size_t>(i)]) continue;
+      pos_stack[static_cast<std::size_t>(head)] = p + 1;
+      ++head;
+      node_stack[static_cast<std::size_t>(head)] = i;
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      --head;
+      reach.push_back(j);
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
+void SparseRhsWorkspace::resize(index_t n) {
+  n_ = n;
+  const std::size_t un = static_cast<std::size_t>(n);
+  x_.assign(un, 0.0);
+  marked_.assign(un, 0);
+  reach_l_.clear();
+  reach_l_.reserve(un);
+  reach_u_.clear();
+  reach_u_.reserve(un);
+  node_stack_.resize(un);
+  pos_stack_.resize(un);
+}
+
 SparseLU::SparseLU(const CscMatrix& a, SparseLuOptions options) {
+  factorize_full(a, options);
+}
+
+SparseLU::SparseLU(const CscMatrix& a,
+                   std::shared_ptr<const SymbolicLU> symbolic,
+                   SparseLuOptions options) {
+  MATEX_CHECK(symbolic != nullptr, "symbolic analysis must not be null");
+  MATEX_CHECK(a.rows() == a.cols(), "SparseLU requires a square matrix");
+  MATEX_CHECK(a.rows() == symbolic->order(),
+              "matrix order does not match the symbolic analysis");
+  MATEX_CHECK(pattern_fingerprint(a) == symbolic->pattern_fp(),
+              "matrix sparsity pattern does not match the symbolic "
+              "analysis (refactorization requires an identical pattern)");
+  sym_ = std::move(symbolic);
+  if (refactor_numeric(a, options)) {
+    refactored_ = true;
+    return;
+  }
+  // Pivot-tolerance violation: the frozen pivot sequence is numerically
+  // inadmissible for these values. Fall back to a full pivoting
+  // factorization (builds a fresh symbolic analysis).
+  factorize_full(a, options);
+}
+
+void SparseLU::factorize_full(const CscMatrix& a,
+                              const SparseLuOptions& options) {
   MATEX_CHECK(a.rows() == a.cols(), "SparseLU requires a square matrix");
   MATEX_CHECK(options.pivot_tol > 0.0 && options.pivot_tol <= 1.0,
               "pivot_tol must be in (0, 1]");
-  n_ = a.rows();
+  auto sym = std::make_shared<SymbolicLU>();
+  const index_t n_ = a.rows();
+  sym->n_ = n_;
   const std::size_t n = static_cast<std::size_t>(n_);
-  q_ = compute_ordering(a, options.ordering);
+  sym->q_ = compute_ordering(a, options.ordering);
+  auto& q_ = sym->q_;
+  auto& pinv_ = sym->pinv_;
+  auto& l_colptr_ = sym->l_colptr_;
+  auto& l_rows_ = sym->l_rows_;
+  auto& u_colptr_ = sym->u_colptr_;
+  auto& u_rows_ = sym->u_rows_;
   pinv_.assign(n, -1);
 
   l_colptr_.assign(1, 0);
   u_colptr_.assign(1, 0);
   l_rows_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
+  l_vals_.clear();
   l_vals_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
   u_rows_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
+  u_vals_.clear();
   u_vals_.reserve(static_cast<std::size_t>(a.nnz()) * 4);
 
   std::vector<double> x(n, 0.0);
@@ -160,45 +262,131 @@ SparseLU::SparseLU(const CscMatrix& a, SparseLuOptions options) {
                     ? 0.0
                     : static_cast<double>(l_rows_.size() + u_rows_.size()) /
                           static_cast<double>(a.nnz());
+  sym->pattern_fp_ = pattern_fingerprint(a);
+  sym_ = std::move(sym);
+  refactored_ = false;
+}
+
+bool SparseLU::refactor_numeric(const CscMatrix& a,
+                                const SparseLuOptions& options) {
+  MATEX_CHECK(options.refactor_pivot_tol > 0.0 &&
+                  options.refactor_pivot_tol <= 1.0,
+              "refactor_pivot_tol must be in (0, 1]");
+  const SymbolicLU& s = *sym_;
+  const index_t n_ = s.n_;
+  const std::size_t n = static_cast<std::size_t>(n_);
+  l_vals_.assign(s.l_rows_.size(), 0.0);
+  u_vals_.assign(s.u_rows_.size(), 0.0);
+  std::vector<double> x(n, 0.0);
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  for (index_t k = 0; k < n_; ++k) {
+    const index_t col = s.q_[static_cast<std::size_t>(k)];
+
+    // Scatter A(:, col) into pivot coordinates. Every entry lands inside
+    // the union pattern of this L/U column (the pattern check in the
+    // constructor guarantees it).
+    for (index_t pa = a.col_ptr()[col]; pa < a.col_ptr()[col + 1]; ++pa)
+      x[static_cast<std::size_t>(
+          s.pinv_[static_cast<std::size_t>(a.row_idx()[pa])])] =
+          a.values()[pa];
+
+    // Replay x = L \ A(:, col) along the stored U pattern. The entries
+    // are stored in the topological order of the original reach, so every
+    // x[j] is final when read -- the exact operation sequence of the full
+    // factorization, which is what makes same-values refactorization
+    // bitwise identical.
+    const index_t u_begin = s.u_colptr_[static_cast<std::size_t>(k)];
+    const index_t u_diag = s.u_colptr_[static_cast<std::size_t>(k) + 1] - 1;
+    for (index_t p = u_begin; p < u_diag; ++p) {
+      const index_t j = s.u_rows_[static_cast<std::size_t>(p)];
+      const double xj = x[static_cast<std::size_t>(j)];
+      u_vals_[static_cast<std::size_t>(p)] = xj;
+      if (xj == 0.0) continue;
+      for (index_t pl = s.l_colptr_[static_cast<std::size_t>(j)] + 1;
+           pl < s.l_colptr_[static_cast<std::size_t>(j) + 1]; ++pl)
+        x[static_cast<std::size_t>(
+            s.l_rows_[static_cast<std::size_t>(pl)])] -=
+            l_vals_[static_cast<std::size_t>(pl)] * xj;
+    }
+
+    // Frozen pivot admissibility: compare against the rows the original
+    // pivot search chose from (the pivot itself plus this column's L
+    // rows).
+    const index_t l_begin = s.l_colptr_[static_cast<std::size_t>(k)];
+    const index_t l_end = s.l_colptr_[static_cast<std::size_t>(k) + 1];
+    const double pivot = x[static_cast<std::size_t>(k)];
+    double amax = std::abs(pivot);
+    for (index_t pl = l_begin + 1; pl < l_end; ++pl)
+      amax = std::max(amax, std::abs(x[static_cast<std::size_t>(
+                                s.l_rows_[static_cast<std::size_t>(pl)])]));
+    if (!(std::abs(pivot) >= options.refactor_pivot_tol * amax) ||
+        pivot == 0.0)
+      return false;  // includes the all-zero column (amax == 0) case
+    min_pivot_ = std::min(min_pivot_, std::abs(pivot));
+
+    u_vals_[static_cast<std::size_t>(u_diag)] = pivot;
+    l_vals_[static_cast<std::size_t>(l_begin)] = 1.0;
+    for (index_t pl = l_begin + 1; pl < l_end; ++pl) {
+      const index_t i = s.l_rows_[static_cast<std::size_t>(pl)];
+      l_vals_[static_cast<std::size_t>(pl)] =
+          x[static_cast<std::size_t>(i)] / pivot;
+      x[static_cast<std::size_t>(i)] = 0.0;
+    }
+    for (index_t p = u_begin; p <= u_diag; ++p)
+      x[static_cast<std::size_t>(s.u_rows_[static_cast<std::size_t>(p)])] =
+          0.0;
+  }
+
+  fill_ratio_ = a.nnz() == 0
+                    ? 0.0
+                    : static_cast<double>(s.l_rows_.size() +
+                                          s.u_rows_.size()) /
+                          static_cast<double>(a.nnz());
+  return true;
 }
 
 void SparseLU::solve_in_place(std::span<double> b) const {
-  std::vector<double> work(static_cast<std::size_t>(n_));
+  std::vector<double> work(static_cast<std::size_t>(order()));
   solve_in_place(b, work);
 }
 
 void SparseLU::solve_in_place(std::span<double> b,
                               std::span<double> work) const {
+  const SymbolicLU& s = *sym_;
+  const index_t n_ = s.n_;
   MATEX_CHECK(b.size() == static_cast<std::size_t>(n_));
   MATEX_CHECK(work.size() == static_cast<std::size_t>(n_));
   auto& work_ = work;
   // work = P b
   for (index_t i = 0; i < n_; ++i)
-    work_[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])] =
+    work_[static_cast<std::size_t>(s.pinv_[static_cast<std::size_t>(i)])] =
         b[static_cast<std::size_t>(i)];
   // Forward substitution: L y = work (unit diagonal stored first).
   for (index_t j = 0; j < n_; ++j) {
     const double xj = work_[static_cast<std::size_t>(j)];
     if (xj == 0.0) continue;
-    for (index_t p = l_colptr_[static_cast<std::size_t>(j)] + 1;
-         p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
-      work_[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])] -=
+    for (index_t p = s.l_colptr_[static_cast<std::size_t>(j)] + 1;
+         p < s.l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      work_[static_cast<std::size_t>(
+          s.l_rows_[static_cast<std::size_t>(p)])] -=
           l_vals_[static_cast<std::size_t>(p)] * xj;
   }
   // Backward substitution: U z = y (diagonal stored last).
   for (index_t j = n_; j-- > 0;) {
-    const index_t pend = u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
+    const index_t pend = s.u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
     work_[static_cast<std::size_t>(j)] /=
         u_vals_[static_cast<std::size_t>(pend)];
     const double xj = work_[static_cast<std::size_t>(j)];
     if (xj == 0.0) continue;
-    for (index_t p = u_colptr_[static_cast<std::size_t>(j)]; p < pend; ++p)
-      work_[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])] -=
+    for (index_t p = s.u_colptr_[static_cast<std::size_t>(j)]; p < pend; ++p)
+      work_[static_cast<std::size_t>(
+          s.u_rows_[static_cast<std::size_t>(p)])] -=
           u_vals_[static_cast<std::size_t>(p)] * xj;
   }
   // b = Q z
   for (index_t k = 0; k < n_; ++k)
-    b[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])] =
+    b[static_cast<std::size_t>(s.q_[static_cast<std::size_t>(k)])] =
         work_[static_cast<std::size_t>(k)];
 }
 
@@ -208,37 +396,200 @@ std::vector<double> SparseLU::solve(std::span<const double> b) const {
   return x;
 }
 
-std::vector<double> SparseLU::solve_transpose(std::span<const double> b) const {
+void SparseLU::solve_transpose(std::span<const double> b, std::span<double> x,
+                               std::span<double> work) const {
+  const SymbolicLU& s = *sym_;
+  const index_t n_ = s.n_;
   MATEX_CHECK(b.size() == static_cast<std::size_t>(n_));
+  MATEX_CHECK(x.size() == static_cast<std::size_t>(n_));
+  MATEX_CHECK(work.size() == static_cast<std::size_t>(n_));
+  auto& w = work;
   // A' = Q U' L' P, so solve U' w = Q'b, then L' v = w, then x = P' v.
-  std::vector<double> w(static_cast<std::size_t>(n_));
   for (index_t k = 0; k < n_; ++k)
     w[static_cast<std::size_t>(k)] =
-        b[static_cast<std::size_t>(q_[static_cast<std::size_t>(k)])];
+        b[static_cast<std::size_t>(s.q_[static_cast<std::size_t>(k)])];
   // U' is lower triangular: forward substitution over columns of U.
   for (index_t j = 0; j < n_; ++j) {
-    const index_t pend = u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
-    double s = w[static_cast<std::size_t>(j)];
-    for (index_t p = u_colptr_[static_cast<std::size_t>(j)]; p < pend; ++p)
-      s -= u_vals_[static_cast<std::size_t>(p)] *
-           w[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(p)])];
+    const index_t pend = s.u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
+    double sum = w[static_cast<std::size_t>(j)];
+    for (index_t p = s.u_colptr_[static_cast<std::size_t>(j)]; p < pend; ++p)
+      sum -= u_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(
+                 s.u_rows_[static_cast<std::size_t>(p)])];
     w[static_cast<std::size_t>(j)] =
-        s / u_vals_[static_cast<std::size_t>(pend)];
+        sum / u_vals_[static_cast<std::size_t>(pend)];
   }
   // L' is upper triangular with unit diagonal: backward substitution.
   for (index_t j = n_; j-- > 0;) {
-    double s = w[static_cast<std::size_t>(j)];
-    for (index_t p = l_colptr_[static_cast<std::size_t>(j)] + 1;
-         p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
-      s -= l_vals_[static_cast<std::size_t>(p)] *
-           w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(p)])];
-    w[static_cast<std::size_t>(j)] = s;
+    double sum = w[static_cast<std::size_t>(j)];
+    for (index_t p = s.l_colptr_[static_cast<std::size_t>(j)] + 1;
+         p < s.l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+      sum -= l_vals_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(
+                 s.l_rows_[static_cast<std::size_t>(p)])];
+    w[static_cast<std::size_t>(j)] = sum;
   }
-  std::vector<double> x(static_cast<std::size_t>(n_));
   for (index_t i = 0; i < n_; ++i)
     x[static_cast<std::size_t>(i)] =
-        w[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])];
+        w[static_cast<std::size_t>(s.pinv_[static_cast<std::size_t>(i)])];
+}
+
+std::vector<double> SparseLU::solve_transpose(
+    std::span<const double> b) const {
+  const std::size_t n = static_cast<std::size_t>(order());
+  std::vector<double> x(n), work(n);
+  solve_transpose(b, x, work);
   return x;
+}
+
+std::span<const index_t> SparseLU::solve_sparse_rhs(
+    std::span<const index_t> rhs_rows, std::span<const double> rhs_vals,
+    std::span<double> x, SparseRhsWorkspace& ws) const {
+  const SymbolicLU& s = *sym_;
+  const index_t n_ = s.n_;
+  MATEX_CHECK(rhs_rows.size() == rhs_vals.size(),
+              "rhs pattern/value size mismatch");
+  MATEX_CHECK(x.size() == static_cast<std::size_t>(n_));
+  if (ws.size() != n_) ws.resize(n_);
+  // Once the reach covers a sizable fraction of the matrix, the
+  // reach-restricted path stops paying for its DFS + sort and the plain
+  // zero-skipping substitution over all columns is faster. Both branches
+  // execute the identical floating-point operation sequence, so the
+  // result does not depend on which one runs.
+  const index_t dense_cutoff = n_ / 4;
+
+  // Validate every index before any traversal: throwing mid-reach would
+  // leave nodes marked with no record to clean them up by, silently
+  // corrupting later solves against the same workspace.
+  for (const index_t r : rhs_rows)
+    MATEX_CHECK(r >= 0 && r < n_, "rhs row index out of range");
+
+  // --- Reach of the RHS pattern in the graph of L (pivot coordinates).
+  ws.reach_l_.clear();
+  bool l_overflow = false;
+  for (std::size_t i = 0; i < rhs_rows.size(); ++i) {
+    l_overflow = factor_reach(
+        s.pinv_[static_cast<std::size_t>(rhs_rows[i])], s.l_colptr_,
+        s.l_rows_, /*head_skip=*/1, /*tail_skip=*/0, dense_cutoff,
+        ws.marked_, ws.reach_l_, ws.node_stack_, ws.pos_stack_);
+    if (l_overflow) break;
+  }
+
+  // Scatter P b into the accumulator (all-zero between calls).
+  for (std::size_t i = 0; i < rhs_rows.size(); ++i)
+    ws.x_[static_cast<std::size_t>(
+        s.pinv_[static_cast<std::size_t>(rhs_rows[i])])] = rhs_vals[i];
+
+  // Gathers the full permuted solution, restores the accumulator, and
+  // reports the all-columns pattern (used by the dense fallbacks).
+  const auto gather_dense = [&]() -> std::span<const index_t> {
+    ws.reach_u_.clear();
+    for (index_t k = 0; k < n_; ++k) {
+      const std::size_t kk = static_cast<std::size_t>(k);
+      const index_t orig = s.q_[kk];
+      x[static_cast<std::size_t>(orig)] = ws.x_[kk];
+      ws.x_[kk] = 0.0;
+      ws.reach_u_.push_back(orig);
+    }
+    return ws.reach_u_;
+  };
+
+  bool forward_done = false;
+  if (l_overflow) {
+    // Dense-fallback forward: clear the marks and walk every column.
+    for (const index_t j : ws.reach_l_)
+      ws.marked_[static_cast<std::size_t>(j)] = 0;
+    for (index_t j = 0; j < n_; ++j) {
+      const double xj = ws.x_[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (index_t p = s.l_colptr_[static_cast<std::size_t>(j)] + 1;
+           p < s.l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+        ws.x_[static_cast<std::size_t>(
+            s.l_rows_[static_cast<std::size_t>(p)])] -=
+            l_vals_[static_cast<std::size_t>(p)] * xj;
+    }
+    forward_done = true;
+  } else {
+    // Ascending position order makes the restricted substitution perform
+    // the exact operation sequence of the dense solve (which walks all
+    // columns ascending and skips zeros), so results are bitwise
+    // identical.
+    std::sort(ws.reach_l_.begin(), ws.reach_l_.end());
+    for (const index_t j : ws.reach_l_) {
+      ws.marked_[static_cast<std::size_t>(j)] = 0;  // reset for the U reach
+      const double xj = ws.x_[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (index_t p = s.l_colptr_[static_cast<std::size_t>(j)] + 1;
+           p < s.l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+        ws.x_[static_cast<std::size_t>(
+            s.l_rows_[static_cast<std::size_t>(p)])] -=
+            l_vals_[static_cast<std::size_t>(p)] * xj;
+    }
+  }
+
+  // Full backward substitution over all columns (dense order; out-of-
+  // reach entries are zero and divide to +-0 exactly like solve()).
+  const auto backward_dense = [&]() {
+    for (index_t j = n_; j-- > 0;) {
+      const index_t pend = s.u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
+      ws.x_[static_cast<std::size_t>(j)] /=
+          u_vals_[static_cast<std::size_t>(pend)];
+      const double xj = ws.x_[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (index_t p = s.u_colptr_[static_cast<std::size_t>(j)]; p < pend;
+           ++p)
+        ws.x_[static_cast<std::size_t>(
+            s.u_rows_[static_cast<std::size_t>(p)])] -=
+            u_vals_[static_cast<std::size_t>(p)] * xj;
+    }
+  };
+  if (forward_done) {
+    backward_dense();
+    return gather_dense();
+  }
+
+  // --- Reach of y's pattern in the graph of U (diagonal stored last).
+  ws.reach_u_.clear();
+  bool u_overflow = false;
+  for (const index_t j : ws.reach_l_) {
+    u_overflow = factor_reach(j, s.u_colptr_, s.u_rows_, /*head_skip=*/0,
+                              /*tail_skip=*/1, dense_cutoff, ws.marked_,
+                              ws.reach_u_, ws.node_stack_, ws.pos_stack_);
+    if (u_overflow) break;
+  }
+  if (u_overflow) {
+    for (const index_t j : ws.reach_u_)
+      ws.marked_[static_cast<std::size_t>(j)] = 0;
+    backward_dense();
+    return gather_dense();
+  }
+  // Descending order matches the dense backward substitution exactly.
+  std::sort(ws.reach_u_.begin(), ws.reach_u_.end(), std::greater<>());
+
+  // Backward substitution restricted to the reach.
+  for (const index_t j : ws.reach_u_) {
+    ws.marked_[static_cast<std::size_t>(j)] = 0;
+    const index_t pend = s.u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
+    ws.x_[static_cast<std::size_t>(j)] /=
+        u_vals_[static_cast<std::size_t>(pend)];
+    const double xj = ws.x_[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    for (index_t p = s.u_colptr_[static_cast<std::size_t>(j)]; p < pend; ++p)
+      ws.x_[static_cast<std::size_t>(
+          s.u_rows_[static_cast<std::size_t>(p)])] -=
+          u_vals_[static_cast<std::size_t>(p)] * xj;
+  }
+
+  // Gather x = Q z, restore the accumulator to all-zero, and rewrite the
+  // reach list to original indices for the caller.
+  for (index_t& k : ws.reach_u_) {
+    const std::size_t kk = static_cast<std::size_t>(k);
+    const index_t orig = s.q_[kk];
+    x[static_cast<std::size_t>(orig)] = ws.x_[kk];
+    ws.x_[kk] = 0.0;
+    k = orig;
+  }
+  return ws.reach_u_;
 }
 
 }  // namespace matex::la

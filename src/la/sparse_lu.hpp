@@ -1,10 +1,25 @@
 /// \file sparse_lu.hpp
-/// \brief Sparse LU factorization (left-looking Gilbert-Peierls).
+/// \brief Sparse LU factorization (left-looking Gilbert-Peierls) with a
+///        reusable symbolic analysis and a pattern-reusing numeric phase.
 ///
 /// This is the direct solver at the heart of every method in the paper:
 /// the TAU-contest-style flow factorizes once and then performs only pairs
 /// of forward/backward substitutions per step (Sec. 1), and MATEX reuses
 /// the factors of G and (C + gamma*G) across the whole transient run.
+///
+/// The factorization is split in two phases:
+///
+///  - SymbolicLU: the value-independent part -- fill-reducing ordering,
+///    pivot sequence, and the per-column nonzero patterns of L and U in
+///    topological (replayable) order. A gamma/Vdd sweep over one mesh
+///    produces matrices with identical sparsity patterns, so one symbolic
+///    analysis serves the whole campaign.
+///  - numeric refactorization: SparseLU(a, symbolic, options) re-fills the
+///    values along the cached pattern in a single allocation-light pass
+///    with no depth-first search and no pivot search. When the frozen
+///    pivot sequence hits a pivot-tolerance violation on the new values,
+///    the constructor transparently falls back to a full pivoting
+///    factorization (observable via refactored()).
 ///
 /// Design: symmetric fill-reducing pre-ordering (min degree / RCM),
 /// symbolic reach by depth-first search per column, threshold partial
@@ -12,6 +27,8 @@
 /// respected unless numerics demand otherwise.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,15 +45,88 @@ struct SparseLuOptions {
   /// |a_diag| >= pivot_tol * max|a_col|. 1.0 = strict partial pivoting,
   /// small values keep the fill-reducing order (KLU default is 1e-3).
   double pivot_tol = 1e-3;
+  /// Numeric refactorization accepts the frozen pivot of a column only if
+  /// |pivot| >= refactor_pivot_tol * max|candidate| (candidates are the
+  /// rows the original pivot search chose from). A violation triggers the
+  /// full-pivoting fallback.
+  double refactor_pivot_tol = 1e-6;
+};
+
+/// The value-independent half of a sparse LU: ordering, pivot sequence,
+/// and the nonzero patterns of L and U with per-column topological entry
+/// order. Immutable and shareable across any number of numeric
+/// refactorizations (and threads).
+class SymbolicLU {
+ public:
+  index_t order() const { return n_; }
+  /// Number of nonzeros in L (including the unit diagonal).
+  index_t nnz_l() const { return static_cast<index_t>(l_rows_.size()); }
+  /// Number of nonzeros in U (including the diagonal).
+  index_t nnz_u() const { return static_cast<index_t>(u_rows_.size()); }
+  /// pattern_fingerprint() of the matrix this analysis was computed from;
+  /// refactorization requires a matching fingerprint.
+  std::uint64_t pattern_fp() const { return pattern_fp_; }
+
+ private:
+  friend class SparseLU;
+
+  index_t n_ = 0;
+  std::uint64_t pattern_fp_ = 0;
+  // L: unit lower triangular; the pivot (value 1.0, row k after remap) is
+  // stored first in each column. U: upper triangular in pivot-position row
+  // indices; the diagonal is stored last in each column. Off-diagonal
+  // entries of each U column are stored in the topological order of the
+  // original reach, so the numeric phase can replay them directly.
+  std::vector<index_t> l_colptr_, l_rows_;
+  std::vector<index_t> u_colptr_, u_rows_;
+  std::vector<index_t> pinv_;  // original row index -> pivot position
+  std::vector<index_t> q_;     // column ordering (new j -> old column)
+};
+
+/// Reusable scratch for the sparse-right-hand-side solve (reach stacks,
+/// marks, and the dense accumulator). One per calling thread.
+class SparseRhsWorkspace {
+ public:
+  SparseRhsWorkspace() = default;
+  explicit SparseRhsWorkspace(index_t n) { resize(n); }
+  void resize(index_t n);
+  index_t size() const { return n_; }
+
+ private:
+  friend class SparseLU;
+  index_t n_ = 0;
+  std::vector<double> x_;           // dense accumulator (kept all-zero)
+  std::vector<char> marked_;        // kept all-zero between calls
+  std::vector<index_t> reach_l_, reach_u_;
+  std::vector<index_t> node_stack_, pos_stack_;
 };
 
 /// LU factors of a square sparse matrix with row pivoting and symmetric
-/// fill-reducing column ordering: P*A*Q = L*U.
+/// fill-reducing column ordering: P*A*Q = L*U. The pattern/pivot half
+/// lives in a shared SymbolicLU; this class owns only the numeric values.
 class SparseLU {
  public:
-  /// Factorizes `a`. Throws NumericalError if structurally or numerically
-  /// singular.
+  /// Factorizes `a` from scratch (symbolic + numeric). Throws
+  /// NumericalError if structurally or numerically singular.
   explicit SparseLU(const CscMatrix& a, SparseLuOptions options = {});
+
+  /// Numeric refactorization: re-fills the values of `a` along the cached
+  /// pattern of `symbolic` (no ordering, no DFS, no pivot search). `a`
+  /// must have exactly the sparsity pattern the analysis was built from
+  /// (checked via pattern_fingerprint()). If the frozen pivot sequence
+  /// violates options.refactor_pivot_tol on the new values, falls back to
+  /// a full pivoting factorization of `a` (refactored() then returns
+  /// false and symbolic() is a fresh analysis). Throws NumericalError if
+  /// `a` is singular.
+  SparseLU(const CscMatrix& a, std::shared_ptr<const SymbolicLU> symbolic,
+           SparseLuOptions options = {});
+
+  /// True if this factorization was produced by the fast numeric-only
+  /// path (no pivot-tolerance violation).
+  bool refactored() const { return refactored_; }
+
+  /// The shared symbolic analysis (never null).
+  const std::shared_ptr<const SymbolicLU>& symbolic() const { return sym_; }
 
   /// Solves A x = b in place (b must have order() elements).
   /// Thread-safe: concurrent solves against one factorization are
@@ -44,21 +134,47 @@ class SparseLU {
   void solve_in_place(std::span<double> b) const;
 
   /// Workspace-reusing variant for hot loops: `work` must have order()
-  /// elements and be private to the calling thread.
+  /// elements and be private to the calling thread. Performs no heap
+  /// allocation.
   void solve_in_place(std::span<double> b, std::span<double> work) const;
 
   /// Solves A x = b.
   std::vector<double> solve(std::span<const double> b) const;
 
-  /// Solves A' x = b (transpose solve).
+  /// Solves A' x = b (transpose solve) into `x` using caller-owned
+  /// scratch; allocation-free. `x` and `work` must have order() elements;
+  /// `b` may not alias `work`.
+  void solve_transpose(std::span<const double> b, std::span<double> x,
+                       std::span<double> work) const;
+
+  /// Solves A' x = b (allocating convenience wrapper).
   std::vector<double> solve_transpose(std::span<const double> b) const;
 
-  index_t order() const { return n_; }
+  /// Sparse-right-hand-side solve: A x = b where b is given as nonzero
+  /// coordinates `rhs_rows` / `rhs_vals` (indices need not be sorted but
+  /// must be distinct). Only the rows reachable from the RHS pattern are
+  /// touched: the substitutions are restricted to the symbolic reach in L
+  /// and U, which is what makes the localized per-node current-source
+  /// vectors of the distributed scheduler cheap. `x` must be all zeros on
+  /// entry and have order() elements; on return it holds the solution and
+  /// the returned span lists the positions that may now be nonzero (so
+  /// the caller can re-zero `x` in O(|reach|)). The returned span points
+  /// into `ws` and is invalidated by the next call. Performs no heap
+  /// allocation. The substitutions run in the dense solve's operation
+  /// order, so every reached entry is bitwise identical to solve();
+  /// positions outside the reach hold +0.0 (where the dense path may
+  /// produce -0.0), which compares equal under ==.
+  std::span<const index_t> solve_sparse_rhs(std::span<const index_t> rhs_rows,
+                                            std::span<const double> rhs_vals,
+                                            std::span<double> x,
+                                            SparseRhsWorkspace& ws) const;
+
+  index_t order() const { return sym_->order(); }
 
   /// Number of nonzeros in L (including the unit diagonal).
-  index_t nnz_l() const { return static_cast<index_t>(l_rows_.size()); }
+  index_t nnz_l() const { return sym_->nnz_l(); }
   /// Number of nonzeros in U (including the diagonal).
-  index_t nnz_u() const { return static_cast<index_t>(u_rows_.size()); }
+  index_t nnz_u() const { return sym_->nnz_u(); }
   /// Fill ratio (nnz(L)+nnz(U)) / nnz(A).
   double fill_ratio() const { return fill_ratio_; }
 
@@ -66,18 +182,18 @@ class SparseLU {
   double min_abs_pivot() const { return min_pivot_; }
 
  private:
-  index_t n_ = 0;
-  // L: unit lower triangular; the pivot (value 1.0, row k after remap) is
-  // stored first in each column. U: upper triangular in pivot-position row
-  // indices; the diagonal is stored last in each column.
-  std::vector<index_t> l_colptr_, l_rows_;
+  /// Full Gilbert-Peierls factorization (symbolic + numeric).
+  void factorize_full(const CscMatrix& a, const SparseLuOptions& options);
+  /// Numeric-only refill along sym_'s pattern. Returns false on a
+  /// pivot-tolerance violation (values are then unspecified).
+  bool refactor_numeric(const CscMatrix& a, const SparseLuOptions& options);
+
+  std::shared_ptr<const SymbolicLU> sym_;
   std::vector<double> l_vals_;
-  std::vector<index_t> u_colptr_, u_rows_;
   std::vector<double> u_vals_;
-  std::vector<index_t> pinv_;  // original row index -> pivot position
-  std::vector<index_t> q_;     // column ordering (new j -> old column)
   double fill_ratio_ = 0.0;
   double min_pivot_ = 0.0;
+  bool refactored_ = false;
 };
 
 }  // namespace matex::la

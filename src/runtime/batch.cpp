@@ -149,6 +149,10 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
   report.cache.hits = cache_after.hits - cache_before.hits;
   report.cache.misses = cache_after.misses - cache_before.misses;
   report.cache.evictions = cache_after.evictions - cache_before.evictions;
+  report.cache.symbolic_hits =
+      cache_after.symbolic_hits - cache_before.symbolic_hits;
+  report.cache.refactor_fallbacks =
+      cache_after.refactor_fallbacks - cache_before.refactor_fallbacks;
   report.cache.factor_seconds =
       cache_after.factor_seconds - cache_before.factor_seconds;
   const ThreadPoolStats pool_after = pool_->stats();

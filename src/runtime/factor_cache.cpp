@@ -58,6 +58,65 @@ std::size_t FactorCache::KeyHash::operator()(const FactorKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
+std::size_t FactorCache::SymbolicKeyHash::operator()(
+    const SymbolicKey& k) const {
+  std::uint64_t h = k.pattern_fp;
+  h = mix(h, static_cast<std::uint64_t>(k.ordering));
+  h = mix(h, k.pivot_bits);
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<la::SparseLU> FactorCache::factorize_with_symbolic(
+    const la::CscMatrix& m, const la::SparseLuOptions& options) {
+  if (capacity_ == 0)  // caching disabled: plain full factorization
+    return std::make_shared<la::SparseLU>(m, options);
+
+  SymbolicKey key;
+  key.pattern_fp = la::pattern_fingerprint(m);
+  key.ordering = static_cast<int>(options.ordering);
+  key.pivot_bits = std::bit_cast<std::uint64_t>(options.pivot_tol);
+
+  std::shared_ptr<const la::SymbolicLU> sym;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = symbolic_map_.find(key); it != symbolic_map_.end()) {
+      symbolic_lru_.splice(symbolic_lru_.begin(), symbolic_lru_,
+                           it->second.lru_it);
+      sym = it->second.symbolic;
+    }
+  }
+
+  // Factorize outside the lock: the numeric-only refactorization when the
+  // pattern is known, a full analysis otherwise (or when the frozen pivot
+  // sequence is inadmissible for these values -- the refactoring
+  // constructor falls back internally).
+  const bool had_symbolic = sym != nullptr;
+  auto lu = sym ? std::make_shared<la::SparseLU>(m, std::move(sym), options)
+                : std::make_shared<la::SparseLU>(m, options);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (lu->refactored()) {
+    ++stats_.symbolic_hits;
+    return lu;
+  }
+  if (had_symbolic) ++stats_.refactor_fallbacks;
+  // Publish (or refresh after a fallback) the symbolic analysis.
+  if (const auto it = symbolic_map_.find(key); it != symbolic_map_.end()) {
+    it->second.symbolic = lu->symbolic();
+    symbolic_lru_.splice(symbolic_lru_.begin(), symbolic_lru_,
+                         it->second.lru_it);
+  } else {
+    symbolic_lru_.push_front(key);
+    symbolic_map_.emplace(key,
+                          SymbolicSlot{lu->symbolic(), symbolic_lru_.begin()});
+    while (symbolic_map_.size() > capacity_) {
+      symbolic_map_.erase(symbolic_lru_.back());
+      symbolic_lru_.pop_back();
+    }
+  }
+  return lu;
+}
+
 FactorCache::FactorCache(std::size_t capacity) : capacity_(capacity) {}
 
 FactorCache::Entry FactorCache::get_or_factorize(
@@ -145,8 +204,8 @@ FactorCache::Entry FactorCache::g_factors(std::uint64_t fp_g,
   key.fp_b = fp_g;
   key.ordering = static_cast<int>(options.ordering);
   key.pivot_bits = std::bit_cast<std::uint64_t>(options.pivot_tol);
-  return get_or_factorize(
-      key, [&] { return std::make_shared<la::SparseLU>(g, options); });
+  return get_or_factorize(key,
+                          [&] { return factorize_with_symbolic(g, options); });
 }
 
 FactorCache::Entry FactorCache::operator_factors(
@@ -171,7 +230,7 @@ FactorCache::Entry FactorCache::operator_factors(
     key.family = FactorKey::Family::kC;
     key.fp_a = fp_c;
     return get_or_factorize(
-        key, [&] { return std::make_shared<la::SparseLU>(c, options); });
+        key, [&] { return factorize_with_symbolic(c, options); });
   }
   MATEX_CHECK(gamma > 0.0, "R-MATEX requires gamma > 0");
   key.family = FactorKey::Family::kCGammaG;
@@ -180,7 +239,7 @@ FactorCache::Entry FactorCache::operator_factors(
   key.gamma_bits = std::bit_cast<std::uint64_t>(gamma);
   return get_or_factorize(key, [&] {
     const la::CscMatrix shifted = la::add_scaled(1.0, c, gamma, g);
-    return std::make_shared<la::SparseLU>(shifted, options);
+    return factorize_with_symbolic(shifted, options);
   });
 }
 
@@ -192,6 +251,11 @@ std::size_t FactorCache::size() const {
   return ready;
 }
 
+std::size_t FactorCache::symbolic_size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return symbolic_map_.size();
+}
+
 FactorCacheStats FactorCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -201,6 +265,8 @@ void FactorCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
   lru_.clear();
+  symbolic_map_.clear();
+  symbolic_lru_.clear();
   stats_ = {};
 }
 

@@ -70,6 +70,13 @@ struct FactorCacheStats {
   long long hits = 0;        ///< requests served from the cache
   long long misses = 0;      ///< requests that factorized
   long long evictions = 0;   ///< entries dropped by LRU
+  /// Numeric misses whose factorization reused a cached symbolic
+  /// analysis (same sparsity pattern, different values): they skipped the
+  /// ordering + reach phases entirely.
+  long long symbolic_hits = 0;
+  /// Symbolic-cache hits whose numeric refactorization violated the
+  /// pivot tolerance and fell back to a full pivoting factorization.
+  long long refactor_fallbacks = 0;
   double factor_seconds = 0.0;  ///< wall time spent factorizing on misses
 
   double hit_rate() const {
@@ -128,6 +135,8 @@ class FactorCache {
   std::size_t capacity() const { return capacity_; }
   /// Number of resident (completed) factorizations.
   std::size_t size() const;
+  /// Number of resident symbolic analyses (pattern-fingerprint keyed).
+  std::size_t symbolic_size() const;
   FactorCacheStats stats() const;
   /// Drops all entries and resets the counters.
   void clear();
@@ -141,13 +150,39 @@ class FactorCache {
     bool ready = false;
     std::list<FactorKey>::iterator lru_it;
   };
+  /// Key of the symbolic (pattern-only) side cache: values are excluded,
+  /// so every same-pattern scenario of a gamma/Vdd sweep maps to one
+  /// analysis.
+  struct SymbolicKey {
+    std::uint64_t pattern_fp = 0;
+    int ordering = 0;
+    std::uint64_t pivot_bits = 0;
+    friend bool operator==(const SymbolicKey&, const SymbolicKey&) = default;
+  };
+  struct SymbolicKeyHash {
+    std::size_t operator()(const SymbolicKey& k) const;
+  };
+  struct SymbolicSlot {
+    std::shared_ptr<const la::SymbolicLU> symbolic;
+    std::list<SymbolicKey>::iterator lru_it;
+  };
 
   void evict_excess_locked();
+
+  /// Factorizes `m`, reusing a cached symbolic analysis of the same
+  /// sparsity pattern when one exists (numeric-only refactorization with
+  /// full-pivoting fallback on a pivot-tolerance violation). Stores the
+  /// resulting analysis for future same-pattern requests.
+  std::shared_ptr<la::SparseLU> factorize_with_symbolic(
+      const la::CscMatrix& m, const la::SparseLuOptions& options);
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::unordered_map<FactorKey, Slot, KeyHash> map_;
   std::list<FactorKey> lru_;  ///< most recently used at the front
+  std::unordered_map<SymbolicKey, SymbolicSlot, SymbolicKeyHash>
+      symbolic_map_;
+  std::list<SymbolicKey> symbolic_lru_;
   FactorCacheStats stats_;
 };
 

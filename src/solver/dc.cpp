@@ -11,9 +11,11 @@ DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
   const auto clock_start = std::chrono::steady_clock::now();
   DcResult result;
   result.g_factors = std::make_shared<la::SparseLU>(mna.g(), lu_options);
-  std::vector<double> rhs(static_cast<std::size_t>(mna.dimension()));
-  mna.rhs_at(t_start, rhs);
-  result.x = result.g_factors->solve(rhs);
+  const std::size_t n = static_cast<std::size_t>(mna.dimension());
+  result.x.resize(n);
+  mna.rhs_at(t_start, result.x);
+  std::vector<double> work(n);
+  result.g_factors->solve_in_place(result.x, work);
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     clock_start)
@@ -29,9 +31,11 @@ DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
   const auto clock_start = std::chrono::steady_clock::now();
   DcResult result;
   result.g_factors = std::move(g_factors);
-  std::vector<double> rhs(static_cast<std::size_t>(mna.dimension()));
-  mna.rhs_at(t_start, rhs);
-  result.x = result.g_factors->solve(rhs);
+  const std::size_t n = static_cast<std::size_t>(mna.dimension());
+  result.x.resize(n);
+  mna.rhs_at(t_start, result.x);
+  std::vector<double> work(n);
+  result.g_factors->solve_in_place(result.x, work);
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     clock_start)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "la/error.hpp"
@@ -50,7 +51,7 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
   std::vector<double> rhs(n), u_now(static_cast<std::size_t>(
                                 mna.input_count())),
       u_next(static_cast<std::size_t>(mna.input_count()));
-  std::vector<double> scratch(n);
+  std::vector<double> scratch(n), lu_work(n);
 
   if (observer) observer(options.t_start, x);
 
@@ -70,14 +71,18 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
                            t_next == options.t_end;
     const double step = shortened ? options.t_end - t : h;
     if (shortened && method != StepMethod::kForwardEuler) {
-      // Final partial step needs its own factorization.
+      // Final partial step needs its own factorization. The shifted
+      // system has the same sparsity pattern for every step size, so the
+      // numeric phase reuses the symbolic analysis of the main factor.
       const double a = 1.0 / step;
       const double b = method == StepMethod::kTrapezoidal ? 0.5 : 1.0;
       lu = std::make_unique<la::SparseLU>(la::add_scaled(a, c, b, g),
+                                          lu->symbolic(),
                                           options.lu_options);
       rhs_matrix = la::add_scaled(
           a, c, method == StepMethod::kTrapezoidal ? -0.5 : 0.0, g);
       ++stats.factorizations;
+      if (lu->refactored()) ++stats.refactorizations;
     }
     switch (method) {
       case StepMethod::kTrapezoidal: {
@@ -87,16 +92,16 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
         for (std::size_t k = 0; k < u_now.size(); ++k)
           u_now[k] = 0.5 * (u_now[k] + u_next[k]);
         mna.b().multiply_add(1.0, u_now, rhs);
-        lu->solve_in_place(rhs);
-        x = rhs;
+        lu->solve_in_place(rhs, lu_work);
+        std::swap(x, rhs);
         break;
       }
       case StepMethod::kBackwardEuler: {
         rhs_matrix.multiply(x, rhs);
         mna.input_at(t + step, u_next);
         mna.b().multiply_add(1.0, u_next, rhs);
-        lu->solve_in_place(rhs);
-        x = rhs;
+        lu->solve_in_place(rhs, lu_work);
+        std::swap(x, rhs);
         break;
       }
       case StepMethod::kForwardEuler: {
@@ -104,7 +109,7 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
         mna.input_at(t, u_now);
         mna.b().multiply(u_now, scratch);
         g.multiply_add(-1.0, x, scratch);
-        lu->solve_in_place(scratch);
+        lu->solve_in_place(scratch, lu_work);
         for (std::size_t i = 0; i < n; ++i) x[i] += step * scratch[i];
         break;
       }

@@ -1,0 +1,142 @@
+#include "solver/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "la/error.hpp"
+
+namespace matex::solver {
+
+void JsonWriter::comma_and_indent() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key": directly
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_and_indent();
+  out_ += '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MATEX_CHECK(!has_items_.empty(), "end_object without begin_object");
+  const bool had_items = has_items_.back();
+  has_items_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+  out_ += '}';
+  if (has_items_.empty()) out_ += '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_and_indent();
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MATEX_CHECK(!has_items_.empty(), "end_array without begin_array");
+  has_items_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  MATEX_CHECK(!pending_key_, "key() twice without a value");
+  comma_and_indent();
+  out_ += '"';
+  out_.append(k);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_and_indent();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  comma_and_indent();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_and_indent();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_and_indent();
+  out_ += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+  return *this;
+}
+
+double json_number_field(std::string_view text, std::string_view key,
+                         double fallback) {
+  const std::string needle = '"' + std::string(key) + '"';
+  std::size_t pos = text.find(needle);
+  if (pos == std::string_view::npos) return fallback;
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string_view::npos) return fallback;
+  ++pos;
+  while (pos < text.size() &&
+         (text[pos] == ' ' || text[pos] == '\n' || text[pos] == '\t'))
+    ++pos;
+  if (pos >= text.size()) return fallback;
+  const std::string num(text.substr(pos, 64));
+  char* end = nullptr;
+  const double v = std::strtod(num.c_str(), &end);
+  return end == num.c_str() ? fallback : v;
+}
+
+}  // namespace matex::solver

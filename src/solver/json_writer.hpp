@@ -1,0 +1,61 @@
+/// \file json_writer.hpp
+/// \brief Minimal dependency-free JSON emission (and a tiny field reader)
+///        for performance artifacts.
+///
+/// Every perf-sensitive PR leaves a measured trajectory behind as a
+/// BENCH_*.json file; this writer is shared by the bench harnesses
+/// (bench_hotpath) and by `matex_cli --perf-json`. It intentionally
+/// supports only what those artifacts need: nested objects/arrays,
+/// string/number/bool values, stable formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace matex::solver {
+
+/// Streaming JSON writer with automatic comma/indent management.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("n").value(4096);
+///   w.key("timings").begin_object(); ... w.end_object();
+///   w.end_object();
+///   write w.str() somewhere.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) {
+    return value(static_cast<long long>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  /// The serialized document (call after the outermost end_object()).
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma_and_indent();
+
+  std::string out_;
+  std::vector<bool> has_items_;  // per open scope
+  bool pending_key_ = false;
+};
+
+/// Scans `text` for `"key": <number>` and returns the number, or
+/// `fallback` if the key is absent. This is not a general JSON parser --
+/// it is the counterpart of JsonWriter for reading back our own flat
+/// performance baselines, where metric keys are unique in the document.
+double json_number_field(std::string_view text, std::string_view key,
+                         double fallback);
+
+}  // namespace matex::solver

@@ -33,6 +33,8 @@ struct TransientStats {
   long long steps = 0;            ///< accepted time steps
   long long rejected_steps = 0;   ///< adaptive rejections
   long long factorizations = 0;   ///< LU decompositions performed
+  long long refactorizations = 0; ///< numeric-only pattern-reusing LUs
+                                  ///< (subset of factorizations)
   long long solves = 0;           ///< pairs of fwd/bwd substitutions
   long long krylov_subspaces = 0; ///< Krylov subspaces generated
   long long krylov_dim_total = 0; ///< sum of converged dimensions
@@ -54,6 +56,7 @@ struct TransientStats {
     steps += other.steps;
     rejected_steps += other.rejected_steps;
     factorizations += other.factorizations;
+    refactorizations += other.refactorizations;
     solves += other.solves;
     krylov_subspaces += other.krylov_subspaces;
     krylov_dim_total += other.krylov_dim_total;

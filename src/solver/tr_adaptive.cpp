@@ -68,14 +68,23 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
   if (options.align_to_transitions)
     gts = mna.global_transition_spots(options.t_start, options.t_end);
 
-  // Factorization cache keyed by the exact step size.
+  // Factorization cache keyed by the exact step size. The shifted system
+  // C/h + G/2 keeps one sparsity pattern across all step sizes, so every
+  // re-factorization after the first is a numeric-only refill along the
+  // cached symbolic analysis (no ordering, no DFS).
   std::unique_ptr<la::SparseLU> lu;
   la::CscMatrix rhs_matrix;
   double factored_h = -1.0;
   const auto ensure_factor = [&](double h) {
     if (factored_h == h) return;
-    lu = std::make_unique<la::SparseLU>(la::add_scaled(1.0 / h, c, 0.5, g),
-                                        options.lu_options);
+    const la::CscMatrix sys = la::add_scaled(1.0 / h, c, 0.5, g);
+    if (lu) {
+      lu = std::make_unique<la::SparseLU>(sys, lu->symbolic(),
+                                          options.lu_options);
+      if (lu->refactored()) ++stats.refactorizations;
+    } else {
+      lu = std::make_unique<la::SparseLU>(sys, options.lu_options);
+    }
     rhs_matrix = la::add_scaled(1.0 / h, c, -0.5, g);
     factored_h = h;
     ++stats.factorizations;
@@ -121,7 +130,7 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
     }
   }
 
-  std::vector<double> rhs(n), x_new(n);
+  std::vector<double> rhs(n), x_new(n), lu_work(n);
   std::vector<double> u_now(static_cast<std::size_t>(mna.input_count()));
   std::vector<double> u_next(u_now.size());
   std::size_t gts_idx = 0;
@@ -154,7 +163,7 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
     for (std::size_t k = 0; k < u_now.size(); ++k)
       u_now[k] = 0.5 * (u_now[k] + u_next[k]);
     mna.b().multiply_add(1.0, u_now, rhs);
-    lu->solve_in_place(rhs);
+    lu->solve_in_place(rhs, lu_work);
     x_new = rhs;
     ++stats.solves;
 

@@ -1,6 +1,7 @@
 #include "la/sparse_lu.hpp"
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -162,6 +163,196 @@ TEST(SparseLU, ExtremeValueSpreadStaysAccurate) {
   const auto r = residual(a, x, b);
   // Backward-stable bound: residual small relative to |A| |x|.
   EXPECT_LE(norm_inf(r), 1e-12 * (a.norm1() * norm_inf(x) + norm_inf(b)));
+}
+
+// ------------------------------------------------------------------------
+// Symbolic/numeric split: refactorization along a cached pattern.
+
+/// Returns a copy of `a` with every stored value replaced (same pattern).
+CscMatrix with_scaled_values(const CscMatrix& a, double factor,
+                             double diag_boost) {
+  TripletMatrix t(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+      const index_t i = a.row_idx()[p];
+      t.add(i, j, a.values()[p] * factor + (i == j ? diag_boost : 0.0));
+    }
+  return t.to_csc();
+}
+
+TEST(SparseLuRefactor, SameValuesBitwiseIdentical) {
+  testing::Rng rng(31);
+  const index_t n = 60;
+  const auto a = testing::random_sparse_spd_like(n, 0.15, rng);
+  const SparseLU fresh(a);
+  const SparseLU refill(a, fresh.symbolic());
+  EXPECT_TRUE(refill.refactored());
+  EXPECT_EQ(refill.symbolic().get(), fresh.symbolic().get());
+  EXPECT_EQ(fresh.nnz_l(), refill.nnz_l());
+  EXPECT_EQ(fresh.nnz_u(), refill.nnz_u());
+  EXPECT_EQ(fresh.min_abs_pivot(), refill.min_abs_pivot());
+  const auto b = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const auto x1 = fresh.solve(b);
+  const auto x2 = refill.solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+}
+
+TEST(SparseLuRefactor, DifferentValuesSolveCorrectly) {
+  testing::Rng rng(32);
+  const index_t n = 50;
+  const auto a = testing::random_sparse_spd_like(n, 0.2, rng);
+  const SparseLU fresh(a);
+  // Same pattern, different values: the gamma-sweep situation.
+  const auto a2 = with_scaled_values(a, 3.5, 1.0);
+  const SparseLU refill(a2, fresh.symbolic());
+  EXPECT_TRUE(refill.refactored());
+  const auto b = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const auto x = refill.solve(b);
+  const double scale = a2.norm1() * norm_inf(x) + norm_inf(b);
+  EXPECT_LE(norm_inf(residual(a2, x, b)), 1e-12 * scale);
+  // And it must be exactly what a from-scratch factorization computes
+  // when that factorization chooses the same (diagonal) pivots.
+  const auto x_ref = SparseLU(a2).solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x_ref[i]);
+}
+
+TEST(SparseLuRefactor, PivotViolationFallsBackAndRecovers) {
+  // a1 is diagonally dominant -> diagonal pivots. a2 has the same 2x2
+  // dense pattern but a tiny diagonal and large off-diagonal, so the
+  // frozen diagonal pivot violates the refactor tolerance.
+  TripletMatrix t1(2, 2);
+  t1.add(0, 0, 4.0);
+  t1.add(0, 1, 1.0);
+  t1.add(1, 0, 1.0);
+  t1.add(1, 1, 4.0);
+  const auto a1 = t1.to_csc();
+  TripletMatrix t2(2, 2);
+  t2.add(0, 0, 1e-13);
+  t2.add(0, 1, 1.0);
+  t2.add(1, 0, 1.0);
+  t2.add(1, 1, 1e-13);
+  const auto a2 = t2.to_csc();
+
+  const SparseLU fresh(a1);
+  const SparseLU fallback(a2, fresh.symbolic());
+  EXPECT_FALSE(fallback.refactored());  // tolerance violation detected
+  EXPECT_NE(fallback.symbolic().get(), fresh.symbolic().get());
+  // ... and the full-pivoting fallback still solves accurately.
+  std::vector<double> b{1.0, 2.0};
+  const auto x = fallback.solve(b);
+  EXPECT_LE(norm_inf(residual(a2, x, b)), 1e-12);
+}
+
+TEST(SparseLuRefactor, SingularMatrixStillThrows) {
+  TripletMatrix t1(2, 2);
+  t1.add(0, 0, 2.0);
+  t1.add(0, 1, 1.0);
+  t1.add(1, 0, 1.0);
+  t1.add(1, 1, 2.0);
+  const auto a1 = t1.to_csc();
+  TripletMatrix t2(2, 2);  // same pattern, rank 1
+  t2.add(0, 0, 1.0);
+  t2.add(0, 1, 1.0);
+  t2.add(1, 0, 1.0);
+  t2.add(1, 1, 1.0);
+  const SparseLU fresh(a1);
+  EXPECT_THROW(SparseLU(t2.to_csc(), fresh.symbolic()), NumericalError);
+}
+
+TEST(SparseLuRefactor, PatternMismatchRejected) {
+  testing::Rng rng(33);
+  const auto a = testing::random_sparse_spd_like(20, 0.2, rng);
+  const auto other = testing::grid_laplacian(4, 5);
+  const SparseLU fresh(a);
+  EXPECT_THROW(SparseLU(other, fresh.symbolic()), InvalidArgument);
+}
+
+TEST(SparseLuRefactor, SharedSymbolicIsConcurrencySafeByConstness) {
+  // Many numeric factorizations can share one symbolic analysis object.
+  testing::Rng rng(34);
+  const auto a = testing::random_sparse_spd_like(40, 0.2, rng);
+  const SparseLU fresh(a);
+  std::vector<std::unique_ptr<SparseLU>> lus;
+  for (int i = 0; i < 4; ++i)
+    lus.push_back(std::make_unique<SparseLU>(
+        with_scaled_values(a, 1.0 + i, 0.5), fresh.symbolic()));
+  for (const auto& lu : lus) EXPECT_TRUE(lu->refactored());
+  EXPECT_GE(fresh.symbolic().use_count(), 5);
+}
+
+// ------------------------------------------------------------------------
+// Sparse-right-hand-side (reach-restricted) solve.
+
+TEST(SparseRhsSolve, MatchesDenseSolveOnRandomPatterns) {
+  testing::Rng rng(35);
+  for (int trial = 0; trial < 12; ++trial) {
+    const index_t n = static_cast<index_t>(15 + rng.index(60));
+    const auto a = testing::random_sparse_spd_like(n, 0.15, rng);
+    const SparseLU lu(a);
+    SparseRhsWorkspace ws(n);
+    // Between 1 and 5 distinct nonzero RHS entries.
+    const std::size_t k = 1 + rng.index(5);
+    std::vector<index_t> rows;
+    std::vector<double> vals;
+    std::vector<double> dense_b(static_cast<std::size_t>(n), 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const index_t r = static_cast<index_t>(rng.index(
+          static_cast<std::size_t>(n)));
+      if (dense_b[static_cast<std::size_t>(r)] != 0.0) continue;
+      const double v = rng.uniform(-2.0, 2.0);
+      rows.push_back(r);
+      vals.push_back(v);
+      dense_b[static_cast<std::size_t>(r)] = v;
+    }
+    std::vector<double> x_sparse(static_cast<std::size_t>(n), 0.0);
+    const auto pattern = lu.solve_sparse_rhs(rows, vals, x_sparse, ws);
+    const auto x_dense = lu.solve(dense_b);
+    for (std::size_t i = 0; i < x_dense.size(); ++i)
+      EXPECT_EQ(x_sparse[i], x_dense[i]) << "trial " << trial << " i " << i;
+    // The reported pattern covers every nonzero of the solution.
+    std::vector<char> in_pattern(static_cast<std::size_t>(n), 0);
+    for (const index_t i : pattern) in_pattern[static_cast<std::size_t>(i)] =
+        1;
+    for (std::size_t i = 0; i < x_dense.size(); ++i) {
+      if (x_sparse[i] != 0.0) {
+        EXPECT_TRUE(in_pattern[i]);
+      }
+    }
+    // Clearing the pattern restores the all-zero input invariant, so the
+    // workspace can be reused immediately.
+    for (const index_t i : pattern) x_sparse[static_cast<std::size_t>(i)] =
+        0.0;
+    for (const double v : x_sparse) EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(SparseRhsSolve, RepeatedCallsReuseWorkspace) {
+  testing::Rng rng(36);
+  const auto a = testing::random_sparse_spd_like(30, 0.2, rng);
+  const SparseLU lu(a);
+  SparseRhsWorkspace ws;
+  std::vector<double> x(30, 0.0);
+  const std::vector<index_t> rows{3};
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<double> vals{1.0 + i};
+    const auto pattern = lu.solve_sparse_rhs(rows, vals, x, ws);
+    std::vector<double> b(30, 0.0);
+    b[3] = 1.0 + i;
+    const auto x_ref = lu.solve(b);
+    for (std::size_t j = 0; j < x_ref.size(); ++j) EXPECT_EQ(x[j], x_ref[j]);
+    for (const index_t j : pattern) x[static_cast<std::size_t>(j)] = 0.0;
+  }
+}
+
+TEST(SparseLU, TransposeWorkspaceOverloadMatches) {
+  testing::Rng rng(37);
+  const auto a = testing::random_sparse_spd_like(25, 0.2, rng);
+  const SparseLU lu(a);
+  const auto b = testing::random_vector(25, rng);
+  const auto x_alloc = lu.solve_transpose(b);
+  std::vector<double> x(25), work(25);
+  lu.solve_transpose(b, x, work);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x_alloc[i]);
 }
 
 struct LuParam {

@@ -33,6 +33,14 @@ using circuit::Waveform;
 using solver::StateRecorder;
 using solver::uniform_grid;
 
+/// a's sparsity pattern with uniformly scaled values: the "same mesh,
+/// different parameters" shape the symbolic cache exists for.
+la::CscMatrix with_same_pattern_values(const la::CscMatrix& a, double f) {
+  la::CscMatrix m = a;
+  for (double& v : m.values()) v *= f;
+  return m;
+}
+
 // -------------------------------------------------------------- thread pool
 
 TEST(ThreadPool, SubmitReturnsResults) {
@@ -129,6 +137,53 @@ TEST(FactorCache, RepeatLookupsHitAndShareFactors) {
   g.multiply(x, back);
   for (std::size_t i = 0; i < back.size(); ++i)
     EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+TEST(FactorCache, SymbolicAnalysisSharedAcrossSamePatternValues) {
+  // A gamma sweep: C + gamma*G keeps one sparsity pattern while the
+  // values change, so the second factorization must be a numeric-only
+  // refill along the first one's symbolic analysis.
+  testing::Rng rng(21);
+  const auto c = testing::random_sparse_spd_like(40, 0.1, rng);
+  const auto g = with_same_pattern_values(c, 2.0);
+  FactorCache cache;
+  const la::SparseLuOptions opts;
+  const auto e1 = cache.operator_factors(c, g, krylov::KrylovKind::kRational,
+                                         1e-10, opts);
+  const auto e2 = cache.operator_factors(c, g, krylov::KrylovKind::kRational,
+                                         7e-10, opts);
+  EXPECT_FALSE(e1.hit);
+  EXPECT_FALSE(e2.hit);  // different gamma: a distinct numeric entry ...
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.symbolic_hits, 1);  // ... sharing the symbolic analysis
+  EXPECT_EQ(stats.refactor_fallbacks, 0);
+  EXPECT_TRUE(e2.factors->refactored());
+  EXPECT_EQ(e1.factors->symbolic().get(), e2.factors->symbolic().get());
+  EXPECT_GE(cache.symbolic_size(), 1u);
+
+  // The refactorized entry is the true LU of C + 7e-10*G.
+  const auto shifted = la::add_scaled(1.0, c, 7e-10, g);
+  const auto b = testing::random_vector(40, rng);
+  const auto x = e2.factors->solve(b);
+  std::vector<double> back(40);
+  shifted.multiply(x, back);
+  for (std::size_t i = 0; i < back.size(); ++i)
+    EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+TEST(FactorCache, CapacityZeroSkipsSymbolicCacheToo) {
+  testing::Rng rng(22);
+  const auto c = testing::random_sparse_spd_like(20, 0.2, rng);
+  const auto g = with_same_pattern_values(c, 3.0);
+  FactorCache cache(0);
+  const la::SparseLuOptions opts;
+  cache.operator_factors(c, g, krylov::KrylovKind::kRational, 1e-10, opts);
+  cache.operator_factors(c, g, krylov::KrylovKind::kRational, 2e-10, opts);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.symbolic_hits, 0);
+  EXPECT_EQ(cache.symbolic_size(), 0u);
 }
 
 TEST(FactorCache, KeyDiscriminatesKindGammaAndOptions) {
