@@ -6,10 +6,18 @@
 ///             [--tstep S] [--tstop S] [--gamma S] [--tol EPS]
 ///             [--threads N] [--batch] [--probe NODE]... [--out FILE]
 ///             [--perf-json FILE]
+///   matex_cli --verify [--update-goldens] [--goldens DIR]
+///   matex_cli --fuzz N [--fuzz-seed S] [--artifacts DIR]
 ///
 /// Defaults: method=rmatex, .tran card from the deck (or 10ps/10ns),
 /// gamma=tstep*10, probes = first few nodes, out = stdout table.
 /// With no arguments a built-in demo deck is simulated.
+///
+/// --verify runs the golden-waveform regression gate (src/verify) against
+/// the checked-in goldens (default DIR: tests/goldens, i.e. run from the
+/// repo root); --update-goldens re-blesses them after an intended numeric
+/// change. --fuzz N runs N seeded random differential scenarios; failures
+/// print a seed report and, with --artifacts, drop repro JSON files.
 ///
 /// --threads N runs the distributed scheduler's node subtasks (--method
 /// dist) or the batch campaign (--batch) on N worker threads
@@ -26,6 +34,8 @@
 /// --perf-json FILE dumps the run's timing / counter / cache-hit stats as
 /// JSON (same writer as the BENCH_*.json artifacts), so campaigns can be
 /// tracked by dashboards without scraping stderr.
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +43,7 @@
 #include <vector>
 
 #include <fstream>
+#include <iostream>
 
 #include "circuit/mna.hpp"
 #include "circuit/spice.hpp"
@@ -46,6 +57,8 @@
 #include "solver/observer.hpp"
 #include "solver/tr_adaptive.hpp"
 #include "solver/waveform_io.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/golden.hpp"
 
 namespace {
 
@@ -92,6 +105,12 @@ struct CliOptions {
   double tol = 1e-7;
   int threads = -1;  ///< -1 = not given; 0 = hardware concurrency
   bool batch = false;
+  bool verify = false;
+  bool update_goldens = false;
+  std::string goldens_dir = "tests/goldens";
+  int fuzz_cases = 0;  ///< > 0 enables fuzz mode
+  std::uint64_t fuzz_seed = 20140601;
+  std::string artifact_dir;
   std::vector<std::string> probes;
   std::string out_path;
   std::string perf_json_path;
@@ -131,7 +150,9 @@ bool write_perf_json(const std::string& path, const solver::JsonWriter& w) {
       "dist]\n"
       "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
       "                 [--threads N] [--batch]\n"
-      "                 [--probe NODE]... [--out FILE] [--perf-json FILE]\n");
+      "                 [--probe NODE]... [--out FILE] [--perf-json FILE]\n"
+      "       matex_cli --verify [--update-goldens] [--goldens DIR]\n"
+      "       matex_cli --fuzz N [--fuzz-seed S] [--artifacts DIR]\n");
   std::exit(2);
 }
 
@@ -163,6 +184,35 @@ CliOptions parse_args(int argc, char** argv) {
       opt.threads = static_cast<int>(parsed);
     } else if (arg == "--batch") {
       opt.batch = true;
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--update-goldens") {
+      opt.update_goldens = true;
+    } else if (arg == "--goldens") {
+      opt.goldens_dir = next();
+    } else if (arg == "--fuzz") {
+      const std::string value = next();
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || errno == ERANGE || parsed <= 0 ||
+          parsed > 1000000)
+        usage_and_exit();
+      opt.fuzz_cases = static_cast<int>(parsed);
+    } else if (arg == "--fuzz-seed") {
+      const std::string value = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      // strtoull silently wraps negatives; reject them so the reported
+      // "seed S" is always the seed that actually ran.
+      if (value.empty() || value[0] == '-' || *end != '\0' ||
+          errno == ERANGE)
+        usage_and_exit();
+      opt.fuzz_seed = parsed;
+    } else if (arg == "--artifacts") {
+      opt.artifact_dir = next();
     } else if (arg == "--probe") {
       opt.probes.push_back(next());
     } else if (arg == "--out") {
@@ -184,6 +234,30 @@ CliOptions parse_args(int argc, char** argv) {
 
 int main(int argc, char** argv) try {
   CliOptions cli = parse_args(argc, argv);
+
+  if (cli.verify) {
+    // Golden-waveform regression gate over the standard suite.
+    const auto report = verify::run_golden_gate(
+        cli.goldens_dir, cli.update_goldens, &std::cerr);
+    std::fprintf(stderr, "verify: %d scenarios, %d failures%s\n",
+                 report.checked, report.failures,
+                 cli.update_goldens ? " (goldens updated)" : "");
+    return report.failures == 0 ? 0 : 1;
+  }
+  if (cli.fuzz_cases > 0) {
+    verify::FuzzOptions fopt;
+    fopt.seed = cli.fuzz_seed;
+    fopt.cases = cli.fuzz_cases;
+    fopt.artifact_dir = cli.artifact_dir;
+    fopt.log = &std::cerr;
+    const auto report = verify::run_fuzz(fopt);
+    std::fprintf(stderr,
+                 "fuzz: seed %llu, %d cases, %lld checks, %d failures, "
+                 "worst err/tol %.3f\n",
+                 static_cast<unsigned long long>(report.seed), report.cases,
+                 report.checks, report.failures, report.max_err_ratio);
+    return report.failures == 0 ? 0 : 1;
+  }
 
   const circuit::SpiceDeck deck =
       cli.deck_path.empty() ? circuit::read_spice_string(kDemoDeck)

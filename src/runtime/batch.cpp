@@ -1,7 +1,10 @@
 #include "runtime/batch.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <map>
+#include <tuple>
 
 #include "la/error.hpp"
 #include "solver/observer.hpp"
@@ -85,6 +88,70 @@ const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
   }
 }
 
+void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios) {
+  if (cache_.capacity() == 0) return;
+  // Group the campaign's factorization requests by (deck, Vdd, LU
+  // options): one pool task per group, operators within a group in
+  // campaign order so a gamma sweep reuses the leader's symbolic
+  // analysis instead of racing three full factorizations. The full LU
+  // options travel with the group so prewarmed factors are exactly the
+  // factors the scenarios would have computed (including the
+  // refactor-fallback tolerance).
+  struct GroupKey {
+    std::size_t deck_index;
+    std::uint64_t vdd_bits;
+    la::SparseLuOptions lu;
+    auto tie() const {
+      return std::make_tuple(deck_index, vdd_bits,
+                             static_cast<int>(lu.ordering),
+                             std::bit_cast<std::uint64_t>(lu.pivot_tol),
+                             std::bit_cast<std::uint64_t>(
+                                 lu.refactor_pivot_tol));
+    }
+    bool operator<(const GroupKey& o) const { return tie() < o.tie(); }
+  };
+  using OperatorRequest = std::pair<krylov::KrylovKind, double>;
+  std::map<GroupKey, std::vector<OperatorRequest>> groups;
+  for (const ScenarioSpec& spec : scenarios) {
+    if (spec.deck_index >= decks_.size()) continue;
+    const core::MatexOptions& solver = spec.scheduler.solver;
+    const GroupKey key{spec.deck_index,
+                       std::bit_cast<std::uint64_t>(spec.vdd_scale),
+                       solver.lu_options};
+    auto& requests = groups[key];
+    // MEXP with C-regularization factorizes a modified C the solver
+    // builds itself; only LU(G) can be prewarmed for those scenarios.
+    if (solver.kind == krylov::KrylovKind::kStandard &&
+        solver.c_regularization != 0.0)
+      continue;
+    const OperatorRequest request{
+        solver.kind,
+        solver.kind == krylov::KrylovKind::kRational ? solver.gamma : 0.0};
+    if (std::find(requests.begin(), requests.end(), request) ==
+        requests.end())
+      requests.push_back(request);
+  }
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(groups.size());
+  for (const auto& [key, requests] : groups) {
+    tasks.push_back(pool_->submit([this, key = key, requests = requests] {
+      try {
+        const circuit::MnaSystem& mna = variant_mna(
+            key.deck_index, std::bit_cast<double>(key.vdd_bits));
+        const std::uint64_t fp_g = fingerprint(mna.g());
+        const std::uint64_t fp_c = fingerprint(mna.c());
+        cache_.g_factors(fp_g, mna.g(), key.lu);
+        for (const auto& [kind, gamma] : requests)
+          cache_.operator_factors(fp_c, fp_g, mna.c(), mna.g(), kind,
+                                  gamma, key.lu);
+      } catch (...) {
+        // The owning scenario reports the failure when it runs.
+      }
+    }));
+  }
+  for (auto& t : tasks) pool_->await(t);
+}
+
 BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
                              const ScenarioSink& sink) {
   BatchReport report;
@@ -92,6 +159,8 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
   const FactorCacheStats cache_before = cache_.stats();
   const ThreadPoolStats pool_before = pool_->stats();
   solver::Stopwatch campaign_clock;
+
+  if (options_.prewarm) prewarm_factors(scenarios);
 
   std::mutex sink_mutex;
   std::atomic<int> failures{0};

@@ -1,8 +1,12 @@
 #include "solver/json_writer.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "la/error.hpp"
 
@@ -119,6 +123,272 @@ JsonWriter& JsonWriter::value(std::string_view v) {
   }
   out_ += '"';
   return *this;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw ParseError("json: trailing characters at offset " +
+                       std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{':
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        return parse_object();
+      case '[':
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        return parse_array();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return v;
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    ++depth_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    ++depth_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // The writer only emits \u00XX for control characters; decode
+          // code points below 0x80 directly and refuse the rest (no
+          // UTF-16 surrogate handling needed for our own documents).
+          if (code >= 0x80) fail("unsupported \\u code point");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (num.empty() || end != num.c_str() + num.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return out;
+  }
+
+  /// Container nesting cap: far beyond any document the writer emits,
+  /// and keeps a corrupt/adversarial file from overflowing the stack
+  /// (the contract is ParseError, never a crash).
+  static constexpr int kMaxDepth = 128;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (!v) throw ParseError("json: missing key \"" + std::string(key) + '"');
+  return *v;
+}
+
+double JsonValue::as_number() const {
+  if (kind != Kind::kNumber) throw ParseError("json: value is not a number");
+  return number;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind != Kind::kString) throw ParseError("json: value is not a string");
+  return string;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::kBool) throw ParseError("json: value is not a bool");
+  return boolean;
+}
+
+std::vector<double> JsonValue::as_number_array() const {
+  if (kind != Kind::kArray) throw ParseError("json: value is not an array");
+  std::vector<double> out;
+  out.reserve(array.size());
+  for (const JsonValue& v : array) {
+    if (v.kind == Kind::kNull) {
+      out.push_back(std::numeric_limits<double>::quiet_NaN());
+    } else if (v.kind == Kind::kNumber) {
+      out.push_back(v.number);
+    } else {
+      throw ParseError("json: array element is not a number");
+    }
+  }
+  return out;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open json file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_json(buf.str());
 }
 
 double json_number_field(std::string_view text, std::string_view key,

@@ -11,6 +11,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace matex::solver {
@@ -57,5 +58,42 @@ class JsonWriter {
 /// performance baselines, where metric keys are unique in the document.
 double json_number_field(std::string_view text, std::string_view key,
                          double fallback);
+
+/// A parsed JSON document node. Small DOM sufficient for reading back the
+/// documents JsonWriter emits (golden waveforms, bench baselines): no
+/// unicode escapes beyond \uXXXX for control characters, numbers as
+/// double. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Checked accessors (throw ParseError on kind mismatch / missing key).
+  const JsonValue& at(std::string_view key) const;
+  double as_number() const;
+  const std::string& as_string() const;
+  bool as_bool() const;
+  /// The value as a numeric array (throws unless every element is a
+  /// number; JSON null elements -- the writer's non-finite policy -- come
+  /// back as NaN).
+  std::vector<double> as_number_array() const;
+};
+
+/// Parses a complete JSON document; throws ParseError on malformed input
+/// or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Reads and parses a JSON file; throws ParseError if unreadable.
+JsonValue parse_json_file(const std::string& path);
 
 }  // namespace matex::solver

@@ -1,0 +1,167 @@
+/// \file fuzz.hpp
+/// \brief Seeded randomized differential verification of every transient
+///        method against a tight-step trapezoidal oracle.
+///
+/// One fuzz *case* is a synthetic PDN (driven through src/pgbench) plus a
+/// solver configuration, both derived deterministically from
+/// (seed, case index). The case is simulated with all seven methods --
+/// R-MATEX, I-MATEX, MEXP, fixed-step TR, fixed-step BE, adaptive TR, and
+/// the distributed scheduler -- and each waveform is differentially
+/// checked against a trapezoidal oracle running `oracle_refine` times
+/// finer than the output grid. Tolerances follow a documented ladder
+/// (see ToleranceLadder) scaled by the oracle waveform swing, so a pass
+/// means "every method agrees with a much finer integration of the same
+/// system to within its discretization order".
+///
+/// Failures are actionable: the report carries the seed and the full case
+/// configuration, a repro JSON artifact is written when an artifact
+/// directory is configured, and an automatic minimizer shrinks the grid /
+/// sources / output resolution while the failure persists, so the
+/// recorded counterexample is the smallest one the shrink lattice
+/// reaches.
+///
+/// The batch variant drives the same differential check through
+/// runtime::BatchEngine -- many decks x methods x gamma/Vdd corners
+/// running concurrently on the shared pool with the shared factorization
+/// cache -- so FactorCache/SymbolicLU reuse and the refactor paths are
+/// exercised under real concurrency, not just in single-threaded units.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pgbench/pg_generator.hpp"
+#include "runtime/factor_cache.hpp"
+
+namespace matex::verify {
+
+/// One randomized scenario, fully determined by (seed, index).
+struct FuzzCase {
+  std::uint64_t case_seed = 0;
+  pgbench::PowerGridSpec grid;
+  double t_end = 0.0;      ///< simulation window [0, t_end]
+  int output_steps = 0;    ///< output grid: t_end / output_steps spacing
+  int oracle_refine = 32;  ///< oracle step = output step / oracle_refine
+  double gamma = 1e-10;    ///< R-MATEX shift
+  double krylov_tol = 1e-8;
+  double vdd_scale = 1.0;  ///< supply corner applied via scale_supplies
+};
+
+/// Derives case `index` of a fuzz run from the campaign seed. Exposed so
+/// a failure report ("seed S, case K") is reproducible in isolation.
+FuzzCase fuzz_case_from_seed(std::uint64_t seed, int index);
+
+/// Differential tolerances, expressed relative to the oracle waveform
+/// swing (max-min over the recorded probes, floored at 0.1% of the scaled
+/// supply). The ladder encodes each method's expected agreement with a
+/// trapezoidal oracle stepping `oracle_refine`x finer:
+///  - matex: R-MATEX / I-MATEX / MEXP / distributed are near-exact per
+///    segment, so the difference is dominated by the oracle's own
+///    O(h_oracle^2) error plus the Krylov tolerance;
+///  - tr: fixed-step TR at the output step carries its full O(h^2) LTE;
+///  - be: backward Euler is first order -- the loosest rung;
+///  - tradpt: adaptive TR tracks its LTE budget, between tr and matex.
+/// Defaults carry ~4x headroom over the worst ratio observed across 300
+/// seeded cases (matex 3.5e-4, tr 6.0e-3, be 7.0e-3, tradpt 3.7e-3).
+struct ToleranceLadder {
+  double matex = 1.5e-3;
+  double tr = 2.5e-2;
+  double be = 3e-2;
+  double tradpt = 1.5e-2;
+};
+
+/// Options of a fuzz campaign.
+struct FuzzOptions {
+  std::uint64_t seed = 20140601;  ///< campaign seed (DAC'14 vintage)
+  int cases = 200;
+  ToleranceLadder ladder;
+  bool minimize_failures = true;
+  /// When non-empty, each failing case writes a repro JSON artifact
+  /// fuzz_seed<seed>_case<index>.json into this directory.
+  std::string artifact_dir;
+  /// Progress/failure log (nullptr: silent).
+  std::ostream* log = nullptr;
+  /// Test hook proving the gate trips: adds this absolute perturbation to
+  /// one sample of `inject_method`'s waveform in every case.
+  double inject_perturbation = 0.0;
+  std::string inject_method = "rmatex";
+};
+
+/// Per-method outcome of one case.
+struct MethodCheck {
+  std::string method;      ///< rmatex|imatex|mexp|tr|be|tradpt|dist
+  bool ran = false;        ///< false: the solver threw (see error)
+  bool pass = false;
+  double max_err = 0.0;    ///< max abs deviation from the oracle
+  double tolerance = 0.0;  ///< absolute tolerance applied (ladder * swing)
+  std::string error;
+};
+
+/// Outcome of one case (config + all method checks).
+struct FuzzCaseResult {
+  int case_index = -1;
+  FuzzCase config;
+  int dimension = 0;  ///< MNA unknowns of the generated grid
+  double swing = 0.0; ///< oracle waveform swing used to scale tolerances
+  std::vector<MethodCheck> checks;
+  bool pass = true;
+  /// Present when the minimizer ran: smallest still-failing shrink.
+  std::optional<FuzzCase> minimized;
+  std::string artifact_path;  ///< repro JSON location (when written)
+};
+
+/// Runs one case against the oracle (no minimization, no artifacts --
+/// the repro building block).
+FuzzCaseResult run_fuzz_case(const FuzzCase& fuzz_case,
+                             const FuzzOptions& options);
+
+/// Campaign outcome.
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  int cases = 0;
+  int failures = 0;
+  long long checks = 0;         ///< total method checks performed
+  double max_err_ratio = 0.0;   ///< worst err/tolerance among passing
+                                ///< checks (ladder headroom indicator)
+  std::vector<FuzzCaseResult> failed;  ///< failing cases, minimized
+};
+
+/// Runs the campaign: `cases` seeded scenarios, each differentially
+/// checked across all seven methods. Deterministic for a fixed seed.
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Human-readable seed-failure report for one failing case ("how to
+/// reproduce" plus the per-method error table).
+std::string fuzz_failure_summary(const FuzzCaseResult& result);
+
+// ----------------------------------------------------- batch-engine fuzz
+
+/// Options of the concurrent BatchEngine fuzz campaign.
+struct BatchFuzzOptions {
+  std::uint64_t seed = 20140601;
+  int decks = 3;             ///< random PDN decks registered with the engine
+  int threads = 4;           ///< shared pool size
+  int scenarios_per_deck = 8;  ///< methods x gammas x Vdd corners
+  ToleranceLadder ladder;
+  std::ostream* log = nullptr;
+};
+
+/// Outcome of the batch campaign.
+struct BatchFuzzReport {
+  int scenarios = 0;
+  int failures = 0;          ///< engine failures + differential mismatches
+  double max_err_ratio = 0.0;
+  runtime::FactorCacheStats cache;  ///< engine cache counters for the run
+  std::vector<std::string> failure_names;
+};
+
+/// Registers `decks` random grids with a BatchEngine and runs a
+/// methods x gamma x Vdd campaign concurrently, then differentially
+/// checks every scenario waveform against a per-(deck, Vdd) trapezoidal
+/// oracle. Exercises FactorCache/SymbolicLU sharing under concurrency.
+BatchFuzzReport run_batch_fuzz(const BatchFuzzOptions& options);
+
+}  // namespace matex::verify

@@ -1,0 +1,90 @@
+/// \file golden.hpp
+/// \brief Golden-waveform regression store: checked-in JSON reference
+///        waveforms and the gate that compares fresh runs against them.
+///
+/// The IBM power grid contest ships golden `.output` waveforms that
+/// entries diff against; this is the repo's equivalent, aimed at
+/// *regression* rather than accuracy: a golden records what a fixed
+/// scenario (deck + method + settings) produced when it was blessed, and
+/// the gate fails when a later change moves any sample by more than the
+/// golden's tolerance. Accuracy against ground truth is the oracle and
+/// fuzz layers' job (oracle.hpp / fuzz.hpp); the golden gate's job is
+/// catching *unintended drift* -- including drift that stays within
+/// accuracy tolerances, which a pure oracle check would wave through.
+///
+/// Goldens are JSON (written with solver::JsonWriter, read back with
+/// solver::parse_json) and live under tests/goldens/. Refreshing them
+/// after an intended numeric change is explicit:
+///   matex_cli --verify --update-goldens [--goldens DIR]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "solver/waveform_io.hpp"
+
+namespace matex::verify {
+
+/// One stored reference waveform.
+struct GoldenWaveform {
+  std::string name;    ///< scenario id (also the file stem)
+  std::string method;  ///< solver that produced it
+  double tolerance = 5e-8;  ///< absolute per-sample gate tolerance (V)
+  solver::WaveformTable table;
+};
+
+/// JSON (de)serialization. golden_from_json throws ParseError on
+/// malformed or shape-inconsistent documents.
+std::string golden_to_json(const GoldenWaveform& golden);
+GoldenWaveform golden_from_json(std::string_view json);
+void write_golden_file(const GoldenWaveform& golden,
+                       const std::string& path);
+GoldenWaveform read_golden_file(const std::string& path);
+
+/// Outcome of one golden comparison.
+struct GoldenCheck {
+  bool pass = false;
+  double max_err = 0.0;
+  std::string detail;  ///< populated on failure (shape mismatch, ...)
+};
+
+/// Compares a fresh run against a golden: same probe names, same sample
+/// count, times within 1e-12 relative, every sample within
+/// golden.tolerance.
+GoldenCheck compare_golden(const GoldenWaveform& golden,
+                           const solver::WaveformTable& run);
+
+/// One scenario of the standard suite: a deterministic deck + method
+/// combination re-run by the gate.
+struct GoldenScenario {
+  std::string name;    ///< golden file stem
+  std::string deck;    ///< rc_step | rc_ladder | pg_small
+  std::string method;  ///< rmatex | imatex | tr | tradpt | dist
+  double tolerance = 5e-8;
+};
+
+/// The checked-in suite: closed-form-sized RC decks plus a small
+/// synthetic power grid, across Krylov, fixed-step, adaptive, and
+/// distributed methods.
+std::vector<GoldenScenario> standard_golden_suite();
+
+/// Runs one suite scenario and returns its probe waveform table.
+solver::WaveformTable run_golden_scenario(const GoldenScenario& scenario);
+
+/// Directory-level gate outcome.
+struct GoldenGateReport {
+  int checked = 0;
+  int failures = 0;
+  int updated = 0;  ///< goldens (re)written in update mode
+  std::vector<std::string> messages;  ///< one line per failure
+};
+
+/// Runs the whole suite against `goldens_dir`. In update mode the
+/// goldens are rewritten from the current runs instead of compared (the
+/// blessing step). A missing golden file counts as a failure in check
+/// mode. `log` (optional) receives one line per scenario.
+GoldenGateReport run_golden_gate(const std::string& goldens_dir,
+                                 bool update, std::ostream* log = nullptr);
+
+}  // namespace matex::verify

@@ -1,0 +1,250 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "circuit/waveform.hpp"
+#include "la/error.hpp"
+#include "la/expm.hpp"
+
+namespace matex::verify {
+
+circuit::Netlist single_pole_rc_netlist(const SinglePoleRc& spec) {
+  MATEX_CHECK(spec.r > 0.0 && spec.c > 0.0, "R and C must be positive");
+  circuit::Netlist n;
+  n.add_voltage_source("Vdd", "vdd", "0", circuit::Waveform::dc(spec.vdd));
+  n.add_resistor("R1", "vdd", "n1", spec.r);
+  n.add_capacitor("C1", "n1", "0", spec.c);
+  n.add_current_source("I1", "n1", "0", circuit::Waveform::pulse(spec.load));
+  return n;
+}
+
+double single_pole_rc_voltage(const SinglePoleRc& spec, double t) {
+  const circuit::Waveform load = circuit::Waveform::pulse(spec.load);
+  const double a = -1.0 / (spec.r * spec.c);
+  // DC operating point: v = vdd - R * i(0).
+  double v = spec.vdd - spec.r * load.value(0.0);
+  if (t <= 0.0) return v;
+
+  // March the scalar ODE v' = a v + b(tau) segment by segment; b is linear
+  // inside each segment, so the exact update only needs one exponential.
+  // The slope is a finite difference over the segment endpoints: exact for
+  // PWL inputs and, unlike slope_after(l), immune to floating-point
+  // boundary round-off (same trick as the MATEX transient loop).
+  std::vector<double> stops = load.transition_spots(0.0, t);
+  stops.push_back(t);
+  double l = 0.0;
+  for (double next : stops) {
+    next = std::min(next, t);
+    if (next <= l) continue;
+    const double b_l = (spec.vdd / spec.r - load.value(l)) / spec.c;
+    const double s_b =
+        -((load.value(next) - load.value(l)) / (next - l)) / spec.c;
+    const auto v_p = [&](double tau) {
+      return -(b_l + s_b * (tau - l)) / a - s_b / (a * a);
+    };
+    v = (v - v_p(l)) * std::exp(a * (next - l)) + v_p(next);
+    l = next;
+  }
+  return v;
+}
+
+circuit::Netlist rc_ladder_netlist(const RcLadder& spec) {
+  MATEX_CHECK(spec.stages >= 1, "ladder needs at least one stage");
+  circuit::Netlist n;
+  n.add_voltage_source("Vdd", "vdd", "0", circuit::Waveform::dc(spec.vdd));
+  std::string prev = "vdd";
+  for (int k = 1; k <= spec.stages; ++k) {
+    const std::string node = "n" + std::to_string(k);
+    n.add_resistor("R" + std::to_string(k), prev, node, spec.r);
+    n.add_capacitor("C" + std::to_string(k), node, "0", spec.c);
+    prev = node;
+  }
+  n.add_current_source("Iload", prev, "0",
+                       circuit::Waveform::pulse(spec.load));
+  return n;
+}
+
+// ------------------------------------------------------ dense reference
+
+namespace {
+
+la::DenseMatrix to_dense(const la::CscMatrix& m) {
+  return la::DenseMatrix(static_cast<std::size_t>(m.rows()),
+                         static_cast<std::size_t>(m.cols()),
+                         m.to_dense_column_major());
+}
+
+/// Validates the dimension before any O(n^2) dense storage is built.
+la::index_t checked_dimension(const circuit::MnaSystem& mna,
+                              la::index_t max_dimension) {
+  MATEX_CHECK(mna.dimension() <= max_dimension,
+              "DenseReference is a dense O(n^3) oracle for small systems");
+  return mna.dimension();
+}
+
+la::DenseLU factorize_c_or_throw(const la::DenseMatrix& c) {
+  try {
+    la::DenseLU lu(c);
+    return lu;
+  } catch (const NumericalError&) {
+    throw InvalidArgument(
+        "DenseReference requires a nonsingular C (a capacitor on every "
+        "node, an inductance on every branch)");
+  }
+}
+
+}  // namespace
+
+DenseReference::DenseReference(const circuit::MnaSystem& mna,
+                               la::index_t max_dimension)
+    : mna_(&mna),
+      n_(checked_dimension(mna, max_dimension)),
+      g_lu_(to_dense(mna.g())),
+      c_dense_(to_dense(mna.c())) {
+  for (la::index_t k = 0; k < mna.input_count(); ++k)
+    MATEX_CHECK(mna.input_waveform(k).is_piecewise_linear(),
+                "DenseReference requires piecewise-linear inputs");
+  const la::DenseLU c_lu = factorize_c_or_throw(c_dense_);
+  // A = -C^{-1} G.
+  a_ = c_lu.solve(to_dense(mna.g()));
+  for (double& v : a_.data()) v = -v;
+}
+
+std::vector<double> DenseReference::dc_state(double t0) const {
+  std::vector<double> rhs(static_cast<std::size_t>(n_));
+  mna_->rhs_at(t0, rhs);
+  return g_lu_.solve(rhs);
+}
+
+std::vector<double> DenseReference::particular_term(
+    double tau, std::span<const double> s_u) const {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  // -G^{-1} B u(tau)
+  std::vector<double> bu(n);
+  mna_->rhs_at(tau, bu);
+  std::vector<double> f = g_lu_.solve(bu);
+  for (double& v : f) v = -v;
+  // + G^{-1} C G^{-1} B s_u
+  std::vector<double> bs(n);
+  mna_->b().multiply(s_u, bs);
+  const std::vector<double> g_bs = g_lu_.solve(bs);
+  std::vector<double> c_g_bs(n);
+  c_dense_.multiply(g_bs, c_g_bs);
+  const std::vector<double> term2 = g_lu_.solve(c_g_bs);
+  for (std::size_t i = 0; i < n; ++i) f[i] += term2[i];
+  return f;
+}
+
+std::vector<std::vector<double>> DenseReference::states(
+    std::span<const double> x0, double t_start,
+    std::span<const double> times) const {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  MATEX_CHECK(x0.size() == n, "initial state dimension mismatch");
+  MATEX_CHECK(!times.empty(), "at least one evaluation time required");
+  MATEX_CHECK(std::is_sorted(times.begin(), times.end()),
+              "evaluation times must be sorted ascending");
+  MATEX_CHECK(times.front() >= t_start,
+              "evaluation times must not precede t_start");
+
+  // Merged marching grid: evaluation times plus every input transition
+  // spot, so each step lies inside one PWL segment.
+  std::vector<double> grid(times.begin(), times.end());
+  const auto spots = mna_->global_transition_spots(t_start, times.back());
+  grid.insert(grid.end(), spots.begin(), spots.end());
+  grid.push_back(t_start);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  std::vector<std::vector<double>> out;
+  out.reserve(times.size());
+  std::vector<double> x(x0.begin(), x0.end());
+  std::size_t next_eval = 0;
+  double t = t_start;
+  for (const double t_next : grid) {
+    if (t_next < t_start) continue;
+    if (t_next > t) {
+      const double h = t_next - t;
+      // Segment slope as a finite difference over the step endpoints
+      // (the step lies inside one PWL segment by grid construction).
+      std::vector<double> s_u = mna_->input_at(t_next);
+      const std::vector<double> u_t = mna_->input_at(t);
+      for (std::size_t k = 0; k < s_u.size(); ++k)
+        s_u[k] = (s_u[k] - u_t[k]) / h;
+      // x(t+h) = e^{hA} (x(t) + F(t)) - F(t+h).
+      const std::vector<double> f_t = particular_term(t, s_u);
+      const std::vector<double> f_next = particular_term(t_next, s_u);
+      std::vector<double> w(n);
+      for (std::size_t i = 0; i < n; ++i) w[i] = x[i] + f_t[i];
+      const la::DenseMatrix e = la::expm(a_, h);
+      e.multiply(w, x);
+      for (std::size_t i = 0; i < n; ++i) x[i] -= f_next[i];
+      t = t_next;
+    }
+    while (next_eval < times.size() && times[next_eval] == t_next) {
+      out.push_back(x);
+      ++next_eval;
+    }
+  }
+  MATEX_CHECK(next_eval == times.size(),
+              "internal error: evaluation times not covered by the grid");
+  return out;
+}
+
+solver::WaveformTable DenseReference::table(
+    std::span<const la::index_t> probes, std::vector<std::string> names,
+    std::span<const double> times) const {
+  MATEX_CHECK(names.size() == probes.size(), "one name per probe required");
+  const std::vector<double> x0 = dc_state(times.empty() ? 0.0 : times.front());
+  const auto xs = states(x0, times.empty() ? 0.0 : times.front(), times);
+  solver::WaveformTable t;
+  t.names = std::move(names);
+  t.times.assign(times.begin(), times.end());
+  t.columns.assign(probes.size(), {});
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    t.columns[p].reserve(xs.size());
+    for (const auto& x : xs)
+      t.columns[p].push_back(x[static_cast<std::size_t>(probes[p])]);
+  }
+  t.validate();
+  return t;
+}
+
+std::vector<la::index_t> spread_probes(la::index_t dimension,
+                                       la::index_t count) {
+  count = std::min(count, dimension);
+  std::vector<la::index_t> probes;
+  for (la::index_t p = 0; p < count; ++p) {
+    const la::index_t idx =
+        count == 1 ? 0 : (dimension - 1) * p / (count - 1);
+    if (probes.empty() || probes.back() != idx) probes.push_back(idx);
+  }
+  return probes;
+}
+
+std::vector<std::string> spread_probe_names(
+    std::span<const la::index_t> probes) {
+  std::vector<std::string> names;
+  names.reserve(probes.size());
+  for (const la::index_t p : probes)
+    names.push_back("x" + std::to_string(p));
+  return names;
+}
+
+double max_abs_error(const solver::WaveformTable& run,
+                     const solver::WaveformTable& reference) {
+  run.validate();
+  reference.validate();
+  MATEX_CHECK(run.columns.size() == reference.columns.size() &&
+                  run.times.size() == reference.times.size(),
+              "waveform tables must share probes and grid");
+  double max_err = 0.0;
+  for (std::size_t p = 0; p < run.columns.size(); ++p)
+    for (std::size_t i = 0; i < run.times.size(); ++i)
+      max_err = std::max(max_err,
+                         std::abs(run.columns[p][i] - reference.columns[p][i]));
+  return max_err;
+}
+
+}  // namespace matex::verify

@@ -1,0 +1,123 @@
+/// \file oracle.hpp
+/// \brief Analytic reference solutions for differential verification.
+///
+/// Every solver in this repo ultimately claims to integrate
+/// C x' = -G x + B u(t) accurately; the oracles here provide answers whose
+/// error is *independent* of any time-stepping code path:
+///
+///  - single_pole_rc_voltage: the scalar closed form for the canonical
+///    R-C node driven by a supply and a PULSE load, evaluated per PWL
+///    segment with exact exponentials (machine-precision accuracy);
+///  - DenseReference: the matrix-exponential solution of an arbitrary
+///    small MNA system, marching the exact per-segment formula
+///    x(l+h) = e^{hA}(x(l) + F(l)) - F(l+h) with dense la::expm
+///    propagators -- the "manufactured e^{At}v" reference of the MATEX
+///    accuracy claims (Fig. 5), computed without Krylov projection;
+///  - netlist generators (single-pole RC, RC ladders) shaped so the
+///    oracle assumptions (nonsingular C, PWL inputs) hold by
+///    construction.
+///
+/// These are reference implementations: clarity over speed, O(n^3) dense
+/// kernels, intended for systems of at most a few hundred unknowns.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "la/dense_lu.hpp"
+#include "la/dense_matrix.hpp"
+#include "solver/waveform_io.hpp"
+
+namespace matex::verify {
+
+/// The canonical closed-form test circuit: an ideal supply `vdd` feeding
+/// node "n1" through `r`, a capacitor `c` from "n1" to ground, and a PULSE
+/// current load drawn out of the node.
+struct SinglePoleRc {
+  double r = 1.0;
+  double c = 1.0;
+  double vdd = 1.0;
+  circuit::PulseSpec load;  ///< current pulse drawn from the node (A)
+};
+
+/// Builds the netlist of `spec` (one unknown: node "n1").
+circuit::Netlist single_pole_rc_netlist(const SinglePoleRc& spec);
+
+/// Exact node voltage at time t >= 0, assuming the circuit starts from its
+/// DC operating point at t = 0. Evaluated segment-by-segment with scalar
+/// exponentials: accurate to machine precision, no time-stepping error.
+double single_pole_rc_voltage(const SinglePoleRc& spec, double t);
+
+/// Uniform RC ladder: supply -- R -- n1 -- R -- n2 ... -- R -- n<stages>,
+/// a capacitor at every internal node, and a PULSE load at the far end.
+/// Small enough for DenseReference, structured like a PDN column.
+struct RcLadder {
+  int stages = 6;
+  double r = 0.5;
+  double c = 1e-12;
+  double vdd = 1.0;
+  circuit::PulseSpec load;
+};
+
+circuit::Netlist rc_ladder_netlist(const RcLadder& spec);
+
+/// Dense matrix-exponential reference for a small MNA system (see file
+/// comment). Requires a nonsingular C (every unknown needs dynamics: a
+/// capacitor on every node, an inductance on every branch) and exactly
+/// piecewise-linear inputs; throws InvalidArgument otherwise.
+class DenseReference {
+ public:
+  explicit DenseReference(const circuit::MnaSystem& mna,
+                          la::index_t max_dimension = 256);
+
+  /// DC operating point G x = B u(t0) via the dense factorization.
+  std::vector<double> dc_state(double t0) const;
+
+  /// Exact states at the (sorted ascending) `times`, starting from x0 at
+  /// t_start. Internally also stops at every input transition spot.
+  std::vector<std::vector<double>> states(std::span<const double> x0,
+                                          double t_start,
+                                          std::span<const double> times) const;
+
+  /// Convenience: probe waveforms over `times` starting from the DC
+  /// operating point at times.front().
+  solver::WaveformTable table(std::span<const la::index_t> probes,
+                              std::vector<std::string> names,
+                              std::span<const double> times) const;
+
+  la::index_t dimension() const { return n_; }
+
+ private:
+  /// F(tau) = -G^{-1} B u(tau) + G^{-1} C G^{-1} B s_u, where s_u is the
+  /// input slope of the enclosing PWL segment (computed by the caller as
+  /// a finite difference over the segment endpoints -- exact for PWL and
+  /// immune to floating-point round-off at segment boundaries).
+  std::vector<double> particular_term(double tau,
+                                      std::span<const double> s_u) const;
+
+  const circuit::MnaSystem* mna_;
+  la::index_t n_ = 0;
+  la::DenseMatrix a_;        ///< A = -C^{-1} G
+  la::DenseLU g_lu_;         ///< dense factorization of G
+  la::DenseMatrix c_dense_;  ///< dense C (for the A^{-2} term)
+};
+
+/// Maximum absolute difference between a solver-produced waveform table
+/// and the dense reference on the same probes/grid. The tables must share
+/// the time axis sample-for-sample.
+double max_abs_error(const solver::WaveformTable& run,
+                     const solver::WaveformTable& reference);
+
+/// Deterministic probe selection shared by the fuzz and golden tiers: up
+/// to `count` unknown indices spread evenly over the system.
+std::vector<la::index_t> spread_probes(la::index_t dimension,
+                                       la::index_t count = 4);
+
+/// Canonical names ("x<index>") for index-selected probes.
+std::vector<std::string> spread_probe_names(
+    std::span<const la::index_t> probes);
+
+}  // namespace matex::verify

@@ -1,0 +1,76 @@
+/// \file test_fuzz_campaign.cpp
+/// \brief The seeded fuzz tier (ctest label: fuzz): a wide differential
+///        campaign across all seven methods, plus the BatchEngine-driven
+///        concurrent campaign that exercises FactorCache/SymbolicLU
+///        sharing under real parallelism.
+///
+/// Case count and seed are environment-tunable so CI can pin them:
+///   MATEX_FUZZ_CASES   (default 200)
+///   MATEX_FUZZ_SEED    (default 20140601)
+///   MATEX_FUZZ_ARTIFACT_DIR (default fuzz-artifacts; repro JSON on
+///                            failure, uploaded by CI)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "verify/fuzz.hpp"
+
+namespace matex::verify {
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return *end == '\0' ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? value : fallback;
+}
+
+TEST(FuzzCampaign, SeededDifferentialSweepHasZeroDiscrepancies) {
+  FuzzOptions opt;
+  opt.cases = static_cast<int>(env_long("MATEX_FUZZ_CASES", 200));
+  opt.seed =
+      static_cast<std::uint64_t>(env_long("MATEX_FUZZ_SEED", 20140601));
+  opt.artifact_dir = env_string("MATEX_FUZZ_ARTIFACT_DIR", "fuzz-artifacts");
+  opt.log = &std::cout;
+
+  const FuzzReport report = run_fuzz(opt);
+  EXPECT_EQ(report.checks, static_cast<long long>(opt.cases) * 7);
+  EXPECT_EQ(report.failures, 0)
+      << report.failures << " of " << report.cases
+      << " cases diverged; repro artifacts under " << opt.artifact_dir
+      << " (seed " << opt.seed << ")";
+  // Ladder headroom stays meaningful: if this creeps toward 1.0 the
+  // tolerances need re-calibration before they start masking drift.
+  EXPECT_LT(report.max_err_ratio, 1.0);
+}
+
+TEST(FuzzCampaign, BatchEngineConcurrentCampaignMatchesOracles) {
+  BatchFuzzOptions opt;
+  opt.seed =
+      static_cast<std::uint64_t>(env_long("MATEX_FUZZ_SEED", 20140601));
+  opt.decks = 3;
+  opt.threads = 4;
+  opt.log = &std::cout;
+
+  const BatchFuzzReport report = run_batch_fuzz(opt);
+  EXPECT_GT(report.scenarios, 0);
+  EXPECT_EQ(report.failures, 0);
+  for (const std::string& failure : report.failure_names)
+    ADD_FAILURE() << failure;
+
+  // The campaign actually shared factorizations across scenarios ...
+  EXPECT_GT(report.cache.hits, 0);
+  // ... and the gamma sweep shared symbolic analyses across patterns.
+  EXPECT_GT(report.cache.symbolic_hits, 0);
+}
+
+}  // namespace
+}  // namespace matex::verify

@@ -1,0 +1,171 @@
+/// \file test_json.cpp
+/// \brief Round-trip and edge-case coverage for the JSON writer and the
+///        readers (json_number_field and the parse_json DOM): non-finite
+///        policy, exponent formatting, string escaping, empty containers.
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "solver/json_writer.hpp"
+
+namespace matex::solver {
+namespace {
+
+TEST(JsonWriter, NanAndInfBecomeNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+  w.key("inf").value(std::numeric_limits<double>::infinity());
+  w.key("ninf").value(-std::numeric_limits<double>::infinity());
+  w.key("ok").value(1.5);
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_TRUE(doc.at("nan").is_null());
+  EXPECT_TRUE(doc.at("inf").is_null());
+  EXPECT_TRUE(doc.at("ninf").is_null());
+  EXPECT_DOUBLE_EQ(doc.at("ok").as_number(), 1.5);
+  // json_number_field treats null as absent and returns the fallback.
+  EXPECT_DOUBLE_EQ(json_number_field(w.str(), "nan", -7.0), -7.0);
+}
+
+TEST(JsonWriter, ExponentFormattingRoundTrips) {
+  // %.12g emits exponent notation for extreme magnitudes; both readers
+  // must recover the value to writer precision.
+  const double values[] = {1.7976931348623157e308, 5e-324,
+                           2.2250738585072014e-308, -1.8e-9, 6.02e23,
+                           -0.0, 0.0, 12345.678901};
+  JsonWriter w;
+  w.begin_object();
+  for (std::size_t i = 0; i < std::size(values); ++i)
+    w.key("v" + std::to_string(i)).value(values[i]);
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    const double back =
+        doc.at("v" + std::to_string(i)).as_number();
+    const double rel = values[i] == 0.0
+                           ? std::abs(back)
+                           : std::abs(back - values[i]) /
+                                 std::abs(values[i]);
+    EXPECT_LE(rel, 1e-11) << "value " << values[i];
+    EXPECT_DOUBLE_EQ(
+        json_number_field(w.str(), "v" + std::to_string(i), 0.0), back);
+  }
+}
+
+TEST(JsonWriter, StringEscapingRoundTrips) {
+  const std::string nasty =
+      "quote\" backslash\\ newline\n tab\t bell\x07 unit\x1f end";
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value(nasty);
+  w.end_object();
+  // The serialized form contains no raw control characters (newlines come
+  // only from the writer's own indentation).
+  for (const char c : w.str()) {
+    if (c != '\n') {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+  }
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("s").as_string(), nasty);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("empty_array").begin_array();
+  w.end_array();
+  w.key("empty_object").begin_object();
+  w.end_object();
+  w.key("nested").begin_array();
+  w.begin_array();
+  w.end_array();
+  w.end_array();
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("empty_array").kind, JsonValue::Kind::kArray);
+  EXPECT_TRUE(doc.at("empty_array").array.empty());
+  EXPECT_EQ(doc.at("empty_object").kind, JsonValue::Kind::kObject);
+  EXPECT_TRUE(doc.at("empty_object").object.empty());
+  ASSERT_EQ(doc.at("nested").array.size(), 1u);
+  EXPECT_TRUE(doc.at("nested").array[0].array.empty());
+  EXPECT_TRUE(doc.at("empty_array").as_number_array().empty());
+}
+
+TEST(JsonParser, ParsesWriterOutputWithAllValueKinds) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("b").value(true);
+  w.key("b2").value(false);
+  w.key("i").value(static_cast<long long>(-42));
+  w.key("d").value(0.25);
+  w.key("s").value("text");
+  w.key("arr").begin_array();
+  w.value(1.0);
+  w.value(2.5);
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_TRUE(doc.at("b").as_bool());
+  EXPECT_FALSE(doc.at("b2").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("i").as_number(), -42.0);
+  EXPECT_DOUBLE_EQ(doc.at("d").as_number(), 0.25);
+  EXPECT_EQ(doc.at("s").as_string(), "text");
+  const auto arr = doc.at("arr").as_number_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[1], 2.5);
+  EXPECT_TRUE(std::isnan(arr[2]));  // writer's null policy maps to NaN
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), ParseError);
+  EXPECT_THROW(parse_json("{"), ParseError);
+  EXPECT_THROW(parse_json("{\"a\": }"), ParseError);
+  EXPECT_THROW(parse_json("{\"a\": 1} trailing"), ParseError);
+  EXPECT_THROW(parse_json("[1, 2,,]"), ParseError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW(parse_json("nul"), ParseError);
+  EXPECT_THROW(parse_json("{\"a\": 12e+}"), ParseError);
+}
+
+TEST(JsonParser, DeepNestingThrowsInsteadOfOverflowingTheStack) {
+  // A corrupt/adversarial document must fail with ParseError, never a
+  // stack-overflow crash (goldens and fuzz artifacts are user-supplied
+  // files via matex_cli --goldens).
+  const std::string bomb(200000, '[');
+  EXPECT_THROW(parse_json(bomb), ParseError);
+  // Sane nesting well under the cap still parses.
+  std::string nested;
+  for (int i = 0; i < 60; ++i) nested += '[';
+  nested += '1';
+  for (int i = 0; i < 60; ++i) nested += ']';
+  EXPECT_NO_THROW(parse_json(nested));
+}
+
+TEST(JsonParser, AccessorsCheckKindsAndKeys) {
+  const JsonValue doc = parse_json("{\"n\": 4, \"s\": \"x\"}");
+  EXPECT_THROW(doc.at("missing"), ParseError);
+  EXPECT_THROW(doc.at("n").as_string(), ParseError);
+  EXPECT_THROW(doc.at("s").as_number(), ParseError);
+  EXPECT_THROW(doc.at("n").as_number_array(), ParseError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.at("n").find("x"), nullptr);  // non-object find
+  EXPECT_THROW(parse_json("[\"a\"]").as_number_array(), ParseError);
+}
+
+TEST(JsonNumberField, FallbackBehaviors) {
+  const std::string doc = "{\"speedup\": 8.75, \"label\": \"fast\"}";
+  EXPECT_DOUBLE_EQ(json_number_field(doc, "speedup", 0.0), 8.75);
+  EXPECT_DOUBLE_EQ(json_number_field(doc, "absent", 3.5), 3.5);
+  // A non-numeric value falls back instead of mis-parsing.
+  EXPECT_DOUBLE_EQ(json_number_field(doc, "label", -1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace matex::solver

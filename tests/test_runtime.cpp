@@ -261,6 +261,63 @@ TEST(FactorCache, CapacityZeroDisablesCaching) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(FactorCache, ConcurrentRefactorFallbackProducesValidFactors) {
+  // Same-pattern matrices whose values invalidate the frozen pivot
+  // sequence: the first (diagonally dominant) matrix freezes diagonal
+  // pivots; the others have tiny diagonals, so a numeric-only refill
+  // violates refactor_pivot_tol and must fall back to full pivoting --
+  // here driven through the cache from many threads at once, the way a
+  // batch campaign hits it.
+  const la::index_t n = 24;
+  const auto build = [n](double diag) {
+    la::TripletMatrix t(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+      t.add(i, i, diag);
+      if (i + 1 < n) {
+        t.add(i, i + 1, 1.0);
+        t.add(i + 1, i, 1.0);
+      }
+    }
+    return t.to_csc();
+  };
+  const auto dominant = build(4.0);
+  const auto weak = build(1e-9);
+
+  FactorCache cache;
+  const la::SparseLuOptions opts;
+  // Establish the symbolic analysis with diagonal pivots.
+  EXPECT_FALSE(cache.g_factors(dominant, opts).hit);
+
+  ThreadPool pool(4);
+  std::vector<std::future<std::shared_ptr<la::SparseLU>>> futures;
+  for (int rep = 0; rep < 16; ++rep)
+    futures.push_back(
+        pool.submit([&] { return cache.g_factors(weak, opts).factors; }));
+  std::vector<std::shared_ptr<la::SparseLU>> factors;
+  for (auto& f : futures) factors.push_back(pool.await(f));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);  // dominant + weak: one leader each
+  EXPECT_EQ(stats.hits, 15);   // everyone else waited on the leader
+  // The weak matrix found dominant's cached pattern but had to repivot:
+  // that counts as a fallback, not as a symbolic (refill) hit.
+  EXPECT_EQ(stats.symbolic_hits, 0);
+  EXPECT_EQ(stats.refactor_fallbacks, 1);
+  for (const auto& f : factors) {
+    EXPECT_EQ(f.get(), factors.front().get());  // one shared factorization
+    EXPECT_FALSE(f->refactored());              // produced by the fallback
+  }
+
+  // The fallback factors actually solve the weak system.
+  testing::Rng rng(9);
+  const auto b = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const auto x = factors.front()->solve(b);
+  std::vector<double> back(static_cast<std::size_t>(n));
+  weak.multiply(x, back);
+  for (std::size_t i = 0; i < back.size(); ++i)
+    EXPECT_NEAR(back[i], b[i], 1e-6);
+}
+
 TEST(FactorCache, ConcurrentRequestersFactorizeOnce) {
   testing::Rng rng(6);
   const auto g = testing::random_sparse_spd_like(60, 0.1, rng);
@@ -501,6 +558,57 @@ TEST(BatchEngine, CampaignMatchesDirectRunsAndStreams) {
       EXPECT_EQ(res.probe_waveforms[1][i], direct.state(i)[1]);
     }
   }
+}
+
+TEST(BatchEngine, PrewarmWarmsSymbolicCacheBeforeFanOut) {
+  // ROADMAP item: pre-warm the symbolic cache from deck patterns before
+  // scenario fan-out. On a wide gamma sweep the shared symbolic analysis
+  // and all operator factorizations must exist by the time the *first*
+  // scenario completes, and the fan-out itself must add no misses.
+  BatchOptions bopt;
+  bopt.threads = 2;
+  BatchEngine engine(bopt);
+  engine.add_deck("pdn", make_pdn());
+
+  CampaignSweep sweep;
+  sweep.methods = {krylov::KrylovKind::kRational};
+  sweep.gammas = {0.05, 0.1, 0.2};
+  sweep.base = pdn_options();
+  const auto scenarios = engine.expand(sweep);
+  ASSERT_EQ(scenarios.size(), 3u);
+
+  FactorCacheStats at_first;
+  bool first = true;
+  const auto report = engine.run(scenarios, [&](const ScenarioResult&) {
+    if (first) {
+      at_first = engine.factor_cache().stats();
+      first = false;
+    }
+  });
+  EXPECT_EQ(report.failures, 0);
+
+  // By the first streamed result the gamma sweep's operator
+  // factorizations already share one symbolic analysis (two of the three
+  // gammas refilled numerically along the leader's pattern) ...
+  EXPECT_GE(at_first.symbolic_hits, 2);
+  EXPECT_GE(at_first.misses, 4);  // LU(G) + three gamma operators
+  // ... and the campaign itself ran entirely on cache hits.
+  EXPECT_EQ(engine.factor_cache().stats().misses, at_first.misses);
+  EXPECT_EQ(engine.factor_cache().stats().symbolic_hits,
+            at_first.symbolic_hits);
+}
+
+TEST(BatchEngine, PrewarmCanBeDisabled) {
+  BatchOptions bopt;
+  bopt.prewarm = false;
+  BatchEngine engine(bopt);
+  engine.add_deck("pdn", make_pdn());
+  ScenarioSpec spec;
+  spec.name = "plain";
+  spec.scheduler = pdn_options();
+  const auto report = engine.run(std::vector<ScenarioSpec>{spec});
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_EQ(engine.factor_cache().stats().misses, 2);  // G, C+gamma*G
 }
 
 TEST(BatchEngine, VddScaleScalesDcResponse) {

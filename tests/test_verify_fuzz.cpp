@@ -1,0 +1,127 @@
+/// \file test_verify_fuzz.cpp
+/// \brief Unit-tier coverage of the differential fuzzer: deterministic
+///        case derivation, a small all-green campaign, and the full
+///        failure pipeline (detection, minimization, seed report, repro
+///        artifact) proven via an injected perturbation.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "solver/json_writer.hpp"
+#include "verify/fuzz.hpp"
+
+namespace matex::verify {
+namespace {
+
+TEST(Fuzz, CaseDerivationIsDeterministicAndSeedSensitive) {
+  const FuzzCase a = fuzz_case_from_seed(123, 7);
+  const FuzzCase b = fuzz_case_from_seed(123, 7);
+  EXPECT_EQ(a.case_seed, b.case_seed);
+  EXPECT_EQ(a.grid.rows, b.grid.rows);
+  EXPECT_EQ(a.grid.cols, b.grid.cols);
+  EXPECT_EQ(a.grid.seed, b.grid.seed);
+  EXPECT_DOUBLE_EQ(a.gamma, b.gamma);
+  EXPECT_DOUBLE_EQ(a.t_end, b.t_end);
+
+  const FuzzCase c = fuzz_case_from_seed(123, 8);
+  const FuzzCase d = fuzz_case_from_seed(124, 7);
+  EXPECT_NE(a.case_seed, c.case_seed);
+  EXPECT_NE(a.case_seed, d.case_seed);
+}
+
+TEST(Fuzz, SmallCampaignHasZeroDiscrepancies) {
+  FuzzOptions opt;
+  opt.cases = 12;
+  const FuzzReport report = run_fuzz(opt);
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_EQ(report.checks, 12 * 7);  // all seven methods, every case
+  EXPECT_TRUE(report.failed.empty());
+  // The ladder has real headroom: nothing passes by a whisker.
+  EXPECT_LT(report.max_err_ratio, 0.9);
+  EXPECT_GT(report.max_err_ratio, 0.0);
+}
+
+TEST(Fuzz, SingleCaseRunsAllSevenMethods) {
+  const FuzzCase c = fuzz_case_from_seed(20140601, 0);
+  FuzzOptions opt;
+  const FuzzCaseResult result = run_fuzz_case(c, opt);
+  ASSERT_EQ(result.checks.size(), 7u);
+  EXPECT_GT(result.dimension, 0);
+  EXPECT_GT(result.swing, 0.0);
+  for (const MethodCheck& check : result.checks) {
+    EXPECT_TRUE(check.ran) << check.method << ": " << check.error;
+    EXPECT_TRUE(check.pass) << check.method << " err " << check.max_err
+                            << " tol " << check.tolerance;
+    EXPECT_GT(check.tolerance, 0.0);
+  }
+}
+
+TEST(Fuzz, InjectedPerturbationIsCaughtMinimizedAndReported) {
+  // The acceptance test for the differential gate itself: a deliberate
+  // numeric perturbation must fail exactly the perturbed method, shrink
+  // to a smaller repro, and leave a parseable artifact.
+  const std::string artifact_dir = "fuzz_test_artifacts.tmp";
+  std::filesystem::remove_all(artifact_dir);
+
+  FuzzOptions opt;
+  opt.cases = 2;
+  opt.inject_perturbation = 1e-2;
+  opt.inject_method = "imatex";
+  opt.artifact_dir = artifact_dir;
+  const FuzzReport report = run_fuzz(opt);
+  EXPECT_EQ(report.failures, 2);
+  ASSERT_EQ(report.failed.size(), 2u);
+
+  const FuzzCaseResult& failure = report.failed[0];
+  for (const MethodCheck& check : failure.checks) {
+    if (check.method == "imatex")
+      EXPECT_FALSE(check.pass) << "perturbation not caught";
+    else
+      EXPECT_TRUE(check.pass) << check.method << " wrongly failed";
+  }
+
+  // Minimization shrank the counterexample.
+  ASSERT_TRUE(failure.minimized.has_value());
+  const FuzzCase& min = *failure.minimized;
+  const FuzzCase& orig = failure.config;
+  EXPECT_LE(min.grid.rows * min.grid.cols * min.grid.layers,
+            orig.grid.rows * orig.grid.cols * orig.grid.layers);
+  EXPECT_LE(min.grid.source_count, orig.grid.source_count);
+  EXPECT_LE(min.output_steps, orig.output_steps);
+  EXPECT_LE(min.grid.rows, 3);  // a perturbation this blunt shrinks far
+
+  // The seed report names the failing method.
+  const std::string summary = fuzz_failure_summary(failure);
+  EXPECT_NE(summary.find("imatex"), std::string::npos);
+  EXPECT_NE(summary.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(summary.find("minimized repro"), std::string::npos);
+
+  // The repro artifact exists and is valid JSON with the full config.
+  ASSERT_FALSE(failure.artifact_path.empty());
+  const solver::JsonValue doc =
+      solver::parse_json_file(failure.artifact_path);
+  EXPECT_EQ(doc.at("kind").as_string(), "matex-fuzz-failure");
+  EXPECT_EQ(doc.at("case_index").as_number(), 0.0);
+  // Artifact numbers are %.12g, so compare to writer precision.
+  EXPECT_NEAR(doc.at("config").at("gamma").as_number(),
+              failure.config.gamma, 1e-11 * failure.config.gamma);
+  EXPECT_TRUE(doc.find("minimized") != nullptr);
+
+  std::filesystem::remove_all(artifact_dir);
+}
+
+TEST(Fuzz, MinimizationCanBeDisabled) {
+  FuzzOptions opt;
+  opt.cases = 1;
+  opt.inject_perturbation = 1e-2;
+  opt.minimize_failures = false;
+  const FuzzReport report = run_fuzz(opt);
+  ASSERT_EQ(report.failed.size(), 1u);
+  EXPECT_FALSE(report.failed[0].minimized.has_value());
+  EXPECT_TRUE(report.failed[0].artifact_path.empty());
+}
+
+}  // namespace
+}  // namespace matex::verify

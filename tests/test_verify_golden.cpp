@@ -1,0 +1,137 @@
+/// \file test_verify_golden.cpp
+/// \brief Golden-waveform store: JSON round-trip, the compare gate's
+///        failure modes, the checked-in goldens matching current runs,
+///        and the gate catching an injected perturbation.
+///
+/// MATEX_GOLDEN_DIR is injected by CMake and points at the source tree's
+/// tests/goldens, so these tests run against the same files CI and
+/// `matex_cli --verify` use.
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "verify/golden.hpp"
+
+#ifndef MATEX_GOLDEN_DIR
+#define MATEX_GOLDEN_DIR "tests/goldens"
+#endif
+
+namespace matex::verify {
+namespace {
+
+GoldenWaveform sample_golden() {
+  GoldenWaveform g;
+  g.name = "sample";
+  g.method = "rmatex";
+  g.tolerance = 1e-7;
+  g.table.names = {"n1", "n2"};
+  g.table.times = {0.0, 1e-11, 2e-11};
+  g.table.columns = {{1.8, 1.79, 1.795}, {1.8, 1.77, 1.785}};
+  return g;
+}
+
+TEST(Golden, JsonRoundTripPreservesEverything) {
+  const GoldenWaveform g = sample_golden();
+  const GoldenWaveform back = golden_from_json(golden_to_json(g));
+  EXPECT_EQ(back.name, g.name);
+  EXPECT_EQ(back.method, g.method);
+  EXPECT_DOUBLE_EQ(back.tolerance, g.tolerance);
+  EXPECT_EQ(back.table.names, g.table.names);
+  ASSERT_EQ(back.table.times.size(), g.table.times.size());
+  for (std::size_t p = 0; p < g.table.columns.size(); ++p)
+    for (std::size_t i = 0; i < g.table.times.size(); ++i)
+      EXPECT_DOUBLE_EQ(back.table.columns[p][i], g.table.columns[p][i]);
+}
+
+TEST(Golden, FromJsonRejectsForeignAndMalformedDocuments) {
+  EXPECT_THROW(golden_from_json("{\"kind\": \"other\"}"), ParseError);
+  EXPECT_THROW(golden_from_json("not json at all"), ParseError);
+  // Shape inconsistency (columns shorter than times) must be rejected.
+  EXPECT_THROW(
+      golden_from_json(
+          "{\"kind\": \"matex-golden-waveform\", \"name\": \"x\","
+          " \"method\": \"tr\", \"tolerance\": 1e-8,"
+          " \"times\": [0, 1, 2],"
+          " \"probes\": [{\"name\": \"a\", \"values\": [0, 1]}]}"),
+      InvalidArgument);
+}
+
+TEST(Golden, CompareDetectsPerturbationAndShapeDrift) {
+  const GoldenWaveform g = sample_golden();
+  // Identical run passes.
+  EXPECT_TRUE(compare_golden(g, g.table).pass);
+
+  // A sample perturbed past the tolerance fails with a located message.
+  solver::WaveformTable run = g.table;
+  run.columns[1][2] += 5e-7;
+  const GoldenCheck check = compare_golden(g, run);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NEAR(check.max_err, 5e-7, 1e-12);
+  EXPECT_NE(check.detail.find("n2"), std::string::npos);
+
+  // A perturbation inside the tolerance passes.
+  run = g.table;
+  run.columns[0][1] += 1e-8;
+  EXPECT_TRUE(compare_golden(g, run).pass);
+
+  // Shape drift: probe rename, sample count, time axis.
+  run = g.table;
+  run.names[0] = "renamed";
+  EXPECT_FALSE(compare_golden(g, run).pass);
+  run = g.table;
+  run.times.push_back(3e-11);
+  for (auto& col : run.columns) col.push_back(0.0);
+  EXPECT_FALSE(compare_golden(g, run).pass);
+  run = g.table;
+  run.times[1] += 1e-11;
+  EXPECT_FALSE(compare_golden(g, run).pass);
+}
+
+TEST(Golden, CheckedInGoldensMatchCurrentRuns) {
+  // The regression gate proper: every scenario of the standard suite
+  // reproduces its checked-in golden.
+  std::ostringstream log;
+  const GoldenGateReport report =
+      run_golden_gate(MATEX_GOLDEN_DIR, /*update=*/false, &log);
+  EXPECT_EQ(report.checked, 6);
+  EXPECT_EQ(report.failures, 0) << log.str();
+}
+
+TEST(Golden, GateCatchesInjectedPerturbation) {
+  // The golden half of the injected-perturbation acceptance criterion: a
+  // numeric deviation that an accuracy check could absorb still trips
+  // the golden gate.
+  const GoldenScenario scenario = standard_golden_suite()[0];
+  const GoldenWaveform golden = read_golden_file(
+      std::string(MATEX_GOLDEN_DIR) + "/" + scenario.name + ".json");
+  solver::WaveformTable run = run_golden_scenario(scenario);
+  ASSERT_TRUE(compare_golden(golden, run).pass);
+  run.columns[0][run.columns[0].size() / 2] += 1e-6;  // 20x the tolerance
+  const GoldenCheck check = compare_golden(golden, run);
+  EXPECT_FALSE(check.pass);
+  EXPECT_GT(check.max_err, golden.tolerance);
+}
+
+TEST(Golden, UpdateModeBlessesAFreshDirectory) {
+  const std::string dir = "golden_test_dir.tmp";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Check mode against an empty directory: every golden is missing.
+  GoldenGateReport report = run_golden_gate(dir, /*update=*/false);
+  EXPECT_EQ(report.failures, report.checked);
+
+  // Update mode writes all goldens; check mode then passes.
+  report = run_golden_gate(dir, /*update=*/true);
+  EXPECT_EQ(report.updated, report.checked);
+  EXPECT_EQ(report.failures, 0);
+  report = run_golden_gate(dir, /*update=*/false);
+  EXPECT_EQ(report.failures, 0);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace matex::verify

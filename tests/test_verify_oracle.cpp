@@ -1,0 +1,184 @@
+/// \file test_verify_oracle.cpp
+/// \brief The analytic oracle library: closed-form RC agreement with the
+///        dense matrix-exponential reference, and every solver checked
+///        against both on oracle-sized circuits.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/mna.hpp"
+#include "core/input_view.hpp"
+#include "core/matex_solver.hpp"
+#include "la/error.hpp"
+#include "solver/dc.hpp"
+#include "solver/fixed_step.hpp"
+#include "solver/observer.hpp"
+#include "verify/oracle.hpp"
+
+namespace matex::verify {
+namespace {
+
+using circuit::MnaSystem;
+using solver::uniform_grid;
+
+SinglePoleRc rc_spec() {
+  SinglePoleRc rc;
+  rc.r = 0.5;
+  rc.c = 2e-12;  // tau = 1 ps
+  rc.vdd = 1.8;
+  rc.load.v2 = 5e-3;
+  rc.load.delay = 2e-10;
+  rc.load.rise = 1e-10;
+  rc.load.width = 3e-10;
+  rc.load.fall = 1e-10;
+  return rc;
+}
+
+TEST(Oracle, SinglePoleClosedFormStartsAtDcAndRecovers) {
+  const auto rc = rc_spec();
+  // Before the pulse: the DC operating point (no load current).
+  EXPECT_DOUBLE_EQ(single_pole_rc_voltage(rc, 0.0), rc.vdd);
+  EXPECT_DOUBLE_EQ(single_pole_rc_voltage(rc, 1e-10), rc.vdd);
+  // Mid-pulse (plateau, many tau after the edge): v = vdd - R * I.
+  const double plateau = single_pole_rc_voltage(rc, 5e-10);
+  EXPECT_NEAR(plateau, rc.vdd - rc.r * rc.load.v2, 1e-12);
+  // Long after the pulse: back to vdd.
+  EXPECT_NEAR(single_pole_rc_voltage(rc, 5e-9), rc.vdd, 1e-12);
+}
+
+TEST(Oracle, DenseReferenceMatchesClosedFormToMachinePrecision) {
+  // Two independent oracles -- scalar closed form and dense expm on the
+  // assembled MNA -- must agree to rounding error. This is the strongest
+  // internal consistency check the oracle library has.
+  const auto rc = rc_spec();
+  const auto netlist = single_pole_rc_netlist(rc);
+  const MnaSystem mna(netlist);
+  ASSERT_EQ(mna.dimension(), 1);
+  const DenseReference ref(mna);
+  const auto times = uniform_grid(0.0, 2e-11 * 80, 2e-11);
+  const la::index_t probe = mna.unknown_index(netlist.find_node("n1"));
+  const auto table = ref.table(std::vector<la::index_t>{probe}, {"n1"},
+                               times);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    EXPECT_NEAR(table.columns[0][i], single_pole_rc_voltage(rc, times[i]),
+                1e-12);
+}
+
+TEST(Oracle, AllMethodsMatchClosedFormOnSinglePole) {
+  const auto rc = rc_spec();
+  const auto netlist = single_pole_rc_netlist(rc);
+  const MnaSystem mna(netlist);
+  // t_end as an exact multiple of the output step, so uniform_grid and
+  // the fixed-step observer cadence agree on the sample count.
+  const double t_end = 2e-11 * 80;
+  const auto times = uniform_grid(0.0, t_end, 2e-11);
+  const la::index_t probe = mna.unknown_index(netlist.find_node("n1"));
+  const auto dc = solver::dc_operating_point(mna);
+
+  const auto check = [&](const char* what, const std::vector<double>& wave,
+                         double tol) {
+    ASSERT_EQ(wave.size(), times.size()) << what;
+    for (std::size_t i = 0; i < times.size(); ++i)
+      EXPECT_NEAR(wave[i], single_pole_rc_voltage(rc, times[i]), tol)
+          << what << " at t = " << times[i];
+  };
+
+  for (const auto kind :
+       {krylov::KrylovKind::kRational, krylov::KrylovKind::kInverted}) {
+    core::MatexOptions opt;
+    opt.kind = kind;
+    opt.gamma = 2e-10;
+    opt.tolerance = 1e-10;
+    core::MatexCircuitSolver matex(mna, opt, dc.g_factors);
+    solver::ProbeRecorder rec({probe});
+    auto obs = rec.observer();
+    const core::FullInput input(mna);
+    matex.run(dc.x, 0.0, t_end, input, times, obs);
+    // MATEX is exact per PWL segment up to the Krylov budget.
+    check(krylov::kind_name(kind), rec.waveform(0), 1e-8);
+  }
+  {
+    solver::FixedStepOptions opt;
+    opt.t_end = t_end;
+    opt.h = 2e-12;  // well under tau: TR error O(h^2)
+    solver::ProbeRecorder rec({probe});
+    auto obs = rec.observer();
+    run_fixed_step(mna, dc.x, solver::StepMethod::kTrapezoidal, opt, obs);
+    std::vector<double> sampled;
+    for (std::size_t i = 0; i < rec.times().size(); i += 10)
+      sampled.push_back(rec.waveform(0)[i]);
+    check("tr", sampled, 2e-6);
+  }
+}
+
+TEST(Oracle, DenseReferenceMatchesMatexOnLadder) {
+  RcLadder ladder;
+  ladder.stages = 8;
+  ladder.r = 0.5;
+  ladder.c = 5e-13;
+  ladder.vdd = 1.2;
+  ladder.load.v2 = 8e-3;
+  ladder.load.delay = 1e-10;
+  ladder.load.rise = 1e-10;
+  ladder.load.width = 4e-10;
+  ladder.load.fall = 2e-10;
+  const auto netlist = rc_ladder_netlist(ladder);
+  const MnaSystem mna(netlist);
+  ASSERT_EQ(mna.dimension(), 8);
+  const DenseReference ref(mna);
+  const double t_end = 4e-11 * 40;
+  const auto times = uniform_grid(0.0, t_end, 4e-11);
+  const std::vector<la::index_t> probes = {
+      mna.unknown_index(netlist.find_node("n1")),
+      mna.unknown_index(netlist.find_node("n8"))};
+  const auto expected = ref.table(probes, {"n1", "n8"}, times);
+
+  const auto dc = solver::dc_operating_point(mna);
+  core::MatexOptions opt;
+  opt.gamma = 4e-10;
+  opt.tolerance = 1e-10;
+  core::MatexCircuitSolver matex(mna, opt, dc.g_factors);
+  solver::ProbeRecorder rec(probes);
+  auto obs = rec.observer();
+  const core::FullInput input(mna);
+  matex.run(dc.x, 0.0, t_end, input, times, obs);
+  solver::WaveformTable run;
+  run.names = expected.names;
+  run.times = expected.times;
+  run.columns = {rec.waveform(0), rec.waveform(1)};
+  EXPECT_LE(max_abs_error(run, expected), 1e-8);
+
+  // And the reference detects a perturbed run.
+  run.columns[1][20] += 1e-4;
+  EXPECT_GE(max_abs_error(run, expected), 1e-4 - 1e-8);
+}
+
+TEST(Oracle, DenseReferenceRejectsSingularCAndNonPwlInputs) {
+  // A resistor divider with no capacitor at the middle node: C singular.
+  circuit::Netlist divider;
+  divider.add_voltage_source("V", "in", "0", circuit::Waveform::dc(1.0));
+  divider.add_resistor("R1", "in", "mid", 1.0);
+  divider.add_resistor("R2", "mid", "0", 1.0);
+  const MnaSystem mna_div(divider);
+  EXPECT_THROW(DenseReference ref(mna_div), InvalidArgument);
+
+  // SIN inputs are not exactly piecewise linear.
+  circuit::Netlist sine;
+  circuit::SinSpec spec;
+  spec.amplitude = 1.0;
+  spec.frequency = 1e9;
+  sine.add_current_source("I", "a", "0", circuit::Waveform::sin(spec));
+  sine.add_resistor("R", "a", "0", 1.0);
+  sine.add_capacitor("C", "a", "0", 1e-12);
+  const MnaSystem mna_sin(sine);
+  EXPECT_THROW(DenseReference ref(mna_sin), InvalidArgument);
+
+  // Size guard.
+  const auto rc = single_pole_rc_netlist(rc_spec());
+  const MnaSystem mna_rc(rc);
+  EXPECT_THROW(DenseReference ref(mna_rc, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace matex::verify

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -93,6 +94,68 @@ TEST(WaveformIo, MalformedTablesThrow) {
   EXPECT_THROW(read_waveform_table(no_cols), ParseError);
   std::istringstream short_row("time a b\n0.0 1.0\n");
   EXPECT_THROW(read_waveform_table(short_row), ParseError);
+}
+
+TEST(WaveformIo, RoundTripPreservesExtremeValuesExactly) {
+  // The writer uses precision 17, which round-trips every finite double
+  // bit for bit -- including denormals, negative zero, and values at the
+  // exponent extremes (golden-style workflows depend on this).
+  WaveformTable t;
+  t.names = {"v"};
+  t.times = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  t.columns = {{1.0 / 3.0, -0.0, 4.9e-324, 1.7976931348623157e308,
+                2.2250738585072014e-308, -1.8000000000000001e-9,
+                123456789.12345679}};
+  std::ostringstream out;
+  write_waveform_table(t, out);
+  std::istringstream in(out.str());
+  const auto back = read_waveform_table(in);
+  ASSERT_EQ(back.columns[0].size(), t.columns[0].size());
+  for (std::size_t i = 0; i < t.columns[0].size(); ++i) {
+    EXPECT_EQ(back.columns[0][i], t.columns[0][i]);
+    // Bit-level identity (distinguishes -0.0 from +0.0).
+    EXPECT_EQ(std::signbit(back.columns[0][i]),
+              std::signbit(t.columns[0][i]));
+  }
+}
+
+TEST(WaveformIo, RoundTripEmptyTableKeepsHeader) {
+  // A table with probes but zero samples is legal (e.g. a campaign that
+  // recorded nothing yet) and must survive the round trip.
+  WaveformTable t;
+  t.names = {"a", "b"};
+  t.columns = {{}, {}};
+  std::ostringstream out;
+  write_waveform_table(t, out);
+  std::istringstream in(out.str());
+  const auto back = read_waveform_table(in);
+  EXPECT_EQ(back.names, t.names);
+  EXPECT_TRUE(back.times.empty());
+  ASSERT_EQ(back.columns.size(), 2u);
+  EXPECT_TRUE(back.columns[0].empty());
+}
+
+TEST(WaveformIo, ReaderSkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "* leading comment\n"
+      "\n"
+      "time n1\n"
+      "* interleaved comment\n"
+      "0 1.5\n"
+      "\n"
+      "1e-11 1.25\n");
+  const auto t = read_waveform_table(in);
+  ASSERT_EQ(t.times.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.columns[0][1], 1.25);
+}
+
+TEST(WaveformIo, ValidateRejectsInconsistentShapes) {
+  WaveformTable t = sample_table();
+  t.columns[0].pop_back();
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  t = sample_table();
+  t.names.pop_back();
+  EXPECT_THROW(t.validate(), InvalidArgument);
 }
 
 TEST(WaveformIo, FileRoundTrip) {
