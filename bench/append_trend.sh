@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Appends one benchmark trend point to bench/trend.jsonl (the per-PR
+# performance dashboard data; ROADMAP PR-2 item).
+#
+# Usage:  bench/append_trend.sh PR_LABEL [BUILD_DIR]
+#
+# Runs bench_hotpath from BUILD_DIR (default: build), reduces its JSON
+# artifact to the machine-independent ratios plus the headline throughput
+# numbers, and appends a single JSON line. Run from the repo root once
+# per PR and commit the updated trend.jsonl; absolute timings are kept
+# only as context (points come from whatever machine built the PR).
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: bench/append_trend.sh PR_LABEL [BUILD_DIR]" >&2
+  exit 2
+fi
+pr_label="$1"
+build_dir="${2:-build}"
+out="bench/trend.jsonl"
+tmp_json="$(mktemp)"
+trap 'rm -f "$tmp_json"' EXIT
+
+"$build_dir"/bench_hotpath --json "$tmp_json" >&2
+
+jq -c --arg pr "$pr_label" --arg date "$(date -u +%Y-%m-%d)" '{
+  pr: $pr,
+  date: $date,
+  n: .mesh.n,
+  refactor_speedup: .factorization.refactor_speedup,
+  sparse_rhs_vs_dense_ratio: .solve.sparse_rhs_vs_dense_ratio,
+  solves_per_second: .solve.solves_per_second,
+  tr_steps_per_second: .transient.tr_steps_per_second,
+  arnoldi_step_seconds: .arnoldi.step_seconds_avg,
+  allocs_per_step: .arnoldi.allocs_per_step,
+  tr_allocs_per_step: .transient.tr_allocs_per_step
+}' "$tmp_json" >> "$out"
+
+tail -1 "$out" >&2
+echo "appended trend point for $pr_label to $out" >&2

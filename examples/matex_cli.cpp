@@ -4,20 +4,30 @@
 /// Usage:
 ///   matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|dist]
 ///             [--tstep S] [--tstop S] [--gamma S] [--tol EPS]
-///             [--threads N] [--batch] [--probe NODE]... [--out FILE]
-///             [--perf-json FILE]
+///             [--threads N] [--batch] [--keep-vsources]
+///             [--probe NODE]... [--out FILE] [--perf-json FILE]
 ///   matex_cli --verify [--update-goldens] [--goldens DIR]
-///   matex_cli --fuzz N [--fuzz-seed S] [--artifacts DIR]
+///   matex_cli --fuzz N | --fuzz-vsource N
+///             [--fuzz-seed S] [--artifacts DIR]
 ///
 /// Defaults: method=rmatex, .tran card from the deck (or 10ps/10ns),
 /// gamma=tstep*10, probes = first few nodes, out = stdout table.
 /// With no arguments a built-in demo deck is simulated.
 ///
+/// --keep-vsources assembles the MNA system without eliminating grounded
+/// DC supplies: pad nodes and vsource branch currents stay in the system
+/// as algebraic unknowns (C singular, the paper's index-1 DAE
+/// formulation). Probing a supply node then works, and the branch
+/// current of source k is the trailing unknown block.
+///
 /// --verify runs the golden-waveform regression gate (src/verify) against
 /// the checked-in goldens (default DIR: tests/goldens, i.e. run from the
 /// repo root); --update-goldens re-blesses them after an intended numeric
-/// change. --fuzz N runs N seeded random differential scenarios; failures
-/// print a seed report and, with --artifacts, drop repro JSON files.
+/// change. --fuzz N runs N seeded random differential scenarios;
+/// --fuzz-vsource N instead fuzzes vsource decks (non-eliminated
+/// supplies, series-R straps, capacitance-free nodes) against the dense
+/// index-1 DAE oracle. Failures print a seed report and, with
+/// --artifacts, drop repro JSON files.
 ///
 /// --threads N runs the distributed scheduler's node subtasks (--method
 /// dist) or the batch campaign (--batch) on N worker threads
@@ -105,10 +115,12 @@ struct CliOptions {
   double tol = 1e-7;
   int threads = -1;  ///< -1 = not given; 0 = hardware concurrency
   bool batch = false;
+  bool keep_vsources = false;
   bool verify = false;
   bool update_goldens = false;
   std::string goldens_dir = "tests/goldens";
   int fuzz_cases = 0;  ///< > 0 enables fuzz mode
+  bool fuzz_vsource = false;  ///< vsource-deck campaign (dense DAE oracle)
   std::uint64_t fuzz_seed = 20140601;
   std::string artifact_dir;
   std::vector<std::string> probes;
@@ -149,10 +161,11 @@ bool write_perf_json(const std::string& path, const solver::JsonWriter& w) {
       "usage: matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|"
       "dist]\n"
       "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
-      "                 [--threads N] [--batch]\n"
+      "                 [--threads N] [--batch] [--keep-vsources]\n"
       "                 [--probe NODE]... [--out FILE] [--perf-json FILE]\n"
       "       matex_cli --verify [--update-goldens] [--goldens DIR]\n"
-      "       matex_cli --fuzz N [--fuzz-seed S] [--artifacts DIR]\n");
+      "       matex_cli --fuzz N | --fuzz-vsource N\n"
+      "                 [--fuzz-seed S] [--artifacts DIR]\n");
   std::exit(2);
 }
 
@@ -184,13 +197,15 @@ CliOptions parse_args(int argc, char** argv) {
       opt.threads = static_cast<int>(parsed);
     } else if (arg == "--batch") {
       opt.batch = true;
+    } else if (arg == "--keep-vsources") {
+      opt.keep_vsources = true;
     } else if (arg == "--verify") {
       opt.verify = true;
     } else if (arg == "--update-goldens") {
       opt.update_goldens = true;
     } else if (arg == "--goldens") {
       opt.goldens_dir = next();
-    } else if (arg == "--fuzz") {
+    } else if (arg == "--fuzz" || arg == "--fuzz-vsource") {
       const std::string value = next();
       char* end = nullptr;
       errno = 0;
@@ -199,6 +214,7 @@ CliOptions parse_args(int argc, char** argv) {
           parsed > 1000000)
         usage_and_exit();
       opt.fuzz_cases = static_cast<int>(parsed);
+      opt.fuzz_vsource = arg == "--fuzz-vsource";
     } else if (arg == "--fuzz-seed") {
       const std::string value = next();
       char* end = nullptr;
@@ -250,10 +266,12 @@ int main(int argc, char** argv) try {
     fopt.cases = cli.fuzz_cases;
     fopt.artifact_dir = cli.artifact_dir;
     fopt.log = &std::cerr;
-    const auto report = verify::run_fuzz(fopt);
+    const auto report = cli.fuzz_vsource ? verify::run_vsource_fuzz(fopt)
+                                         : verify::run_fuzz(fopt);
     std::fprintf(stderr,
-                 "fuzz: seed %llu, %d cases, %lld checks, %d failures, "
+                 "%s: seed %llu, %d cases, %lld checks, %d failures, "
                  "worst err/tol %.3f\n",
+                 cli.fuzz_vsource ? "vsource-fuzz" : "fuzz",
                  static_cast<unsigned long long>(report.seed), report.cases,
                  report.checks, report.failures, report.max_err_ratio);
     return report.failures == 0 ? 0 : 1;
@@ -272,10 +290,13 @@ int main(int argc, char** argv) try {
       cli.tstop > 0.0 ? cli.tstop : deck.tran_stop.value_or(1e-8);
   const double gamma = cli.gamma > 0.0 ? cli.gamma : tstep * 10.0;
 
-  const circuit::MnaSystem mna(deck.netlist);
-  std::fprintf(stderr, "deck: %zu elements, %d unknowns, %d inputs\n",
+  circuit::MnaOptions mna_options;
+  mna_options.eliminate_grounded_vsources = !cli.keep_vsources;
+  const circuit::MnaSystem mna(deck.netlist, mna_options);
+  std::fprintf(stderr, "deck: %zu elements, %d unknowns, %d inputs%s\n",
                deck.netlist.element_count(), mna.dimension(),
-               mna.input_count());
+               mna.input_count(),
+               cli.keep_vsources ? " (vsources kept)" : "");
 
   // Probe selection: user-specified nodes or the first three unknowns.
   std::vector<std::string> probe_names = cli.probes;
@@ -302,6 +323,10 @@ int main(int argc, char** argv) try {
   const auto grid = solver::uniform_grid(0.0, tstop, tstep);
 
   if (cli.batch) {
+    if (cli.keep_vsources)
+      std::fprintf(stderr,
+                   "matex_cli: note: --batch assembles decks itself; "
+                   "--keep-vsources only affects single-method runs\n");
     // Campaign mode: sweep the deck over methods x gamma x tolerance on
     // the shared pool + factorization cache, streaming per-job stats.
     runtime::BatchOptions bopt;

@@ -200,6 +200,17 @@ double MnaSystem::node_voltage(std::span<const double> x, NodeId node,
   return inputs_[static_cast<std::size_t>(f)].waveform->value(t);
 }
 
+std::vector<char> MnaSystem::dynamic_unknown_mask() const {
+  std::vector<char> dynamic(static_cast<std::size_t>(dim_), 0);
+  for (la::index_t j = 0; j < c_.cols(); ++j)
+    for (la::index_t p = c_.col_ptr()[j]; p < c_.col_ptr()[j + 1]; ++p)
+      if (c_.values()[p] != 0.0) {
+        dynamic[static_cast<std::size_t>(c_.row_idx()[p])] = 1;
+        dynamic[static_cast<std::size_t>(j)] = 1;
+      }
+  return dynamic;
+}
+
 bool MnaSystem::is_eliminated(NodeId node) const {
   if (node == kGroundNode) return false;
   MATEX_CHECK(node >= 0 &&

@@ -78,6 +78,15 @@ class MnaSystem {
   /// True if the node was eliminated as a fixed supply.
   bool is_eliminated(NodeId node) const;
 
+  /// Per-unknown flag (size dimension()): 1 when the unknown carries
+  /// dynamics -- its row or column of C holds a nonzero entry -- and 0
+  /// for purely algebraic unknowns (non-eliminated voltage-source branch
+  /// currents, capacitance-free resistive nodes). All-ones exactly when C
+  /// is structurally nonsingular; the zeros are the index-1 DAE rows the
+  /// oracle eliminates by Schur complement and the LTE controller must
+  /// not treat as integrated states.
+  std::vector<char> dynamic_unknown_mask() const;
+
   const Netlist& netlist() const { return *netlist_; }
 
  private:

@@ -46,19 +46,26 @@ std::vector<std::string> tokenize(std::string_view line) {
 
 bool parse_value_impl(std::string_view token, double& out) {
   const std::string lower = to_lower(token);
-  std::size_t pos = 0;
+  // Locale-independent number parse: std::stod honors the global C locale
+  // (a comma decimal separator would silently change every value in the
+  // deck), std::from_chars always uses the SPICE-standard '.'.
+  std::string_view body = lower;
+  if (!body.empty() && body.front() == '+') body.remove_prefix(1);
   double base = 0.0;
-  try {
-    base = std::stod(lower, &pos);
-  } catch (const std::exception&) {
-    return false;
-  }
-  const std::string suffix = lower.substr(pos);
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), base);
+  if (ec != std::errc() || ptr == body.data()) return false;
+  const std::string_view suffix =
+      body.substr(static_cast<std::size_t>(ptr - body.data()));
   double mult = 1.0;
   if (suffix.empty()) {
     mult = 1.0;
   } else if (suffix.rfind("meg", 0) == 0) {
     mult = 1e6;
+  } else if (suffix.rfind("mil", 0) == 0) {
+    // Standard SPICE mil = 1/1000 inch = 2.54e-5 m. Must be matched
+    // before the single-character table, which would read it as milli.
+    mult = 2.54e-5;
   } else {
     switch (suffix[0]) {
       case 'f': mult = 1e-15; break;

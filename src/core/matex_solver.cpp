@@ -10,16 +10,29 @@
 namespace matex::core {
 namespace {
 
-/// C + delta on every zero diagonal entry (MEXP regularization; cf. Chen,
-/// Weng, Cheng TCAD'12 for the principled version this stands in for).
-la::CscMatrix regularize_c(const la::CscMatrix& c, double delta) {
+/// Sign-aware MEXP regularization of a singular C (cf. Chen, Weng, Cheng
+/// TCAD'12 for the principled version this stands in for): every zero
+/// diagonal gets +delta on *node* rows (a tiny parasitic capacitance to
+/// ground) but -delta on *branch* rows (kept voltage sources).
+///
+/// The sign split is load-bearing. A kept vsource makes the algebraic
+/// block of G indefinite ([[G_pp, A], [A', 0]] with incidence A), so a
+/// uniform +delta hands -C^{-1}G a *positive* eigenvalue ~ +g/delta and
+/// the exponential propagator overflows within one segment. With the
+/// branch rows at -delta the perturbed energy V = (|v|^2 + |i|^2) d/2
+/// obeys dV/dt = -v' G_pp v <= 0 (the A cross terms cancel), so every
+/// spurious mode decays and MEXP stays finite on vsource decks.
+/// Inductor branch rows carry L on the diagonal and are never touched.
+la::CscMatrix regularize_c(const la::CscMatrix& c, double delta,
+                           la::index_t node_unknowns) {
   const auto diag = c.diagonal();
   la::TripletMatrix t(c.rows(), c.cols());
   for (la::index_t j = 0; j < c.cols(); ++j)
     for (la::index_t p = c.col_ptr()[j]; p < c.col_ptr()[j + 1]; ++p)
       t.add(c.row_idx()[p], j, c.values()[p]);
   for (la::index_t i = 0; i < c.rows(); ++i)
-    if (diag[static_cast<std::size_t>(i)] == 0.0) t.add(i, i, delta);
+    if (diag[static_cast<std::size_t>(i)] == 0.0)
+      t.add(i, i, i < node_unknowns ? delta : -delta);
   return t.to_csc();
 }
 
@@ -38,7 +51,8 @@ MatexCircuitSolver::MatexCircuitSolver(const circuit::MnaSystem& mna,
   const la::CscMatrix* c_for_op = &mna.c();
   if (options_.kind == krylov::KrylovKind::kStandard &&
       options_.c_regularization > 0.0) {
-    c_regularized_ = regularize_c(mna.c(), options_.c_regularization);
+    c_regularized_ = regularize_c(mna.c(), options_.c_regularization,
+                                  mna.node_unknowns());
     c_for_op = &c_regularized_;
   }
   // Cache lookups are O(nnz) content hashes; fingerprint each matrix

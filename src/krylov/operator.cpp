@@ -1,9 +1,40 @@
 #include "krylov/operator.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "la/dense_lu.hpp"
 #include "la/error.hpp"
 
 namespace matex::krylov {
+namespace {
+
+/// Inverts the projected transform H' of the inverted/rational bases.
+///
+/// A singular H' means the Krylov basis has picked up a direction of the
+/// algebraic subspace of a singular C (null(C), reachable on decks with
+/// non-eliminated voltage sources or capacitance-free nodes: the operator
+/// maps such a vector to zero and Arnoldi breaks down with a zero
+/// projection). The corresponding eigenvalue of A = -C^{-1}G is -infinity
+/// -- the component decays instantly -- so the transform is re-evaluated
+/// with the zero eigenvalue nudged to `sign * eps`, the side that maps
+/// back to a huge *negative* eigenvalue of A (the sign differs per basis:
+/// lambda = 1/lambda' for I-MATEX wants lambda' -> 0^-, while
+/// lambda = (1 - 1/lambda~)/gamma for R-MATEX wants lambda~ -> 0^+).
+/// e^{h*lambda} then underflows to the exact limit 0 for any realistic h.
+la::DenseMatrix invert_projection(const la::DenseMatrix& h_proj,
+                                  double sign) {
+  try {
+    return la::DenseLU(h_proj).inverse();
+  } catch (const NumericalError&) {
+    la::DenseMatrix shifted = h_proj;
+    const double eps = sign * 1e-30 * std::max(1.0, h_proj.norm1());
+    for (std::size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += eps;
+    return la::DenseLU(shifted).inverse();
+  }
+}
+
+}  // namespace
 
 const char* kind_name(KrylovKind kind) {
   switch (kind) {
@@ -92,11 +123,13 @@ la::DenseMatrix CircuitOperator::to_exponential_matrix(
     case KrylovKind::kStandard:
       return h_proj;
     case KrylovKind::kInverted:
-      // H_m = H'^{-1}
-      return la::DenseLU(h_proj).inverse();
+      // H_m = H'^{-1}; lambda = 1/lambda', so a null(C) direction
+      // (lambda' = 0) is nudged to 0^- to recover lambda -> -infinity.
+      return invert_projection(h_proj, -1.0);
     case KrylovKind::kRational: {
-      // H_m = (I - Htilde^{-1}) / gamma
-      la::DenseMatrix hm = la::DenseLU(h_proj).inverse();
+      // H_m = (I - Htilde^{-1}) / gamma; lambda = (1 - 1/lambda~)/gamma,
+      // so the null(C) nudge is 0^+ here.
+      la::DenseMatrix hm = invert_projection(h_proj, 1.0);
       hm = hm.scaled(-1.0 / gamma_);
       for (std::size_t i = 0; i < hm.rows(); ++i) hm(i, i) += 1.0 / gamma_;
       return hm;

@@ -45,6 +45,12 @@ circuit::Netlist generate_power_grid(const PowerGridSpec& spec) {
   MATEX_CHECK(spec.load_current_min <= spec.load_current_max &&
                   spec.load_current_min > 0.0,
               "invalid load current range");
+  MATEX_CHECK(spec.cap_free_fraction >= 0.0 && spec.cap_free_fraction < 1.0,
+              "cap_free_fraction must lie in [0, 1)");
+  MATEX_CHECK(spec.supply_ramp_time >= 0.0 &&
+                  spec.supply_ramp_droop >= 0.0 &&
+                  spec.supply_ramp_droop < 1.0,
+              "invalid supply ramp configuration");
   Rng rng(spec.seed);
   circuit::Netlist n;
   int element = 0;
@@ -67,7 +73,11 @@ circuit::Netlist generate_power_grid(const PowerGridSpec& spec) {
                      (1.0 + spec.cap_variation * (2.0 * rng.uniform() - 1.0));
         if (spec.cap_decades > 0.0)
           cap *= std::pow(10.0, -spec.cap_decades * rng.uniform());
-        n.add_capacitor(next_name("C"), here, "0", cap);
+        // The short-circuit keeps the legacy random stream bit-exact when
+        // the cap-free feature is off.
+        const bool cap_free = spec.cap_free_fraction > 0.0 &&
+                              rng.uniform() < spec.cap_free_fraction;
+        if (!cap_free) n.add_capacitor(next_name("C"), here, "0", cap);
         if (c + stride < spec.cols)
           n.add_resistor(next_name("R"), here,
                          node_name(spec.name, layer, r, c + stride),
@@ -106,6 +116,12 @@ circuit::Netlist generate_power_grid(const PowerGridSpec& spec) {
     pad_sites.emplace_back(rr, 0);      // west side
     pad_sites.emplace_back(rr, max_c);  // east side
   }
+  const circuit::Waveform supply =
+      spec.supply_ramp_time > 0.0
+          ? circuit::Waveform::pwl(
+                {0.0, spec.supply_ramp_time},
+                {(1.0 - spec.supply_ramp_droop) * spec.vdd, spec.vdd})
+          : circuit::Waveform::dc(spec.vdd);
   int pad_id = 0;
   for (const auto& [r, c] : pad_sites) {
     const std::string pad = spec.name + "_pad" + std::to_string(pad_id++);
@@ -117,8 +133,7 @@ circuit::Netlist generate_power_grid(const PowerGridSpec& spec) {
     } else {
       n.add_resistor(next_name("Rp"), pad, grid_node, spec.pad_resistance);
     }
-    n.add_voltage_source("V" + pad, pad, "0",
-                         circuit::Waveform::dc(spec.vdd));
+    n.add_voltage_source("V" + pad, pad, "0", supply);
   }
 
   // --- distinct bump shapes (Fig. 3), then loads sampling from them.

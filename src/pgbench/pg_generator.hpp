@@ -43,9 +43,23 @@ struct PowerGridSpec {
   /// clusters and bare parasitics in real grids (this is what makes the
   /// inverted basis large on the IBM decks, Table 2's Spdp3 column).
   double cap_decades = 0.0;
+  /// Fraction of mesh nodes left without any decap: pure-resistive
+  /// internal junctions whose unknowns carry zero C rows/columns -- the
+  /// algebraic half of the index-1 DAE structure vsource decks exhibit.
+  /// 0 keeps the classic every-node-decap grid (and the exact legacy
+  /// random stream for a given seed).
+  double cap_free_fraction = 0.0;
   double pad_resistance = 0.05;      ///< package R at each pad
   double pad_inductance = 0.0;       ///< package L (0 disables)
   int pads_per_side = 2;             ///< pads distributed on top layer
+  /// When > 0, every supply ramps linearly from
+  /// (1 - supply_ramp_droop) * vdd at t = 0 up to vdd at
+  /// t = supply_ramp_time (a PWL waveform). A ramping supply is not an
+  /// ideal DC pad, so MNA keeps the source as a branch-current unknown
+  /// even with eliminate_grounded_vsources on -- the pad node and the
+  /// branch current become algebraic unknowns (C singular).
+  double supply_ramp_time = 0.0;
+  double supply_ramp_droop = 0.05;   ///< initial droop fraction of vdd
   int source_count = 64;             ///< current loads (bottom layer)
   int bump_shape_count = 8;          ///< distinct pulse shapes (Fig. 3)
   double load_current_min = 2e-3;    ///< pulse amplitude range (A)

@@ -42,7 +42,14 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
       break;
     case StepMethod::kForwardEuler:
       // x(t+h) = x + h C^{-1} (B u - G x): requires a non-singular C.
-      lu = std::make_unique<la::SparseLU>(c, options.lu_options);
+      try {
+        lu = std::make_unique<la::SparseLU>(c, options.lu_options);
+      } catch (const NumericalError&) {
+        throw InvalidArgument(
+            "forward Euler requires a nonsingular C; this deck has "
+            "algebraic unknowns (non-eliminated voltage sources or "
+            "capacitance-free nodes) -- use an implicit method");
+      }
       break;
   }
   stats.factorizations = 1;

@@ -12,10 +12,15 @@ namespace matex::solver {
 namespace {
 
 /// ||x'''||_inf estimated from four (t, x) samples via divided differences
-/// (x''' ~ 6 * dd3).
+/// (x''' ~ 6 * dd3). Restricted to the unknowns in `dynamic`: algebraic
+/// unknowns of a singular-C deck (vsource branch currents, capacitance-free
+/// nodes) are determined exactly by the constraint rows at every step --
+/// they carry no local truncation error, and letting a branch current in
+/// amperes drive a volt-scaled LTE budget would starve the step size.
 double third_derivative_norm(const std::deque<std::pair<double,
                                                         std::vector<double>>>&
-                                 hist) {
+                                 hist,
+                             const std::vector<char>& dynamic) {
   const auto& [t1, x1] = hist[0];
   const auto& [t2, x2] = hist[1];
   const auto& [t3, x3] = hist[2];
@@ -24,6 +29,7 @@ double third_derivative_norm(const std::deque<std::pair<double,
   const double d31 = t3 - t1, d42 = t4 - t2, d41 = t4 - t1;
   double norm = 0.0;
   for (std::size_t i = 0; i < x1.size(); ++i) {
+    if (!dynamic[i]) continue;
     const double dd1a = (x2[i] - x1[i]) / d21;
     const double dd1b = (x3[i] - x2[i]) / d32;
     const double dd1c = (x4[i] - x3[i]) / d43;
@@ -67,6 +73,8 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
   std::vector<double> gts;
   if (options.align_to_transitions)
     gts = mna.global_transition_spots(options.t_start, options.t_end);
+
+  const std::vector<char> dynamic = mna.dynamic_unknown_mask();
 
   // Factorization cache keyed by the exact step size. The shifted system
   // C/h + G/2 keeps one sparsity pattern across all step sizes, so every
@@ -146,13 +154,37 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
     if (gts_idx < gts.size()) boundary = std::min(boundary, gts[gts_idx]);
 
     double h_use = std::clamp(h_desired, h_min, h_max);
+    const double gap = boundary - t;
     // Step-size hysteresis: keep the factored step when it is close
-    // enough, avoiding a re-factorization.
-    if (factored_h > 0.0 && t + factored_h <= boundary + t_eps &&
+    // enough, avoiding a re-factorization -- but only when the kept step
+    // lands cleanly: either at least h_min short of the boundary (no
+    // sub-h_min sliver stranded in front of the transition spot) or on
+    // the boundary itself to within t_eps. Re-checking the boundary here
+    // means a kept factorization can never overshoot a transition spot.
+    if (factored_h > 0.0 &&
         h_use <= factored_h * options.refactor_hysteresis &&
-        h_use >= factored_h / options.refactor_hysteresis)
+        h_use >= factored_h / options.refactor_hysteresis &&
+        (factored_h <= gap - h_min || std::abs(factored_h - gap) <= t_eps))
       h_use = factored_h;
-    if (t + h_use > boundary - t_eps) h_use = boundary - t;
+    // Boundary shaving: a step ending inside (boundary - h_min, boundary)
+    // would leave a sliver smaller than h_min whose 1/h blows up the
+    // shifted system; stretch such steps to land exactly on the boundary
+    // instead (unless the kept step already lands there within t_eps).
+    // When the boundary lies beyond h_max the stretch must not violate
+    // the user's step-size cap: split the remaining gap in two instead
+    // (gap < h_max + h_min, so the half step respects h_max and the
+    // follow-up step stays clear of the dead zone for any h_max >=
+    // 2 h_min). When t itself sits closer than h_min to the boundary
+    // (adversarially spaced PWL breakpoints), the shaved step is the
+    // forced boundary step: smaller than h_min, accepted below.
+    if (h_use > gap - h_min && std::abs(h_use - gap) > t_eps)
+      h_use = gap <= h_max + t_eps ? gap : 0.5 * gap;
+    // A stretched step with gap < 2 h_min is *forced*: every admissible
+    // step either lands in the dead zone or on the boundary, so an LTE
+    // rejection could only reproduce the identical step (the controller
+    // floors at h_min and re-stretches -- a livelock). Accept it like
+    // the h_min floor steps; its LTE is bounded by 8x an h_min step's.
+    const bool forced_boundary = h_use == gap && gap < 2.0 * h_min;
 
     ensure_factor(h_use);
 
@@ -171,11 +203,12 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
     double lte = 0.0;
     if (hist.size() >= 3) {
       hist.emplace_back(t + h_use, x_new);
-      lte = third_derivative_norm(hist) * h_use * h_use * h_use / 12.0;
+      lte = third_derivative_norm(hist, dynamic) * h_use * h_use * h_use /
+            12.0;
       hist.pop_back();
     }
-    const bool accept =
-        hist.size() < 3 || lte <= options.lte_tol || h_use <= h_min * 1.0001;
+    const bool accept = hist.size() < 3 || lte <= options.lte_tol ||
+                        h_use <= h_min * 1.0001 || forced_boundary;
     if (!accept) {
       ++stats.rejected_steps;
       h_desired =

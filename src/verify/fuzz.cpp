@@ -132,6 +132,14 @@ solver::WaveformTable run_matex_method(const circuit::MnaSystem& mna,
     // the (small) system dimension, where Arnoldi is exact.
     opt.max_dim = static_cast<int>(mna.dimension()) + 8;
     opt.tolerance = std::max(c.krylov_tol, 1e-7);
+    // A singular C (vsource decks) needs the MEXP regularization before
+    // LU(C); the delta is far below any physical decap so the spurious
+    // fast mode decays within ~1e-19 s (I-MATEX / R-MATEX run the same
+    // decks regularization-free, which is exactly what this campaign
+    // differentially demonstrates).
+    const auto dynamic = mna.dynamic_unknown_mask();
+    if (std::find(dynamic.begin(), dynamic.end(), 0) != dynamic.end())
+      opt.c_regularization = 1e-6 * c.grid.node_capacitance;
   }
   core::MatexCircuitSolver matex(mna, opt, dc.g_factors);
   solver::ProbeRecorder rec(
@@ -233,6 +241,10 @@ void write_case_fields(solver::JsonWriter& w, const FuzzCase& c) {
   w.key("gamma").value(c.gamma);
   w.key("krylov_tol").value(c.krylov_tol);
   w.key("vdd_scale").value(c.vdd_scale);
+  w.key("keep_vsources").value(c.keep_vsources);
+  w.key("dense_oracle").value(c.dense_oracle);
+  w.key("cap_free_fraction").value(c.grid.cap_free_fraction);
+  w.key("supply_ramp_time").value(c.grid.supply_ramp_time);
 }
 
 std::string write_repro_artifact(const FuzzOptions& options,
@@ -359,6 +371,66 @@ FuzzCase fuzz_case_from_seed(std::uint64_t seed, int index) {
   return c;
 }
 
+FuzzCase vsource_case_from_seed(std::uint64_t seed, int index) {
+  // A different mix constant than fuzz_case_from_seed, so the two
+  // campaigns draw uncorrelated streams even under the same seed.
+  SplitMix rng(seed ^ (0xd1b54a32d192ed03ull *
+                       (static_cast<std::uint64_t>(index) + 1)));
+  FuzzCase c;
+  c.case_seed = rng.next();
+  c.keep_vsources = true;
+  c.dense_oracle = true;
+
+  // Small grids: the dense O(n^3) oracle bounds the size, and the shrink
+  // lattice keeps minimized repros legible anyway.
+  pgbench::PowerGridSpec& g = c.grid;
+  g.rows = static_cast<la::index_t>(rng.range(3, 5));
+  g.cols = static_cast<la::index_t>(rng.range(3, 5));
+  g.layers = 1;
+  g.vdd = rng.uniform(1.0, 1.8);
+  g.branch_resistance = rng.uniform(0.02, 0.08);
+  g.node_capacitance = rng.uniform(2e-13, 8e-13);
+  g.cap_variation = rng.uniform(0.0, 0.5);
+  g.cap_decades = 0.0;
+  // Capacitance-free internal junctions plus decap-free pad nodes behind
+  // series-R supply straps: the algebraic unknowns of the index-1 DAE.
+  g.cap_free_fraction = rng.uniform(0.1, 0.45);
+  g.pad_resistance = rng.uniform(0.05, 0.2);
+  g.pads_per_side = 1;
+  g.source_count = rng.range(1, 4);
+  g.bump_shape_count = std::min(rng.range(1, 2), g.source_count);
+  g.load_current_min = 1e-3;
+  g.load_current_max = rng.uniform(4e-3, 1.2e-2);
+  g.seed = c.case_seed;
+  g.name = "vfuzz";
+
+  const double h_out_choices[] = {2e-11, 4e-11};
+  const int steps_choices[] = {32, 48, 64};
+  const double h_out = h_out_choices[rng.range(0, 1)];
+  c.output_steps = steps_choices[rng.range(0, 2)];
+  c.t_end = h_out * c.output_steps;
+
+  g.t_window = 0.8 * c.t_end;
+  g.rise_min = 2.0 * h_out;
+  g.rise_max = 8.0 * h_out;
+  g.width_min = 4.0 * h_out;
+  g.width_max = 16.0 * h_out;
+
+  // Half the cases ramp the supplies: a PWL supply stays a branch unknown
+  // even under default elimination, and its ramp exercises time-varying
+  // B columns of the branch equations.
+  if (rng.uniform() < 0.5) {
+    g.supply_ramp_time = rng.uniform(0.2, 0.5) * c.t_end;
+    g.supply_ramp_droop = rng.uniform(0.02, 0.08);
+  }
+
+  c.gamma = h_out * rng.uniform(5.0, 20.0);
+  c.krylov_tol = rng.uniform() < 0.5 ? 1e-7 : 1e-9;
+  const double vdd_scales[] = {1.0, 0.9, 1.1};
+  c.vdd_scale = vdd_scales[rng.range(0, 2)];
+  return c;
+}
+
 FuzzCaseResult run_fuzz_case(const FuzzCase& fuzz_case,
                              const FuzzOptions& options) try {
   FuzzCaseResult result;
@@ -367,16 +439,24 @@ FuzzCaseResult run_fuzz_case(const FuzzCase& fuzz_case,
   circuit::Netlist netlist = pgbench::generate_power_grid(fuzz_case.grid);
   if (fuzz_case.vdd_scale != 1.0)
     netlist = runtime::scale_supplies(netlist, fuzz_case.vdd_scale);
-  const circuit::MnaSystem mna(netlist);
+  circuit::MnaOptions mna_options;
+  mna_options.eliminate_grounded_vsources = !fuzz_case.keep_vsources;
+  const circuit::MnaSystem mna(netlist, mna_options);
   result.dimension = static_cast<int>(mna.dimension());
 
+  // Probes spread over the *whole* unknown vector: on vsource decks the
+  // tail indices are branch currents, so the algebraic reconstruction is
+  // differentially checked, not just the node voltages.
   const std::vector<la::index_t> probes = spread_probes(mna.dimension());
   const std::vector<double> times = solver::uniform_grid(
       0.0, fuzz_case.t_end, fuzz_case.t_end / fuzz_case.output_steps);
 
   const solver::DcResult dc = solver::dc_operating_point(mna);
   const solver::WaveformTable oracle =
-      run_oracle(mna, dc.x, fuzz_case, probes, times);
+      fuzz_case.dense_oracle
+          ? DenseReference(mna, 300).table(
+                probes, spread_probe_names(probes), times)
+          : run_oracle(mna, dc.x, fuzz_case, probes, times);
   // Tolerances scale with the actual response amplitude, floored so a
   // quiet case doesn't demand sub-femtovolt agreement.
   result.swing = std::max(waveform_swing(oracle),
@@ -424,8 +504,13 @@ FuzzCaseResult run_fuzz_case(const FuzzCase& fuzz_case,
 
 std::string fuzz_failure_summary(const FuzzCaseResult& r) {
   std::ostringstream out;
+  // The dense-oracle flag identifies the vsource tier, whose cases come
+  // from a different generator -- the repro call must name it.
   out << "fuzz case " << r.case_index << " FAILED (repro: seed from the "
-      << "report, fuzz_case_from_seed(seed, " << r.case_index << "))\n";
+      << "report, "
+      << (r.config.dense_oracle ? "vsource_case_from_seed"
+                                : "fuzz_case_from_seed")
+      << "(seed, " << r.case_index << "))\n";
   const FuzzCase& c = r.config;
   out << "  grid " << c.grid.rows << "x" << c.grid.cols << "x"
       << c.grid.layers << " (" << r.dimension << " unknowns), "
@@ -434,6 +519,11 @@ std::string fuzz_failure_summary(const FuzzCaseResult& r) {
   out << "  t_end " << c.t_end << ", output_steps " << c.output_steps
       << ", gamma " << c.gamma << ", krylov_tol " << c.krylov_tol
       << ", vdd_scale " << c.vdd_scale << "\n";
+  if (c.keep_vsources || c.dense_oracle)
+    out << "  vsource deck: keep_vsources " << c.keep_vsources
+        << ", dense_oracle " << c.dense_oracle << ", cap_free_fraction "
+        << c.grid.cap_free_fraction << ", supply_ramp_time "
+        << c.grid.supply_ramp_time << "\n";
   for (const MethodCheck& m : r.checks) {
     out << "  " << m.method << ": ";
     if (!m.ran)
@@ -460,8 +550,10 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
   report.seed = options.seed;
   report.cases = options.cases;
 
+  MATEX_CHECK(options.case_factory != nullptr,
+              "fuzz campaign needs a case factory");
   for (int index = 0; index < options.cases; ++index) {
-    const FuzzCase fuzz_case = fuzz_case_from_seed(options.seed, index);
+    const FuzzCase fuzz_case = options.case_factory(options.seed, index);
     FuzzCaseResult result = run_fuzz_case(fuzz_case, options);
     result.case_index = index;
     for (const MethodCheck& c : result.checks) {
@@ -507,6 +599,22 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
                  << report.failures << " failures, worst err/tol "
                  << report.max_err_ratio << "\n";
   return report;
+}
+
+FuzzReport run_vsource_fuzz(FuzzOptions options) {
+  options.case_factory = vsource_case_from_seed;
+  // Re-rung the fixed-step/adaptive rungs for an *exact* oracle: the
+  // classic tier compares against a 32x-finer TR run, whose own O(h^2)
+  // bias partially cancels the fixed-step methods' truncation error; the
+  // dense DAE oracle exposes the full error. Rungs carry ~2.5-3x
+  // headroom over the worst ratio observed across 300 seeded vsource
+  // cases (tr 2.6e-2 x swing, be 1.9e-2, tradpt 6.6e-3). The matex rung
+  // is untouched: rmatex/imatex/dist land at 6.5e-5 x swing and
+  // sign-aware-regularized MEXP at 1.7e-8, all far inside 1.5e-3.
+  options.ladder.tr = 6e-2;
+  options.ladder.be = 5e-2;
+  options.ladder.tradpt = 2e-2;
+  return run_fuzz(options);
 }
 
 // ------------------------------------------------------ batch-engine fuzz

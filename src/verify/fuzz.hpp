@@ -48,11 +48,27 @@ struct FuzzCase {
   double gamma = 1e-10;    ///< R-MATEX shift
   double krylov_tol = 1e-8;
   double vdd_scale = 1.0;  ///< supply corner applied via scale_supplies
+  /// Assemble with eliminate_grounded_vsources = false: supply pads stay
+  /// in the system as branch-current unknowns and capacitance-free pad
+  /// nodes, making C singular (the index-1 DAE decks of the paper's
+  /// formulation).
+  bool keep_vsources = false;
+  /// Differentially check against the DAE-capable DenseReference (exact
+  /// dense expm + Schur complement) instead of the fine-step TR oracle.
+  /// Required for singular-C decks, where no finer TR run is a trusted
+  /// reference for the algebraic unknowns.
+  bool dense_oracle = false;
 };
 
 /// Derives case `index` of a fuzz run from the campaign seed. Exposed so
 /// a failure report ("seed S, case K") is reproducible in isolation.
 FuzzCase fuzz_case_from_seed(std::uint64_t seed, int index);
+
+/// Derives case `index` of a *vsource-deck* fuzz run: small grids with
+/// non-eliminated voltage sources, series-R supply straps (pad nodes
+/// without decap), capacitance-free internal nodes, and (half the time)
+/// PWL supply ramps -- all checked against the dense index-1 DAE oracle.
+FuzzCase vsource_case_from_seed(std::uint64_t seed, int index);
 
 /// Differential tolerances, expressed relative to the oracle waveform
 /// swing (max-min over the recorded probes, floored at 0.1% of the scaled
@@ -88,6 +104,10 @@ struct FuzzOptions {
   /// one sample of `inject_method`'s waveform in every case.
   double inject_perturbation = 0.0;
   std::string inject_method = "rmatex";
+  /// Case generator driven by run_fuzz: (seed, index) -> FuzzCase.
+  /// Defaults to the classic PDN sweep; run_vsource_fuzz swaps in
+  /// vsource_case_from_seed.
+  FuzzCase (*case_factory)(std::uint64_t, int) = fuzz_case_from_seed;
 };
 
 /// Per-method outcome of one case.
@@ -132,6 +152,13 @@ struct FuzzReport {
 /// Runs the campaign: `cases` seeded scenarios, each differentially
 /// checked across all seven methods. Deterministic for a fixed seed.
 FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Runs the vsource-deck campaign: options.case_factory is replaced by
+/// vsource_case_from_seed, so every case carries non-eliminated voltage
+/// sources / capacitance-free nodes and is checked against the dense
+/// index-1 DAE oracle. Everything else (minimization, artifacts, report)
+/// behaves like run_fuzz.
+FuzzReport run_vsource_fuzz(FuzzOptions options);
 
 /// Human-readable seed-failure report for one failing case ("how to
 /// reproduce" plus the per-method error table).

@@ -130,6 +130,8 @@ std::vector<GoldenScenario> standard_golden_suite() {
       {"pg_small_rmatex", "pg_small", "rmatex", 5e-8},
       {"pg_small_tradpt", "pg_small", "tradpt", 5e-8},
       {"pg_small_dist", "pg_small", "dist", 5e-8},
+      {"pg_vsrc_rmatex", "pg_vsrc", "rmatex", 5e-8},
+      {"pg_vsrc_tradpt", "pg_vsrc", "tradpt", 5e-8},
   };
 }
 
@@ -142,6 +144,7 @@ struct GoldenDeck {
   double t_end = 0.0;
   double h_out = 0.0;
   double gamma = 0.0;
+  circuit::MnaOptions mna_options;  ///< pg_vsrc keeps its supplies
 };
 
 GoldenDeck make_deck(const std::string& key) {
@@ -202,6 +205,35 @@ GoldenDeck make_deck(const std::string& key) {
     deck.gamma = 2.5e-10;
     return deck;
   }
+  if (key == "pg_vsrc") {
+    // Singular-C regression deck: non-eliminated supplies behind series-R
+    // straps (decap-free pad nodes), capacitance-free internal junctions,
+    // and a PWL supply ramp -- the index-1 DAE scenario class the dense
+    // oracle gained in PR 4. Locks both the node voltages and the
+    // algebraic unknowns (branch currents) sample-for-sample.
+    pgbench::PowerGridSpec spec;
+    spec.rows = 5;
+    spec.cols = 5;
+    spec.layers = 1;
+    spec.source_count = 8;
+    spec.bump_shape_count = 2;
+    spec.seed = 11;
+    spec.cap_free_fraction = 0.25;
+    spec.pads_per_side = 1;
+    deck.h_out = 2.5e-11;
+    deck.t_end = deck.h_out * 80;
+    spec.supply_ramp_time = 0.3 * deck.t_end;
+    spec.t_window = 0.8 * deck.t_end;
+    spec.rise_min = 5e-11;
+    spec.rise_max = 1.5e-10;
+    spec.width_min = 1e-10;
+    spec.width_max = 4e-10;
+    deck.netlist = pgbench::generate_power_grid(spec);
+    deck.probe_nodes = {};  // spread over unknowns incl. branch currents
+    deck.gamma = 2.5e-10;
+    deck.mna_options.eliminate_grounded_vsources = false;
+    return deck;
+  }
   throw InvalidArgument("unknown golden deck: " + key);
 }
 
@@ -209,7 +241,7 @@ GoldenDeck make_deck(const std::string& key) {
 
 solver::WaveformTable run_golden_scenario(const GoldenScenario& scenario) {
   const GoldenDeck deck = make_deck(scenario.deck);
-  const circuit::MnaSystem mna(deck.netlist);
+  const circuit::MnaSystem mna(deck.netlist, deck.mna_options);
 
   std::vector<la::index_t> probes;
   std::vector<std::string> names;

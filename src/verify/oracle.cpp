@@ -84,15 +84,25 @@ la::index_t checked_dimension(const circuit::MnaSystem& mna,
   return mna.dimension();
 }
 
-la::DenseLU factorize_c_or_throw(const la::DenseMatrix& c) {
+la::DenseLU factorize_g_or_throw(la::DenseMatrix g) {
   try {
-    la::DenseLU lu(c);
-    return lu;
+    return la::DenseLU(std::move(g));
   } catch (const NumericalError&) {
     throw InvalidArgument(
-        "DenseReference requires a nonsingular C (a capacitor on every "
-        "node, an inductance on every branch)");
+        "DenseReference requires a nonsingular G (a DC path from every "
+        "node to a supply or ground)");
   }
+}
+
+/// Extracts the dense block m(rows, cols).
+la::DenseMatrix submatrix(const la::DenseMatrix& m,
+                          std::span<const std::size_t> rows,
+                          std::span<const std::size_t> cols) {
+  la::DenseMatrix out(rows.size(), cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j)
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      out(i, j) = m(rows[i], cols[j]);
+  return out;
 }
 
 }  // namespace
@@ -101,15 +111,72 @@ DenseReference::DenseReference(const circuit::MnaSystem& mna,
                                la::index_t max_dimension)
     : mna_(&mna),
       n_(checked_dimension(mna, max_dimension)),
-      g_lu_(to_dense(mna.g())),
-      c_dense_(to_dense(mna.c())) {
+      g_lu_(factorize_g_or_throw(to_dense(mna.g()))) {
   for (la::index_t k = 0; k < mna.input_count(); ++k)
     MATEX_CHECK(mna.input_waveform(k).is_piecewise_linear(),
                 "DenseReference requires piecewise-linear inputs");
-  const la::DenseLU c_lu = factorize_c_or_throw(c_dense_);
-  // A = -C^{-1} G.
-  a_ = c_lu.solve(to_dense(mna.g()));
-  for (double& v : a_.data()) v = -v;
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const la::DenseMatrix c = to_dense(mna.c());
+  const la::DenseMatrix g = to_dense(mna.g());
+  const la::DenseMatrix b = to_dense(mna.b());
+
+  // Partition the unknowns: an index is algebraic when its C row *and*
+  // column are identically zero (vsource branch currents, capacitance-free
+  // nodes); everything else is differential. The cross blocks C_da / C_ad
+  // vanish by construction of the split.
+  const std::vector<char> dynamic = mna.dynamic_unknown_mask();
+  for (std::size_t i = 0; i < n; ++i)
+    (dynamic[i] ? diff_ : alg_).push_back(i);
+  const std::size_t nd = diff_.size();
+  const std::size_t na = alg_.size();
+
+  c_dd_ = submatrix(c, diff_, diff_);
+  g_ad_ = submatrix(g, alg_, diff_);
+  std::vector<std::size_t> all_inputs(b.cols());
+  for (std::size_t k = 0; k < all_inputs.size(); ++k) all_inputs[k] = k;
+  b_a_ = submatrix(b, alg_, all_inputs);
+
+  // Schur complement on the algebraic rows: G_s = G_dd - G_da G_aa^{-1}
+  // G_ad, B_s = B_d - G_da G_aa^{-1} B_a. A singular G_aa is the index-2
+  // case (CV loops): no static constraint determines the algebraic
+  // unknowns, so the oracle refuses rather than differentiating inputs.
+  la::DenseMatrix g_s = submatrix(g, diff_, diff_);
+  b_s_ = submatrix(b, diff_, all_inputs);
+  if (na > 0) {
+    try {
+      gaa_lu_.emplace(submatrix(g, alg_, alg_));
+    } catch (const NumericalError&) {
+      throw InvalidArgument(
+          "DenseReference requires an index-1 DAE: the algebraic block "
+          "G_aa is singular (a loop of voltage sources and capacitors, or "
+          "a floating algebraic node)");
+    }
+    const la::DenseMatrix g_da = submatrix(g, diff_, alg_);
+    g_s.add_scaled(-1.0, g_da.matmul(gaa_lu_->solve(g_ad_)));
+    b_s_.add_scaled(-1.0, g_da.matmul(gaa_lu_->solve(b_a_)));
+  }
+
+  if (nd > 0) {
+    try {
+      gs_lu_.emplace(g_s);
+    } catch (const NumericalError&) {
+      throw InvalidArgument(
+          "DenseReference: the Schur complement G_s is singular");
+    }
+    la::DenseLU c_lu = [&] {
+      try {
+        return la::DenseLU(c_dd_);
+      } catch (const NumericalError&) {
+        throw InvalidArgument(
+            "DenseReference requires every unknown to be fully dynamic "
+            "(nonsingular C block) or fully algebraic (zero C row and "
+            "column); mixed rows are not an index-1 structure");
+      }
+    }();
+    // Reduced A = -C_dd^{-1} G_s.
+    a_ = c_lu.solve(g_s);
+    for (double& v : a_.data()) v = -v;
+  }
 }
 
 std::vector<double> DenseReference::dc_state(double t0) const {
@@ -120,27 +187,47 @@ std::vector<double> DenseReference::dc_state(double t0) const {
 
 std::vector<double> DenseReference::particular_term(
     double tau, std::span<const double> s_u) const {
-  const std::size_t n = static_cast<std::size_t>(n_);
-  // -G^{-1} B u(tau)
-  std::vector<double> bu(n);
-  mna_->rhs_at(tau, bu);
-  std::vector<double> f = g_lu_.solve(bu);
+  const std::size_t nd = diff_.size();
+  // -G_s^{-1} B_s u(tau)
+  const std::vector<double> u = mna_->input_at(tau);
+  std::vector<double> bu(nd);
+  b_s_.multiply(u, bu);
+  std::vector<double> f = gs_lu_->solve(bu);
   for (double& v : f) v = -v;
-  // + G^{-1} C G^{-1} B s_u
-  std::vector<double> bs(n);
-  mna_->b().multiply(s_u, bs);
-  const std::vector<double> g_bs = g_lu_.solve(bs);
-  std::vector<double> c_g_bs(n);
-  c_dense_.multiply(g_bs, c_g_bs);
-  const std::vector<double> term2 = g_lu_.solve(c_g_bs);
-  for (std::size_t i = 0; i < n; ++i) f[i] += term2[i];
+  // + G_s^{-1} C_dd G_s^{-1} B_s s_u
+  std::vector<double> bs(nd);
+  b_s_.multiply(s_u, bs);
+  const std::vector<double> g_bs = gs_lu_->solve(bs);
+  std::vector<double> c_g_bs(nd);
+  c_dd_.multiply(g_bs, c_g_bs);
+  const std::vector<double> term2 = gs_lu_->solve(c_g_bs);
+  for (std::size_t i = 0; i < nd; ++i) f[i] += term2[i];
   return f;
+}
+
+std::vector<double> DenseReference::reconstruct(
+    double t, std::span<const double> x_d) const {
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  for (std::size_t i = 0; i < diff_.size(); ++i) x[diff_[i]] = x_d[i];
+  if (!alg_.empty()) {
+    // Constraint rows: G_aa x_a = B_a u(t) - G_ad x_d.
+    const std::vector<double> u = mna_->input_at(t);
+    std::vector<double> r(alg_.size());
+    b_a_.multiply(u, r);
+    std::vector<double> gx(alg_.size());
+    g_ad_.multiply(x_d, gx);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= gx[i];
+    const std::vector<double> x_a = gaa_lu_->solve(r);
+    for (std::size_t i = 0; i < alg_.size(); ++i) x[alg_[i]] = x_a[i];
+  }
+  return x;
 }
 
 std::vector<std::vector<double>> DenseReference::states(
     std::span<const double> x0, double t_start,
     std::span<const double> times) const {
   const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t nd = diff_.size();
   MATEX_CHECK(x0.size() == n, "initial state dimension mismatch");
   MATEX_CHECK(!times.empty(), "at least one evaluation time required");
   MATEX_CHECK(std::is_sorted(times.begin(), times.end()),
@@ -159,12 +246,14 @@ std::vector<std::vector<double>> DenseReference::states(
 
   std::vector<std::vector<double>> out;
   out.reserve(times.size());
-  std::vector<double> x(x0.begin(), x0.end());
+  std::vector<double> x_d(nd);
+  for (std::size_t i = 0; i < nd; ++i)
+    x_d[i] = x0[diff_[i]];
   std::size_t next_eval = 0;
   double t = t_start;
   for (const double t_next : grid) {
     if (t_next < t_start) continue;
-    if (t_next > t) {
+    if (t_next > t && nd > 0) {
       const double h = t_next - t;
       // Segment slope as a finite difference over the step endpoints
       // (the step lies inside one PWL segment by grid construction).
@@ -172,18 +261,18 @@ std::vector<std::vector<double>> DenseReference::states(
       const std::vector<double> u_t = mna_->input_at(t);
       for (std::size_t k = 0; k < s_u.size(); ++k)
         s_u[k] = (s_u[k] - u_t[k]) / h;
-      // x(t+h) = e^{hA} (x(t) + F(t)) - F(t+h).
+      // x_d(t+h) = e^{hA} (x_d(t) + F(t)) - F(t+h) on the reduced ODE.
       const std::vector<double> f_t = particular_term(t, s_u);
       const std::vector<double> f_next = particular_term(t_next, s_u);
-      std::vector<double> w(n);
-      for (std::size_t i = 0; i < n; ++i) w[i] = x[i] + f_t[i];
+      std::vector<double> w(nd);
+      for (std::size_t i = 0; i < nd; ++i) w[i] = x_d[i] + f_t[i];
       const la::DenseMatrix e = la::expm(a_, h);
-      e.multiply(w, x);
-      for (std::size_t i = 0; i < n; ++i) x[i] -= f_next[i];
-      t = t_next;
+      e.multiply(w, x_d);
+      for (std::size_t i = 0; i < nd; ++i) x_d[i] -= f_next[i];
     }
+    t = std::max(t, t_next);
     while (next_eval < times.size() && times[next_eval] == t_next) {
-      out.push_back(x);
+      out.push_back(reconstruct(t_next, x_d));
       ++next_eval;
     }
   }

@@ -12,15 +12,25 @@
 ///    small MNA system, marching the exact per-segment formula
 ///    x(l+h) = e^{hA}(x(l) + F(l)) - F(l+h) with dense la::expm
 ///    propagators -- the "manufactured e^{At}v" reference of the MATEX
-///    accuracy claims (Fig. 5), computed without Krylov projection;
+///    accuracy claims (Fig. 5), computed without Krylov projection.
+///    Singular C is handled through the index-1 DAE route: unknowns whose
+///    C row *and* column are identically zero (non-eliminated voltage
+///    source currents, capacitance-free resistive nodes) carry algebraic
+///    constraints 0 = -(G x)_a + (B u)_a; they are eliminated by a Schur
+///    complement on G, the reduced ODE C_dd x_d' = -G_s x_d + B_s u is
+///    solved exactly, and the algebraic unknowns are reconstructed per
+///    sample from the constraint. Index-2 structures (loops of voltage
+///    sources and capacitors, where the algebraic block G_aa is singular)
+///    are rejected with InvalidArgument;
 ///  - netlist generators (single-pole RC, RC ladders) shaped so the
-///    oracle assumptions (nonsingular C, PWL inputs) hold by
+///    oracle assumptions (index-1 structure, PWL inputs) hold by
 ///    construction.
 ///
 /// These are reference implementations: clarity over speed, O(n^3) dense
 /// kernels, intended for systems of at most a few hundred unknowns.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,9 +75,11 @@ struct RcLadder {
 circuit::Netlist rc_ladder_netlist(const RcLadder& spec);
 
 /// Dense matrix-exponential reference for a small MNA system (see file
-/// comment). Requires a nonsingular C (every unknown needs dynamics: a
-/// capacitor on every node, an inductance on every branch) and exactly
-/// piecewise-linear inputs; throws InvalidArgument otherwise.
+/// comment). Accepts any index-1 DAE -- nonsingular C, or a singular C
+/// whose algebraic unknowns (zero C row and column) leave a nonsingular
+/// algebraic block G_aa -- and exactly piecewise-linear inputs; throws
+/// InvalidArgument otherwise (index-2 structures, mixed C rows, SIN
+/// inputs, oversized systems).
 class DenseReference {
  public:
   explicit DenseReference(const circuit::MnaSystem& mna,
@@ -77,7 +89,9 @@ class DenseReference {
   std::vector<double> dc_state(double t0) const;
 
   /// Exact states at the (sorted ascending) `times`, starting from x0 at
-  /// t_start. Internally also stops at every input transition spot.
+  /// t_start. Internally also stops at every input transition spot. The
+  /// algebraic entries of x0 are ignored: algebraic unknowns are
+  /// reconstructed from the constraint rows at every sample.
   std::vector<std::vector<double>> states(std::span<const double> x0,
                                           double t_start,
                                           std::span<const double> times) const;
@@ -89,20 +103,40 @@ class DenseReference {
                               std::span<const double> times) const;
 
   la::index_t dimension() const { return n_; }
+  /// Number of algebraic unknowns eliminated by the Schur complement
+  /// (0 for a nonsingular C).
+  la::index_t algebraic_count() const {
+    return static_cast<la::index_t>(alg_.size());
+  }
 
  private:
-  /// F(tau) = -G^{-1} B u(tau) + G^{-1} C G^{-1} B s_u, where s_u is the
-  /// input slope of the enclosing PWL segment (computed by the caller as
-  /// a finite difference over the segment endpoints -- exact for PWL and
-  /// immune to floating-point round-off at segment boundaries).
+  /// Reduced-system particular term
+  /// F(tau) = -G_s^{-1} B_s u(tau) + G_s^{-1} C_dd G_s^{-1} B_s s_u,
+  /// where s_u is the input slope of the enclosing PWL segment (computed
+  /// by the caller as a finite difference over the segment endpoints --
+  /// exact for PWL and immune to floating-point round-off at segment
+  /// boundaries). For a nonsingular C the reduction is the identity and
+  /// this is the classic -G^{-1}Bu + G^{-1}CG^{-1}Bs_u.
   std::vector<double> particular_term(double tau,
                                       std::span<const double> s_u) const;
 
+  /// Scatters the differential state into a full-dimension vector and
+  /// solves the constraint rows for the algebraic unknowns at time t.
+  std::vector<double> reconstruct(double t,
+                                  std::span<const double> x_d) const;
+
   const circuit::MnaSystem* mna_;
   la::index_t n_ = 0;
-  la::DenseMatrix a_;        ///< A = -C^{-1} G
-  la::DenseLU g_lu_;         ///< dense factorization of G
-  la::DenseMatrix c_dense_;  ///< dense C (for the A^{-2} term)
+  la::DenseLU g_lu_;              ///< dense factorization of the full G
+  std::vector<std::size_t> diff_; ///< differential unknown indices
+  std::vector<std::size_t> alg_;  ///< algebraic unknown indices
+  la::DenseMatrix a_;             ///< reduced A = -C_dd^{-1} G_s
+  la::DenseMatrix c_dd_;          ///< reduced C (for the A^{-2} term)
+  la::DenseMatrix b_s_;           ///< reduced input matrix B_d - G_da G_aa^{-1} B_a
+  la::DenseMatrix g_ad_;          ///< constraint coupling (reconstruction)
+  la::DenseMatrix b_a_;           ///< constraint input block (reconstruction)
+  std::optional<la::DenseLU> gs_lu_;   ///< Schur complement G_s (when n_d > 0)
+  std::optional<la::DenseLU> gaa_lu_;  ///< algebraic block G_aa (when n_a > 0)
 };
 
 /// Maximum absolute difference between a solver-produced waveform table

@@ -1,3 +1,4 @@
+#include <clocale>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -509,8 +510,40 @@ TEST(Spice, ValueSuffixes) {
   EXPECT_DOUBLE_EQ(parse_spice_value("7g"), 7e9);
   EXPECT_DOUBLE_EQ(parse_spice_value("1e-12"), 1e-12);
   EXPECT_DOUBLE_EQ(parse_spice_value("-3.5M"), -3.5e-3);  // case-insensitive
+  EXPECT_DOUBLE_EQ(parse_spice_value("+2.5k"), 2500.0);   // explicit sign
+  EXPECT_DOUBLE_EQ(parse_spice_value("8t"), 8e12);
   EXPECT_THROW(parse_spice_value("abc"), ParseError);
   EXPECT_THROW(parse_spice_value("1.5x"), ParseError);
+  EXPECT_THROW(parse_spice_value(""), ParseError);
+  EXPECT_THROW(parse_spice_value("1e999"), ParseError);  // overflow
+}
+
+TEST(Spice, MilSuffixIsNotMilli) {
+  // Regression: the standard SPICE `mil` suffix (1/1000 inch = 2.54e-5)
+  // used to fall through to the single-character 'm' case and parse as
+  // milli -- a silent 2.5% error on every mil-dimensioned deck.
+  EXPECT_DOUBLE_EQ(parse_spice_value("1mil"), 2.54e-5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3MIL"), 3 * 2.54e-5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.5mil"), 2.5 * 2.54e-5);
+  // The neighbors in the 'm' family keep their meanings.
+  EXPECT_DOUBLE_EQ(parse_spice_value("1m"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1mA"), 1e-3);  // unit letter tail
+  EXPECT_DOUBLE_EQ(parse_spice_value("1mOhm"), 1e-3);
+}
+
+TEST(Spice, ValueParsingIsLocaleIndependent) {
+  // std::from_chars always reads the SPICE-standard '.' decimal
+  // separator; a comma-decimal global locale must change nothing.
+  // setlocale(cat, nullptr) queries without changing: save the current
+  // locale first so the test restores whatever was active before it.
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  if (!std::setlocale(LC_NUMERIC, "de_DE.UTF-8"))
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5k"), 1500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.54mil"), 2.54 * 2.54e-5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3.25e-12"), 3.25e-12);
+  std::setlocale(LC_NUMERIC, saved.c_str());
 }
 
 TEST(Spice, ParsesBasicDeck) {

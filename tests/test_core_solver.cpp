@@ -300,6 +300,52 @@ TEST(MatexSolver, SingularCHandledWithoutRegularization) {
   }
 }
 
+TEST(MatexSolver, MexpRegularizationIsSignAwareOnKeptVsources) {
+  // Regression: a *kept* voltage source makes the algebraic block of G
+  // indefinite ([[G_pp, A], [A', 0]]), so the old uniform +delta
+  // regularization handed -C^{-1}G a positive eigenvalue ~ g/delta and
+  // MEXP overflowed to NaN within the first segment. The sign-aware
+  // regularization (-delta on branch rows) keeps every spurious mode
+  // decaying; the result must be finite and match R-MATEX closely.
+  Netlist n;
+  n.add_voltage_source("Vdd", "p", "0", Waveform::dc(1.8));
+  n.add_resistor("Rp", "p", "b", 0.05);  // series strap, decap-free pad
+  n.add_capacitor("C1", "b", "0", 2e-12);
+  n.add_current_source(
+      "I1", "b", "0",
+      Waveform::pulse(bump(2e-10, 1e-10, 3e-10, 1e-10, 5e-3)));
+  circuit::MnaOptions keep;
+  keep.eliminate_grounded_vsources = false;
+  const MnaSystem mna(n, keep);
+  ASSERT_EQ(mna.dimension(), 3);  // b, p (algebraic), branch (algebraic)
+  const auto dc = solver::dc_operating_point(mna);
+  const auto grid = uniform_grid(0.0, 1.6e-9, 2e-11);
+  const FullInput input(mna);
+
+  MatexOptions standard;
+  standard.kind = KrylovKind::kStandard;
+  standard.max_dim = static_cast<int>(mna.dimension()) + 8;
+  standard.c_regularization = 1e-18;  // the matex_cli default
+  MatexCircuitSolver mexp(mna, standard, dc.g_factors);
+  StateRecorder mexp_rec;
+  mexp.run(dc.x, 0.0, 1.6e-9, input, grid, mexp_rec.observer());
+
+  MatexOptions rational;
+  rational.kind = KrylovKind::kRational;
+  rational.gamma = 2e-10;
+  rational.tolerance = 1e-9;
+  MatexCircuitSolver rat(mna, rational, dc.g_factors);
+  StateRecorder rat_rec;
+  rat.run(dc.x, 0.0, 1.6e-9, input, grid, rat_rec.observer());
+
+  ASSERT_EQ(mexp_rec.sample_count(), rat_rec.sample_count());
+  for (std::size_t i = 0; i < mexp_rec.sample_count(); ++i)
+    for (std::size_t k = 0; k < 3; ++k) {
+      ASSERT_TRUE(std::isfinite(mexp_rec.state(i)[k])) << i << "," << k;
+      EXPECT_NEAR(mexp_rec.state(i)[k], rat_rec.state(i)[k], 1e-6);
+    }
+}
+
 TEST(MatexSolver, RegenerateAtEvalPointsMode) {
   ChainFixture f;
   const auto dc = solver::dc_operating_point(*f.mna);

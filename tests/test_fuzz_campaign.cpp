@@ -15,23 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
 #include "verify/fuzz.hpp"
 
 namespace matex::verify {
 namespace {
 
-long env_long(const char* name, long fallback) {
-  const char* value = std::getenv(name);
-  if (!value || !*value) return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  return *end == '\0' ? parsed : fallback;
-}
-
-std::string env_string(const char* name, const char* fallback) {
-  const char* value = std::getenv(name);
-  return value && *value ? value : fallback;
-}
+using testing::env_long;
+using testing::env_string;
 
 TEST(FuzzCampaign, SeededDifferentialSweepHasZeroDiscrepancies) {
   FuzzOptions opt;

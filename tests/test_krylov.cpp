@@ -226,6 +226,35 @@ TEST(Arnoldi, HappyBreakdownOnEigenvector) {
   EXPECT_NEAR(y[0], 0.0, 1e-15);
 }
 
+TEST(Arnoldi, BreakdownOnAlgebraicSubspaceDecaysToZero) {
+  // Singular C (an algebraic unknown, as on vsource decks): a starting
+  // vector in null(C) is annihilated by the inverted and rational
+  // operators, so Arnoldi breaks down at m = 1 with a *singular*
+  // projected transform H'. The corresponding eigenvalue of A is
+  // -infinity; the evaluation must return the exact decayed limit 0
+  // instead of throwing out of the H' inversion.
+  TripletMatrix tc(2, 2), tg(2, 2);
+  tc.add(0, 0, 1e-12);  // x0 dynamic, x1 algebraic (zero C row/col)
+  tg.add(0, 0, 2.0);
+  tg.add(0, 1, -1.0);
+  tg.add(1, 0, -1.0);
+  tg.add(1, 1, 2.0);
+  const auto c = tc.to_csc();
+  const auto g = tg.to_csc();
+  const std::vector<double> v0{0.0, 1.0};  // pure null(C) direction
+  for (const auto kind : {KrylovKind::kInverted, KrylovKind::kRational}) {
+    const CircuitOperator op(c, g, kind, 1e-10);
+    KrylovSubspace s;
+    ASSERT_NO_THROW(s = arnoldi(op, v0, 1e-10)) << kind_name(kind);
+    EXPECT_TRUE(s.breakdown()) << kind_name(kind);
+    EXPECT_TRUE(s.converged()) << kind_name(kind);
+    std::vector<double> y(2, 1.0);
+    EXPECT_DOUBLE_EQ(s.evaluate(1e-10, y), 0.0) << kind_name(kind);
+    EXPECT_NEAR(y[0], 0.0, 1e-12) << kind_name(kind);
+    EXPECT_NEAR(y[1], 0.0, 1e-12) << kind_name(kind);
+  }
+}
+
 TEST(Arnoldi, ErrorEstimateDrivesConvergence) {
   const auto sys = make_rc(5, 5, 1.0, 0.7);
   const CircuitOperator op(sys.c, sys.g, KrylovKind::kRational, 0.3);

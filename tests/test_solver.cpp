@@ -391,6 +391,125 @@ TEST(AdaptiveTr, AlignsToTransitionSpots) {
   }
 }
 
+TEST(AdaptiveTr, AdversarialBreakpointSpacingLeavesNoSubHminSlivers) {
+  // PWL breakpoints placed a fraction of h_min beyond the natural
+  // stepping cadence: with h_init = h_max = 0.1 the solver lands on
+  // multiples of 0.1, and the spots at k*0.1 + delta (delta < h_min)
+  // used to strand sub-h_min slivers in front of every transition --
+  // steps of ~delta whose 1/h blows up the shifted system. The shaving
+  // guard now stretches the incoming step to land on the spot instead.
+  Netlist n;
+  n.add_resistor("R1", "b", "0", 1.0);
+  n.add_capacitor("C1", "b", "0", 1.0);
+  n.add_current_source(
+      "I1", "b", "0",
+      Waveform::pwl({0.30004, 0.60007, 0.85},
+                    {0.0, 5e-3, 1e-3}));
+  const MnaSystem mna(n);
+  const std::vector<double> x0{0.0};
+
+  AdaptiveTrOptions opt;
+  opt.t_end = 1.0;
+  opt.h_init = 0.1;
+  opt.h_max = 0.1;
+  opt.h_min = 1e-4;
+  opt.lte_tol = 1e-2;
+  StateRecorder rec;
+  const auto stats = run_adaptive_trapezoidal(mna, x0, opt, rec.observer());
+  EXPECT_LT(stats.steps, 200);
+
+  const auto spots = mna.global_transition_spots(0.0, opt.t_end);
+  ASSERT_EQ(spots.size(), 3u);
+  const double t_eps = opt.t_end * 1e-12;
+  for (std::size_t i = 1; i < rec.times().size(); ++i) {
+    const double t_prev = rec.times()[i - 1];
+    const double t = rec.times()[i];
+    for (const double s : spots) {
+      // No accepted step may land inside the dead zone (s - h_min, s):
+      // the next step would be an unsteppable sliver.
+      EXPECT_FALSE(s - t > 10.0 * t_eps && s - t < 0.999 * opt.h_min)
+          << "step landed " << s - t << " before spot " << s;
+      // And no step may straddle a spot (align_to_transitions).
+      EXPECT_FALSE(s > t_prev + 10.0 * t_eps && s < t - 10.0 * t_eps)
+          << "step " << t_prev << " -> " << t << " crossed spot " << s;
+    }
+  }
+  // The spots themselves are still hit exactly.
+  for (const double s : spots) {
+    bool found = false;
+    for (const double t : rec.times())
+      if (std::abs(t - s) <= 10.0 * t_eps) found = true;
+    EXPECT_TRUE(found) << "missing transition spot " << s;
+  }
+}
+
+TEST(AdaptiveTr, ForcedBoundaryStepUnderLteRejectionTerminates) {
+  // Livelock regression: with the next spot 1..2 h_min ahead, every
+  // admissible step either lands in the dead zone or on the boundary.
+  // An unconditional LTE rejection of the stretched step would shrink
+  // h_desired, the controller would floor it back to h_min, and the
+  // stretch would reproduce the identical step forever. Such forced
+  // boundary steps must be accepted; the run has to terminate. An
+  // impossibly tight lte_tol makes every non-exempt step reject.
+  Netlist n;
+  n.add_resistor("R1", "b", "0", 1.0);
+  n.add_capacitor("C1", "b", "0", 1.0);
+  n.add_current_source("I1", "b", "0",
+                       Waveform::pwl({3.5e-3, 7.3e-3}, {1e-3, 0.0}));
+  const MnaSystem mna(n);
+  const std::vector<double> x0{1e-3};
+
+  AdaptiveTrOptions opt;
+  opt.t_end = 1e-2;
+  opt.h_init = 1e-3;
+  opt.h_min = 1e-3;
+  opt.h_max = 1e-3;
+  opt.lte_tol = 1e-30;
+  StateRecorder rec;
+  const auto stats = run_adaptive_trapezoidal(mna, x0, opt, rec.observer());
+  EXPECT_LT(stats.steps, 50);
+  EXPECT_NEAR(rec.times().back(), opt.t_end, 1e-12);
+  // The spots were still hit exactly.
+  for (const double s : {3.5e-3, 7.3e-3}) {
+    bool found = false;
+    for (const double t : rec.times())
+      if (std::abs(t - s) <= 1e-13) found = true;
+    EXPECT_TRUE(found) << "missing transition spot " << s;
+  }
+}
+
+TEST(AdaptiveTr, StretchedStepsRespectHmax) {
+  // The boundary stretch must not exceed the user's h_max: a spot just
+  // past a whole number of h_max steps is reached by splitting the
+  // remaining gap, not by one oversized step.
+  Netlist n;
+  n.add_resistor("R1", "b", "0", 1.0);
+  n.add_capacitor("C1", "b", "0", 1.0);
+  // After ten h_max steps the spot sits 1.4 h_max ahead: inside the
+  // stretch window (gap - h_min < h_max) but beyond h_max, so the old
+  // stretch would take one 1.4e-3 step.
+  n.add_current_source("I1", "b", "0",
+                       Waveform::pwl({1.14e-2, 2e-2}, {1e-3, 0.0}));
+  const MnaSystem mna(n);
+  const std::vector<double> x0{1e-3};
+
+  AdaptiveTrOptions opt;
+  opt.t_end = 3e-2;
+  opt.h_init = 1e-3;
+  opt.h_min = 5e-4;
+  opt.h_max = 1e-3;
+  opt.lte_tol = 1.0;  // loose: steps run at h_max
+  StateRecorder rec;
+  run_adaptive_trapezoidal(mna, x0, opt, rec.observer());
+  for (std::size_t i = 1; i < rec.times().size(); ++i)
+    EXPECT_LE(rec.times()[i] - rec.times()[i - 1], opt.h_max * 1.0001)
+        << "step " << i << " exceeded h_max";
+  bool found = false;
+  for (const double t : rec.times())
+    if (std::abs(t - 1.14e-2) <= 1e-13) found = true;
+  EXPECT_TRUE(found) << "missing transition spot";
+}
+
 TEST(AdaptiveTr, HysteresisReducesFactorizations) {
   Netlist n;
   n.add_voltage_source("V1", "a", "0", Waveform::dc(1.0));

@@ -1,0 +1,254 @@
+/// \file test_spice_roundtrip.cpp
+/// \brief Seeded fuzz of the SPICE writer -> reader round trip: random
+///        netlists with pathological node/element names, extreme values
+///        (1e-15..1e12 plus every suffix incl. meg/mil), and
+///        comment/continuation-line mutations of the written deck.
+///
+/// generate_power_grid decks already round-trip in other tests; this tier
+/// covers what those decks never contain -- hostile names and the far
+/// corners of the value grammar (ROADMAP PR 3 item).
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hpp"
+#include "circuit/spice.hpp"
+#include "circuit/waveform.hpp"
+#include "la/error.hpp"
+#include "test_util.hpp"
+
+namespace matex::circuit {
+namespace {
+
+using testing::Rng;
+
+/// Characters legal inside a name: anything the tokenizer does not treat
+/// as a separator ('(' ')' ',' '=' whitespace), is not the comment
+/// starter '$', and cannot be mistaken for line syntax at offset 0
+/// (names here are always preceded by a letter prefix).
+std::string hostile_name(Rng& rng, const char* prefix, int id) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      "_.[]<>:;!|@%^&*-+/~#\\{}\"'?";
+  std::string name = prefix + std::to_string(id) + "_";
+  const std::size_t len = 1 + rng.index(10);
+  for (std::size_t i = 0; i < len; ++i)
+    name.push_back(kChars[rng.index(sizeof(kChars) - 1)]);
+  return name;
+}
+
+/// Log-uniform magnitude over the full supported range, random sign for
+/// source amplitudes.
+double extreme_value(Rng& rng, bool allow_negative) {
+  const double mag = std::pow(10.0, rng.uniform(-15.0, 12.0));
+  const bool negative = allow_negative && rng.uniform() < 0.3;
+  return negative ? -mag : mag;
+}
+
+Netlist random_netlist(std::uint64_t seed) {
+  Rng rng(seed);
+  Netlist n;
+  std::vector<std::string> nodes = {"0"};
+  const std::size_t node_count = 4 + rng.index(12);
+  for (std::size_t i = 0; i < node_count; ++i)
+    nodes.push_back(hostile_name(rng, "n", static_cast<int>(i)));
+  const auto pick2 = [&](std::string& a, std::string& b) {
+    a = nodes[rng.index(nodes.size())];
+    do {
+      b = nodes[rng.index(nodes.size())];
+    } while (b == a);
+  };
+  int id = 0;
+  const std::size_t elements = 8 + rng.index(24);
+  for (std::size_t e = 0; e < elements; ++e) {
+    std::string a, b;
+    pick2(a, b);
+    switch (rng.index(5)) {
+      case 0:
+        n.add_resistor(hostile_name(rng, "R", id++), a, b,
+                       extreme_value(rng, false));
+        break;
+      case 1:
+        n.add_capacitor(hostile_name(rng, "C", id++), a, b,
+                        extreme_value(rng, false));
+        break;
+      case 2:
+        n.add_inductor(hostile_name(rng, "L", id++), a, b,
+                       extreme_value(rng, false));
+        break;
+      case 3: {
+        if (rng.uniform() < 0.5) {
+          n.add_current_source(hostile_name(rng, "I", id++), a, b,
+                               Waveform::dc(extreme_value(rng, true)));
+        } else {
+          PulseSpec p;
+          p.v1 = extreme_value(rng, true);
+          p.v2 = extreme_value(rng, true);
+          p.delay = rng.uniform(0.0, 1e-9);
+          p.rise = rng.uniform(1e-12, 1e-10);
+          p.fall = rng.uniform(1e-12, 1e-10);
+          p.width = rng.uniform(1e-11, 1e-9);
+          p.period = rng.uniform() < 0.5 ? 0.0 : rng.uniform(3e-9, 1e-8);
+          n.add_current_source(hostile_name(rng, "I", id++), a, b,
+                               Waveform::pulse(p));
+        }
+        break;
+      }
+      default: {
+        if (rng.uniform() < 0.5) {
+          n.add_voltage_source(hostile_name(rng, "V", id++), a, b,
+                               Waveform::dc(extreme_value(rng, true)));
+        } else {
+          // PWL with breakpoints inside the writer's emission window.
+          std::vector<double> ts, vs;
+          double t = rng.uniform(0.0, 1e-9);
+          const std::size_t pts = 2 + rng.index(5);
+          for (std::size_t k = 0; k < pts; ++k) {
+            ts.push_back(t);
+            vs.push_back(extreme_value(rng, true));
+            t += rng.uniform(1e-10, 1e-9);
+          }
+          n.add_voltage_source(hostile_name(rng, "V", id++), a, b,
+                               Waveform::pwl(std::move(ts), std::move(vs)));
+        }
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+/// Structural equality of two netlists (names, node names, exact values,
+/// waveforms sampled over a wide window).
+void expect_netlists_equal(const Netlist& a, const Netlist& b) {
+  const auto node_of = [](const Netlist& n, NodeId id) -> std::string {
+    return id == kGroundNode ? "0" : n.node_name(id);
+  };
+  ASSERT_EQ(a.resistors().size(), b.resistors().size());
+  ASSERT_EQ(a.capacitors().size(), b.capacitors().size());
+  ASSERT_EQ(a.inductors().size(), b.inductors().size());
+  ASSERT_EQ(a.current_sources().size(), b.current_sources().size());
+  ASSERT_EQ(a.voltage_sources().size(), b.voltage_sources().size());
+  const auto check_passives = [&](const std::vector<Passive>& pa,
+                                  const std::vector<Passive>& pb) {
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].name, pb[i].name);
+      EXPECT_EQ(node_of(a, pa[i].n1), node_of(b, pb[i].n1));
+      EXPECT_EQ(node_of(a, pa[i].n2), node_of(b, pb[i].n2));
+      // precision(17) output uniquely identifies a double: exact.
+      EXPECT_EQ(pa[i].value, pb[i].value) << pa[i].name;
+    }
+  };
+  check_passives(a.resistors(), b.resistors());
+  check_passives(a.capacitors(), b.capacitors());
+  check_passives(a.inductors(), b.inductors());
+  const auto check_sources = [&](const std::vector<Source>& sa,
+                                 const std::vector<Source>& sb) {
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].name, sb[i].name);
+      EXPECT_EQ(node_of(a, sa[i].n1), node_of(b, sb[i].n1));
+      EXPECT_EQ(node_of(a, sa[i].n2), node_of(b, sb[i].n2));
+      if (const auto pa = sa[i].waveform.pulse_spec()) {
+        const auto pb = sb[i].waveform.pulse_spec();
+        ASSERT_TRUE(pb.has_value()) << sa[i].name;
+        EXPECT_EQ(*pa, *pb) << sa[i].name;
+        continue;
+      }
+      for (double t = 0.0; t < 8e-9; t += 3.7e-10)
+        EXPECT_EQ(sa[i].waveform.value(t), sb[i].waveform.value(t))
+            << sa[i].name << " at t = " << t;
+    }
+  };
+  check_sources(a.current_sources(), b.current_sources());
+  check_sources(a.voltage_sources(), b.voltage_sources());
+}
+
+TEST(SpiceRoundTripFuzz, HostileNamesAndExtremeValuesSurvive) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Netlist original = random_netlist(seed);
+    std::ostringstream out;
+    write_spice(original, out, "fuzz deck $ with ( hostile , title =",
+                1e-11, 1e-8);
+    SpiceDeck reread;
+    ASSERT_NO_THROW(reread = read_spice_string(out.str()))
+        << "seed " << seed << "\n" << out.str();
+    expect_netlists_equal(original, reread.netlist);
+    ASSERT_TRUE(reread.tran_step.has_value());
+    EXPECT_EQ(*reread.tran_step, 1e-11);
+  }
+}
+
+TEST(SpiceRoundTripFuzz, CommentAndContinuationMutationsPreserveTheDeck) {
+  for (std::uint64_t seed = 100; seed <= 112; ++seed) {
+    const Netlist original = random_netlist(seed);
+    std::ostringstream out;
+    write_spice(original, out, "mutation fuzz", 1e-11, 1e-8);
+
+    // Mutate the text: break every card after its first token into a
+    // continuation line, intersperse '*' comment lines, and append '$'
+    // trailing comments -- all must parse to the identical netlist.
+    Rng rng(seed * 77 + 1);
+    std::istringstream in(out.str());
+    std::ostringstream mutated;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+      if (first) {  // keep the title line untouched
+        mutated << line << "\n";
+        first = false;
+        continue;
+      }
+      if (!line.empty() && line[0] != '.' && rng.uniform() < 0.6) {
+        const auto space = line.find(' ');
+        if (space != std::string::npos && space + 1 < line.size()) {
+          mutated << line.substr(0, space) << "\n+"
+                  << line.substr(space + 1);
+          if (rng.uniform() < 0.4) mutated << " $ trailing comment ( = ,";
+          mutated << "\n";
+          if (rng.uniform() < 0.4) mutated << "* interleaved comment\n";
+          continue;
+        }
+      }
+      mutated << line;
+      if (!line.empty() && line[0] != '.' && rng.uniform() < 0.3)
+        mutated << " $ tail";
+      mutated << "\n";
+      if (rng.uniform() < 0.2) mutated << "\n* noise\n";
+    }
+
+    SpiceDeck direct, via_mutation;
+    ASSERT_NO_THROW(direct = read_spice_string(out.str())) << "seed "
+                                                           << seed;
+    ASSERT_NO_THROW(via_mutation = read_spice_string(mutated.str()))
+        << "seed " << seed << "\n" << mutated.str();
+    expect_netlists_equal(direct.netlist, via_mutation.netlist);
+  }
+}
+
+TEST(SpiceRoundTripFuzz, EverySuffixAtExtremeMagnitudes) {
+  struct SuffixCase {
+    const char* suffix;
+    double mult;
+  };
+  const SuffixCase suffixes[] = {
+      {"", 1.0},       {"f", 1e-15},      {"p", 1e-12}, {"n", 1e-9},
+      {"u", 1e-6},     {"m", 1e-3},       {"mil", 2.54e-5},
+      {"k", 1e3},      {"meg", 1e6},      {"g", 1e9},   {"t", 1e12},
+  };
+  const double bases[] = {1e-15, 3.3e-7, 0.5, 1.0, 42.0, 9.99e11, 1e12};
+  for (const auto& s : suffixes)
+    for (const double base : bases) {
+      std::ostringstream token;
+      token.precision(17);
+      token << base << s.suffix;
+      EXPECT_DOUBLE_EQ(parse_spice_value(token.str()), base * s.mult)
+          << token.str();
+    }
+}
+
+}  // namespace
+}  // namespace matex::circuit

@@ -1,15 +1,33 @@
 /// \file test_util.hpp
-/// \brief Shared helpers for the MATEX test suite: a deterministic RNG and
-///        generators for random dense/sparse systems.
+/// \brief Shared helpers for the MATEX test suite: a deterministic RNG,
+///        generators for random dense/sparse systems, and environment
+///        overrides for the CI-pinned fuzz tiers.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "la/dense_matrix.hpp"
 #include "la/sparse_csc.hpp"
 
 namespace matex::testing {
+
+/// Environment override with fallback (the fuzz tiers pin case counts and
+/// seeds through MATEX_FUZZ_* variables in CI).
+inline long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return *end == '\0' ? parsed : fallback;
+}
+
+inline std::string env_string(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? value : fallback;
+}
 
 /// Small deterministic PRNG (xorshift64*) so tests are reproducible across
 /// platforms without pulling in <random> distribution differences.

@@ -14,6 +14,7 @@
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
 #include "solver/observer.hpp"
+#include "verify/fuzz.hpp"
 #include "verify/oracle.hpp"
 
 namespace matex::verify {
@@ -154,14 +155,17 @@ TEST(Oracle, DenseReferenceMatchesMatexOnLadder) {
   EXPECT_GE(max_abs_error(run, expected), 1e-4 - 1e-8);
 }
 
-TEST(Oracle, DenseReferenceRejectsSingularCAndNonPwlInputs) {
-  // A resistor divider with no capacitor at the middle node: C singular.
-  circuit::Netlist divider;
-  divider.add_voltage_source("V", "in", "0", circuit::Waveform::dc(1.0));
-  divider.add_resistor("R1", "in", "mid", 1.0);
-  divider.add_resistor("R2", "mid", "0", 1.0);
-  const MnaSystem mna_div(divider);
-  EXPECT_THROW(DenseReference ref(mna_div), InvalidArgument);
+TEST(Oracle, DenseReferenceRejectsIndex2AndNonPwlInputs) {
+  // A loop of voltage sources and capacitors (here: a vsource bridging
+  // two capacitive nodes) is index-2: no static constraint determines the
+  // branch current, the algebraic block G_aa is singular.
+  circuit::Netlist cvloop;
+  cvloop.add_voltage_source("V", "a", "b", circuit::Waveform::dc(0.1));
+  cvloop.add_capacitor("C1", "a", "0", 1e-12);
+  cvloop.add_capacitor("C2", "b", "0", 1e-12);
+  cvloop.add_resistor("R", "a", "0", 1.0);
+  const MnaSystem mna_loop(cvloop);
+  EXPECT_THROW(DenseReference ref(mna_loop), InvalidArgument);
 
   // SIN inputs are not exactly piecewise linear.
   circuit::Netlist sine;
@@ -178,6 +182,107 @@ TEST(Oracle, DenseReferenceRejectsSingularCAndNonPwlInputs) {
   const auto rc = single_pole_rc_netlist(rc_spec());
   const MnaSystem mna_rc(rc);
   EXPECT_THROW(DenseReference ref(mna_rc, 0), InvalidArgument);
+}
+
+TEST(Oracle, DaePathSolvesPureResistiveDeck) {
+  // A resistor divider with no capacitor anywhere used to be rejected
+  // ("nonsingular C required"); the index-1 path now solves it: every
+  // unknown is algebraic and the response is the instantaneous network
+  // solution of the inputs.
+  circuit::Netlist divider;
+  divider.add_voltage_source("V", "in", "0", circuit::Waveform::dc(1.0));
+  divider.add_resistor("R1", "in", "mid", 1.0);
+  divider.add_resistor("R2", "mid", "0", 1.0);
+  const MnaSystem mna(divider);
+  const DenseReference ref(mna);
+  EXPECT_EQ(ref.algebraic_count(), ref.dimension());
+  const auto times = uniform_grid(0.0, 1e-9, 1e-10);
+  const la::index_t probe = mna.unknown_index(divider.find_node("mid"));
+  const auto table =
+      ref.table(std::vector<la::index_t>{probe}, {"mid"}, times);
+  for (const double v : table.columns[0]) EXPECT_NEAR(v, 0.5, 1e-14);
+}
+
+TEST(Oracle, DaePathMatchesEliminatedFormulationOnLadder) {
+  // The same ladder assembled twice: supplies eliminated (nonsingular C,
+  // the classic pure-ODE oracle) and kept (index-1 DAE with a vsource
+  // branch current and a capacitance-free supply node). The two oracles
+  // integrate different-dimension systems but must produce identical node
+  // voltages -- the strongest internal consistency check the Schur path
+  // has.
+  RcLadder ladder;
+  ladder.stages = 6;
+  ladder.r = 0.5;
+  ladder.c = 5e-13;
+  ladder.vdd = 1.2;
+  ladder.load.v2 = 8e-3;
+  ladder.load.delay = 1e-10;
+  ladder.load.rise = 1e-10;
+  ladder.load.width = 4e-10;
+  ladder.load.fall = 2e-10;
+  const auto netlist = rc_ladder_netlist(ladder);
+  const MnaSystem mna_ode(netlist);
+  circuit::MnaOptions keep;
+  keep.eliminate_grounded_vsources = false;
+  const MnaSystem mna_dae(netlist, keep);
+  ASSERT_GT(mna_dae.dimension(), mna_ode.dimension());
+  const DenseReference ref_ode(mna_ode);
+  const DenseReference ref_dae(mna_dae);
+  EXPECT_EQ(ref_ode.algebraic_count(), 0);
+  // Kept supply: the pad node (no decap) and the branch current.
+  EXPECT_EQ(ref_dae.algebraic_count(), 2);
+
+  const auto times = uniform_grid(0.0, 4e-11 * 40, 4e-11);
+  for (const char* node : {"n1", "n3", "n6"}) {
+    const la::index_t p_ode = mna_ode.unknown_index(netlist.find_node(node));
+    const la::index_t p_dae = mna_dae.unknown_index(netlist.find_node(node));
+    const auto t_ode = ref_ode.table(std::vector<la::index_t>{p_ode},
+                                     {node}, times);
+    const auto t_dae = ref_dae.table(std::vector<la::index_t>{p_dae},
+                                     {node}, times);
+    EXPECT_LE(max_abs_error(t_dae, t_ode), 1e-12) << node;
+  }
+}
+
+TEST(Oracle, DaePathReconstructsVsourceCurrent) {
+  // Single-pole RC with the supply kept: the vsource branch current must
+  // equal minus the resistor current (vdd - v_n1) / R of the scalar
+  // closed form, sample for sample (MNA branch current flows into the
+  // source's positive terminal, so a delivering supply is negative).
+  const auto rc = rc_spec();
+  const auto netlist = single_pole_rc_netlist(rc);
+  circuit::MnaOptions keep;
+  keep.eliminate_grounded_vsources = false;
+  const MnaSystem mna(netlist, keep);
+  ASSERT_EQ(mna.dimension(), 3);  // n1, vdd node, branch current
+  const DenseReference ref(mna);
+  EXPECT_EQ(ref.algebraic_count(), 2);
+  const auto times = uniform_grid(0.0, 2e-11 * 80, 2e-11);
+  // The branch current is the last unknown (branches follow the nodes).
+  const la::index_t branch = mna.dimension() - 1;
+  const auto table = ref.table(std::vector<la::index_t>{branch}, {"iV"},
+                               times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double v = single_pole_rc_voltage(rc, times[i]);
+    EXPECT_NEAR(table.columns[0][i], -(rc.vdd - v) / rc.r, 1e-12)
+        << "t = " << times[i];
+  }
+}
+
+TEST(Oracle, AllSevenMethodsMatchDaeOracleOnVsourceDeck) {
+  // The acceptance scenario of the vsource work: a deterministic deck
+  // with non-eliminated supplies, series-R straps, capacitance-free
+  // nodes, and a supply ramp runs through every method and lands inside
+  // the matex-rung tolerance against the Schur-complement oracle.
+  const FuzzCase c = vsource_case_from_seed(20140601, 0);
+  const FuzzCaseResult result = run_fuzz_case(c, FuzzOptions{});
+  EXPECT_TRUE(result.pass);
+  EXPECT_EQ(result.checks.size(), 7u);
+  for (const MethodCheck& m : result.checks) {
+    EXPECT_TRUE(m.ran) << m.method << ": " << m.error;
+    EXPECT_TRUE(m.pass) << m.method << ": max_err " << m.max_err
+                        << " tol " << m.tolerance;
+  }
 }
 
 }  // namespace
