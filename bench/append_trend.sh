@@ -23,11 +23,19 @@ trap 'rm -f "$tmp_json"' EXIT
 
 "$build_dir"/bench_hotpath --json "$tmp_json" >&2
 
+# Gate the fresh measurement against the last committed point BEFORE
+# appending (>2x regression on the machine-independent ratios fails and
+# nothing is written): the dashboard is also the signal, and a regressed
+# point must never become the next comparison baseline.
+bench/check_trend.sh --candidate "$tmp_json"
+
 jq -c --arg pr "$pr_label" --arg date "$(date -u +%Y-%m-%d)" '{
   pr: $pr,
   date: $date,
   n: .mesh.n,
   refactor_speedup: .factorization.refactor_speedup,
+  blocked_vs_scalar_speedup: .factorization.blocked_vs_scalar_speedup,
+  supernode_avg_width: .supernodes.avg_width,
   sparse_rhs_vs_dense_ratio: .solve.sparse_rhs_vs_dense_ratio,
   solves_per_second: .solve.solves_per_second,
   tr_steps_per_second: .transient.tr_steps_per_second,

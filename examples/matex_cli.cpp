@@ -136,6 +136,8 @@ void write_stats_fields(solver::JsonWriter& w,
   w.key("solves").value(stats.solves);
   w.key("factorizations").value(stats.factorizations);
   w.key("refactorizations").value(stats.refactorizations);
+  w.key("supernodal_refactorizations")
+      .value(stats.supernodal_refactorizations);
   w.key("krylov_subspaces").value(stats.krylov_subspaces);
   w.key("krylov_dim_avg").value(stats.krylov_dim_avg());
   w.key("krylov_dim_peak").value(stats.krylov_dim_peak);
@@ -415,6 +417,7 @@ int main(int argc, char** argv) try {
       w.key("hit_rate").value(report.cache.hit_rate());
       w.key("symbolic_hits").value(report.cache.symbolic_hits);
       w.key("refactor_fallbacks").value(report.cache.refactor_fallbacks);
+      w.key("supernodal_refactors").value(report.cache.supernodal_refactors);
       w.key("evictions").value(report.cache.evictions);
       w.key("factor_seconds").value(report.cache.factor_seconds);
       w.end_object();

@@ -113,4 +113,35 @@ double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
   return m;
 }
 
+void supernode_apply_updates(const double* panel, std::size_t ld,
+                             std::size_t ncols, std::size_t u_start,
+                             double* z) {
+  for (std::size_t u = u_start; u < ncols; ++u) {
+    const double y = z[u];
+    if (y == 0.0) continue;  // same skip as the scalar replay
+    const double* col = panel + u * ld;
+    for (std::size_t i = u + 1; i < ld; ++i) z[i] -= col[i] * y;
+  }
+}
+
+bool supernode_panel_factorize(double* panel, std::size_t ld,
+                               std::size_t width, double pivot_tol,
+                               double& min_abs_pivot) {
+  for (std::size_t t = 0; t < width; ++t) {
+    double* col = panel + t * ld;
+    supernode_apply_updates(panel, ld, t, 0, col);
+    const double pivot = col[t];
+    // Frozen-pivot admissibility over the column (padded cells hold
+    // exact zeros, which never change the max).
+    double amax = std::abs(pivot);
+    for (std::size_t i = t + 1; i < ld; ++i)
+      amax = std::max(amax, std::abs(col[i]));
+    if (!(std::abs(pivot) >= pivot_tol * amax) || pivot == 0.0)
+      return false;
+    min_abs_pivot = std::min(min_abs_pivot, std::abs(pivot));
+    for (std::size_t i = t + 1; i < ld; ++i) col[i] /= pivot;
+  }
+  return true;
+}
+
 }  // namespace matex::la

@@ -88,4 +88,37 @@ class DenseMatrix {
 /// Returns ||A - B||_max; shapes must match.
 double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
 
+// ------------------------------------------------------------------------
+// Supernode panel kernels (the dense building blocks of SparseLU's
+// blocked numeric refactorization). A *panel* is one supernode's slice of
+// L in column-major storage with leading dimension ld: rows 0..width-1
+// are the diagonal block (unit lower triangular, diagonal holding the U
+// pivot), rows width..ld-1 the off-diagonal block, both already scaled by
+// their pivots.
+//
+// Bitwise contract: both kernels apply one source column at a time in
+// ascending order with a fused multiply-subtract per element and skip
+// zero multipliers -- the exact operation sequence of the scalar
+// column-at-a-time replay, which is what keeps the blocked and scalar
+// refactorization results ==-equal.
+
+/// Applies panel columns [u_start, ncols) to the gathered accumulator
+/// `z` (ld entries; z[u] is the multiplier of column u): the fused
+/// triangular solve against the diagonal block plus the GEMM-style
+/// trailing update, z[i] -= panel[i + u*ld] * z[u] for i in (u, ld).
+void supernode_apply_updates(const double* panel, std::size_t ld,
+                             std::size_t ncols, std::size_t u_start,
+                             double* z);
+
+/// Left-looking factorization of a gathered supernode panel under the
+/// frozen (diagonal-block) pivot sequence: each column receives the
+/// intra-panel updates, its pivot is checked against
+/// |pivot| >= pivot_tol * max|candidate| over the column, and the
+/// subdiagonal is scaled. Returns false on a pivot-tolerance violation
+/// or an exactly zero pivot (panel contents are then unspecified);
+/// min_abs_pivot accumulates the smallest |pivot| accepted.
+bool supernode_panel_factorize(double* panel, std::size_t ld,
+                               std::size_t width, double pivot_tol,
+                               double& min_abs_pivot);
+
 }  // namespace matex::la

@@ -244,6 +244,101 @@ std::vector<index_t> compute_ordering(const CscMatrix& a, Ordering method) {
   throw InvalidArgument("unknown ordering method");
 }
 
+std::vector<index_t> elimination_tree(const CscMatrix& a,
+                                      std::span<const index_t> order) {
+  MATEX_CHECK(a.rows() == a.cols(), "etree requires a square matrix");
+  const index_t n = a.rows();
+  MATEX_CHECK(static_cast<index_t>(order.size()) == n,
+              "order size does not match the matrix");
+  const std::vector<index_t> inv = invert_permutation(order);
+  // Liu's algorithm requires every edge {i, j} (i < j) to be visited when
+  // the outer sweep reaches j -- visiting it earlier corrupts the
+  // path-compression state. A's pattern is used symmetrically, so bucket
+  // each edge's lower endpoint under its upper endpoint first.
+  std::vector<index_t> edge_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t c = 0; c < n; ++c)
+    for (index_t p = a.col_ptr()[c]; p < a.col_ptr()[c + 1]; ++p) {
+      const index_t i = inv[static_cast<std::size_t>(a.row_idx()[p])];
+      const index_t j = inv[static_cast<std::size_t>(c)];
+      if (i != j)
+        ++edge_ptr[static_cast<std::size_t>(std::max(i, j)) + 1];
+    }
+  for (index_t j = 0; j < n; ++j)
+    edge_ptr[static_cast<std::size_t>(j) + 1] +=
+        edge_ptr[static_cast<std::size_t>(j)];
+  std::vector<index_t> edge_lo(
+      static_cast<std::size_t>(edge_ptr[static_cast<std::size_t>(n)]));
+  {
+    std::vector<index_t> fill = edge_ptr;
+    for (index_t c = 0; c < n; ++c)
+      for (index_t p = a.col_ptr()[c]; p < a.col_ptr()[c + 1]; ++p) {
+        const index_t i = inv[static_cast<std::size_t>(a.row_idx()[p])];
+        const index_t j = inv[static_cast<std::size_t>(c)];
+        if (i != j)
+          edge_lo[static_cast<std::size_t>(
+              fill[static_cast<std::size_t>(std::max(i, j))]++)] =
+              std::min(i, j);
+      }
+  }
+
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  // ancestor[] with path compression: amortized near-linear.
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = edge_ptr[static_cast<std::size_t>(j)];
+         p < edge_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      index_t r = edge_lo[static_cast<std::size_t>(p)];
+      while (r != -1 && r < j) {
+        const index_t next = ancestor[static_cast<std::size_t>(r)];
+        ancestor[static_cast<std::size_t>(r)] = j;  // path compression
+        if (next == -1) {
+          parent[static_cast<std::size_t>(r)] = j;
+          break;
+        }
+        r = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> tree_postorder(std::span<const index_t> parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  // First-child / next-sibling lists; children pushed in reverse so the
+  // DFS visits smaller-numbered children first (deterministic).
+  std::vector<index_t> head(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next(static_cast<std::size_t>(n), -1);
+  for (index_t v = n; v-- > 0;) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p < 0) continue;
+    MATEX_CHECK(p > v, "parent array must point forward");
+    next[static_cast<std::size_t>(v)] = head[static_cast<std::size_t>(p)];
+    head[static_cast<std::size_t>(p)] = v;
+  }
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  for (index_t root = 0; root < n; ++root) {
+    if (parent[static_cast<std::size_t>(root)] >= 0) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t child = head[static_cast<std::size_t>(v)];
+      if (child >= 0) {
+        head[static_cast<std::size_t>(v)] =
+            next[static_cast<std::size_t>(child)];
+        stack.push_back(child);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  MATEX_CHECK(static_cast<index_t>(post.size()) == n,
+              "parent array is not a forest");
+  return post;
+}
+
 std::vector<index_t> invert_permutation(std::span<const index_t> p) {
   std::vector<index_t> inv(p.size(), -1);
   for (std::size_t i = 0; i < p.size(); ++i) {

@@ -33,6 +33,22 @@ std::vector<index_t> rcm_order(
 std::vector<index_t> min_degree_order(
     const std::vector<std::vector<index_t>>& adjacency);
 
+/// Elimination tree of the symmetric pattern of A(order, order): for the
+/// graph of A + A' relabeled by `order`, parent[j] is the smallest k > j
+/// that the filled graph connects to j (Liu's union-find algorithm), or
+/// -1 for a root. The tree drives supernode formation: columns in one
+/// supernode form a parent chain.
+std::vector<index_t> elimination_tree(const CscMatrix& a,
+                                      std::span<const index_t> order);
+
+/// Postorder of a forest given as a parent array (parent[j] > j or -1).
+/// Returns `post` such that position k holds node post[k]; children
+/// precede parents and each subtree is contiguous -- the relabeling that
+/// makes elimination-tree chains adjacent (and therefore mergeable into
+/// supernodes) without changing the fill of a symmetric-pattern
+/// factorization.
+std::vector<index_t> tree_postorder(std::span<const index_t> parent);
+
 /// Returns the inverse permutation: inv[p[i]] = i.
 std::vector<index_t> invert_permutation(std::span<const index_t> p);
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "la/dense_matrix.hpp"
 #include "la/error.hpp"
 
 namespace matex::la {
@@ -127,6 +129,270 @@ void SparseRhsWorkspace::resize(index_t n) {
   pos_stack_.resize(un);
 }
 
+void SymbolicLU::build_supernode_plan(const CscMatrix& a,
+                                      const SparseLuOptions& options) {
+  MATEX_CHECK(options.amalg_relax >= 0.0, "amalg_relax must be >= 0");
+  MATEX_CHECK(options.amalg_max_width >= 1, "amalg_max_width must be >= 1");
+  const index_t n = n_;
+  sn_ptr_.assign(1, 0);
+  sn_of_.assign(static_cast<std::size_t>(n), 0);
+  sn_rows_ptr_.assign(1, 0);
+  sn_rows_.clear();
+  sn_panel_ptr_.assign(1, 0);
+  sn_ne_.clear();
+  task_ptr_.assign(1, 0);
+  task_src_.clear();
+  task_u0_ptr_.clear();
+  task_u0_.clear();
+  task_dst_ptr_.clear();
+  task_dst_.clear();
+  a_scatter_.clear();
+  u_local_.clear();
+  l_panel_.clear();
+  max_workspace_cells_ = 0;
+  sn_stats_ = {};
+  blocked_profitable_ = false;
+  if (n == 0) return;
+
+  const auto l_col = [&](index_t c) {  // L rows incl. the leading diagonal
+    return std::span<const index_t>(l_rows_)
+        .subspan(static_cast<std::size_t>(
+                     l_colptr_[static_cast<std::size_t>(c)]),
+                 static_cast<std::size_t>(
+                     l_colptr_[static_cast<std::size_t>(c) + 1] -
+                     l_colptr_[static_cast<std::size_t>(c)]));
+  };
+  const auto u_off = [&](index_t c) {  // off-diagonal U rows, ascending
+    return std::span<const index_t>(u_rows_)
+        .subspan(static_cast<std::size_t>(
+                     u_colptr_[static_cast<std::size_t>(c)]),
+                 static_cast<std::size_t>(
+                     u_colptr_[static_cast<std::size_t>(c) + 1] -
+                     u_colptr_[static_cast<std::size_t>(c)] - 1));
+  };
+  const auto exact_cells_of = [&](index_t c) {  // diagonal cell shared
+    return static_cast<long long>(
+        (l_colptr_[static_cast<std::size_t>(c) + 1] -
+         l_colptr_[static_cast<std::size_t>(c)]) +
+        (u_colptr_[static_cast<std::size_t>(c) + 1] -
+         u_colptr_[static_cast<std::size_t>(c)]) -
+        1);
+  };
+
+  // ---- Greedy partition. A run [first, c) carries its union panel-row
+  // list `rows` (member L patterns, ascending, diagonal block leading),
+  // the union `erows` of external U positions (< first), and the exact
+  // entry count; merging column c is admitted while the dense workspace
+  // cells not backed by an exact entry stay within the relax budget.
+  // relax == 0 admits exactly the strict supernodes (chained L reaches,
+  // identical-modulo-diagonal U patterns).
+  std::vector<index_t> rows, erows, cand, cand_rows, cand_erows;
+  std::vector<index_t> e_ptr(1, 0), e_rows;  // per-supernode external-U rows
+  index_t first = 0;
+
+  const auto start_run = [&](index_t c) {
+    rows.clear();
+    rows.push_back(c);
+    const auto off = l_col(c).subspan(1);
+    rows.insert(rows.end(), off.begin(), off.end());
+    erows.assign(u_off(c).begin(), u_off(c).end());
+  };
+  long long exact_cells = 0;
+  const auto flush_run = [&](index_t end) {
+    const index_t sn = static_cast<index_t>(sn_ptr_.size() - 1);
+    for (index_t t = first; t < end; ++t)
+      sn_of_[static_cast<std::size_t>(t)] = sn;
+    sn_ptr_.push_back(end);
+    sn_rows_.insert(sn_rows_.end(), rows.begin(), rows.end());
+    sn_rows_ptr_.push_back(static_cast<index_t>(sn_rows_.size()));
+    e_rows.insert(e_rows.end(), erows.begin(), erows.end());
+    e_ptr.push_back(static_cast<index_t>(e_rows.size()));
+    const index_t w = end - first;
+    const index_t nr = static_cast<index_t>(rows.size());
+    sn_panel_ptr_.push_back(sn_panel_ptr_.back() + nr * w);
+    ++sn_stats_.supernodes;
+    sn_stats_.max_width = std::max(sn_stats_.max_width, w);
+    sn_stats_.panel_entries += nr * w;
+    // Panel cells of column t backed by an exact entry: its L column plus
+    // its intra-supernode U positions.
+    long long backed = 0;
+    for (index_t t = first; t < end; ++t) {
+      const auto uoff = u_off(t);
+      backed += static_cast<long long>(l_col(t).size()) +
+                static_cast<long long>(
+                    uoff.end() -
+                    std::lower_bound(uoff.begin(), uoff.end(), first));
+    }
+    sn_stats_.padded_entries += static_cast<index_t>(
+        static_cast<long long>(nr) * w - backed);
+  };
+
+  start_run(0);
+  exact_cells = exact_cells_of(0);
+  for (index_t c = 1; c <= n; ++c) {
+    bool merged = false;
+    // Structural precondition: the previous column's first off-diagonal
+    // entry must be exactly c (column c is its elimination-tree parent).
+    // Without it the relax budget would happily glue unrelated columns --
+    // pure padding, no shared structure.
+    const auto prev_l = l_col(c < n ? c - 1 : 0);
+    if (c < n && c - first < options.amalg_max_width && prev_l.size() > 1 &&
+        prev_l[1] == c) {
+      cand.clear();
+      cand.push_back(c);
+      const auto off = l_col(c).subspan(1);
+      cand.insert(cand.end(), off.begin(), off.end());
+      cand_rows.clear();
+      std::set_union(rows.begin(), rows.end(), cand.begin(), cand.end(),
+                     std::back_inserter(cand_rows));
+      const auto uoff = u_off(c);
+      const auto ext_end = std::lower_bound(uoff.begin(), uoff.end(), first);
+      cand_erows.clear();
+      std::set_union(erows.begin(), erows.end(), uoff.begin(), ext_end,
+                     std::back_inserter(cand_erows));
+      const long long cand_exact = exact_cells + exact_cells_of(c);
+      const long long dense =
+          static_cast<long long>(c - first + 1) *
+          static_cast<long long>(cand_rows.size() + cand_erows.size());
+      // Width-scaled admission (the CHOLMOD relaxed-amalgamation shape):
+      // narrow panels amortize the gather/scatter best, so they may carry
+      // proportionally more padding than wide ones. relax == 0 zeroes
+      // every rung -- strict merges only.
+      const index_t cand_w = c - first + 1;
+      const double budget = options.amalg_relax *
+                            (cand_w <= 4 ? 4.0 : cand_w <= 16 ? 2.0 : 1.0);
+      if (static_cast<double>(dense - cand_exact) <=
+          budget * static_cast<double>(dense)) {
+        rows.swap(cand_rows);
+        erows.swap(cand_erows);
+        exact_cells = cand_exact;
+        merged = true;
+      }
+    }
+    if (!merged) {
+      flush_run(c);
+      if (c < n) {
+        first = c;
+        start_run(c);
+        exact_cells = exact_cells_of(c);
+      }
+    }
+  }
+
+  // ---- Phase 2: per-target-supernode update tasks and the precomputed
+  // local scatter indices the numeric kernel streams through. `loc` maps
+  // a pivot position into the target's compressed workspace: its E index
+  // for external-U rows, ne + panel row for structure rows, -1 (-> the
+  // trash row) for anything outside the target structure.
+  const index_t ns = num_supernodes();
+  sn_ne_.resize(static_cast<std::size_t>(ns));
+  a_scatter_.reserve(static_cast<std::size_t>(a.nnz()));
+  u_local_.assign(u_rows_.size(), 0);
+  l_panel_.assign(l_rows_.size(), 0);
+  std::vector<index_t> loc(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> open_task(static_cast<std::size_t>(ns), -1);
+  struct TmpTask {
+    index_t src;
+    std::vector<index_t> u0;
+  };
+  std::vector<TmpTask> tmp;
+  for (index_t sn = 0; sn < ns; ++sn) {
+    const index_t k0 = sn_ptr_[static_cast<std::size_t>(sn)];
+    const index_t w = sn_ptr_[static_cast<std::size_t>(sn) + 1] - k0;
+    const index_t rb = sn_rows_ptr_[static_cast<std::size_t>(sn)];
+    const index_t nr = sn_rows_ptr_[static_cast<std::size_t>(sn) + 1] - rb;
+    const index_t eb = e_ptr[static_cast<std::size_t>(sn)];
+    const index_t ne = e_ptr[static_cast<std::size_t>(sn) + 1] - eb;
+    sn_ne_[static_cast<std::size_t>(sn)] = ne;
+    const index_t trash = ne + nr;
+    max_workspace_cells_ =
+        std::max(max_workspace_cells_, (ne + nr + 1) * w);
+    for (index_t ei = 0; ei < ne; ++ei)
+      loc[static_cast<std::size_t>(e_rows[static_cast<std::size_t>(
+          eb + ei)])] = ei;
+    for (index_t di = 0; di < nr; ++di)
+      loc[static_cast<std::size_t>(
+          sn_rows_[static_cast<std::size_t>(rb + di)])] = ne + di;
+
+    tmp.clear();
+    for (index_t t = 0; t < w; ++t) {
+      const index_t c = k0 + t;
+      // A scatter slots, in the refactorization's walk order.
+      const index_t col = q_[static_cast<std::size_t>(c)];
+      for (index_t pa = a.col_ptr()[col]; pa < a.col_ptr()[col + 1]; ++pa)
+        a_scatter_.push_back(
+            loc[static_cast<std::size_t>(
+                pinv_[static_cast<std::size_t>(a.row_idx()[pa])])]);
+      // Factor write-out slots.
+      const index_t ud = u_colptr_[static_cast<std::size_t>(c) + 1] - 1;
+      for (index_t p = u_colptr_[static_cast<std::size_t>(c)]; p < ud; ++p)
+        u_local_[static_cast<std::size_t>(p)] =
+            loc[static_cast<std::size_t>(
+                u_rows_[static_cast<std::size_t>(p)])];
+      for (index_t p = l_colptr_[static_cast<std::size_t>(c)] + 1;
+           p < l_colptr_[static_cast<std::size_t>(c) + 1]; ++p)
+        l_panel_[static_cast<std::size_t>(p)] =
+            loc[static_cast<std::size_t>(
+                l_rows_[static_cast<std::size_t>(p)])] -
+            ne;
+      // Task discovery over the external U pattern.
+      for (const index_t pos : u_off(c)) {
+        if (pos >= k0) break;  // intra-supernode from here on
+        const index_t src = sn_of_[static_cast<std::size_t>(pos)];
+        index_t idx = open_task[static_cast<std::size_t>(src)];
+        const index_t r = sn_ptr_[static_cast<std::size_t>(src) + 1] -
+                          sn_ptr_[static_cast<std::size_t>(src)];
+        if (idx < 0) {
+          idx = static_cast<index_t>(tmp.size());
+          open_task[static_cast<std::size_t>(src)] = idx;
+          tmp.push_back({src, std::vector<index_t>(
+                                  static_cast<std::size_t>(w), r)});
+        }
+        auto& u0 = tmp[static_cast<std::size_t>(idx)].u0;
+        if (u0[static_cast<std::size_t>(t)] == r)  // ascending: first is min
+          u0[static_cast<std::size_t>(t)] =
+              pos - sn_ptr_[static_cast<std::size_t>(src)];
+      }
+    }
+    std::sort(tmp.begin(), tmp.end(),
+              [](const TmpTask& a, const TmpTask& b) { return a.src < b.src; });
+    for (const TmpTask& task : tmp) {
+      open_task[static_cast<std::size_t>(task.src)] = -1;
+      task_src_.push_back(task.src);
+      task_u0_ptr_.push_back(static_cast<index_t>(task_u0_.size()));
+      task_u0_.insert(task_u0_.end(), task.u0.begin(), task.u0.end());
+      const index_t srb = sn_rows_ptr_[static_cast<std::size_t>(task.src)];
+      const index_t nrs =
+          sn_rows_ptr_[static_cast<std::size_t>(task.src) + 1] - srb;
+      // Destination map: source panel row -> target workspace row (the
+      // trash row for padded source cells outside the target structure,
+      // which only ever carry exact zeros).
+      task_dst_ptr_.push_back(static_cast<index_t>(task_dst_.size()));
+      for (index_t di = 0; di < nrs; ++di) {
+        const index_t lv = loc[static_cast<std::size_t>(
+            sn_rows_[static_cast<std::size_t>(srb + di)])];
+        task_dst_.push_back(lv >= 0 ? lv : trash);
+      }
+    }
+    task_ptr_.push_back(static_cast<index_t>(task_src_.size()));
+
+    for (index_t ei = 0; ei < ne; ++ei)
+      loc[static_cast<std::size_t>(e_rows[static_cast<std::size_t>(
+          eb + ei)])] = -1;
+    for (index_t di = 0; di < nr; ++di)
+      loc[static_cast<std::size_t>(
+          sn_rows_[static_cast<std::size_t>(rb + di)])] = -1;
+  }
+
+  // kAuto engages the blocked kernel when the factor is both merged
+  // enough for the panels to amortize their bookkeeping and large enough
+  // that the scalar replay's scattered access stops being cache-resident
+  // (crossover measured on the mesh PDN benches at ~0.5 MB of panel;
+  // below it the scalar replay wins on locality alone).
+  blocked_profitable_ = sn_stats_.avg_width(n) >= 1.4 &&
+                        sn_stats_.panel_entries >= 64 * 1024;
+}
+
 SparseLU::SparseLU(const CscMatrix& a, SparseLuOptions options) {
   factorize_full(a, options);
 }
@@ -142,6 +408,22 @@ SparseLU::SparseLU(const CscMatrix& a,
               "matrix sparsity pattern does not match the symbolic "
               "analysis (refactorization requires an identical pattern)");
   sym_ = std::move(symbolic);
+  const bool blocked =
+      options.supernodal == SupernodalMode::kAlways ||
+      (options.supernodal == SupernodalMode::kAuto &&
+       sym_->blocked_profitable_);
+  if (blocked && sym_->num_supernodes() > 0) {
+    if (refactor_numeric_blocked(a, options)) {
+      refactored_ = true;
+      supernodal_ = true;
+      return;
+    }
+    // Pivot-tolerance trip in the blocked kernel: fall back to the
+    // scalar replay. The replay sees the same values through the same
+    // operation sequence, so it trips on the same column and the full
+    // factorization below takes over; re-running it here keeps the two
+    // kernels' admissibility decisions verifiably identical.
+  }
   if (refactor_numeric(a, options)) {
     refactored_ = true;
     return;
@@ -162,6 +444,20 @@ void SparseLU::factorize_full(const CscMatrix& a,
   sym->n_ = n_;
   const std::size_t n = static_cast<std::size_t>(n_);
   sym->q_ = compute_ordering(a, options.ordering);
+  {
+    // Postorder the elimination tree of the ordered pattern: a symmetric
+    // relabeling that preserves the fill of the (structurally symmetric)
+    // factorization but makes every etree chain occupy adjacent pivot
+    // columns -- the layout supernode detection needs. Children of one
+    // parent stay in ascending order, so an already-postordered matrix
+    // (e.g. a natural-order chain) is left untouched.
+    const auto parent = elimination_tree(a, sym->q_);
+    const auto post = tree_postorder(parent);
+    std::vector<index_t> composed(post.size());
+    for (std::size_t k = 0; k < post.size(); ++k)
+      composed[k] = sym->q_[static_cast<std::size_t>(post[k])];
+    sym->q_ = std::move(composed);
+  }
   auto& q_ = sym->q_;
   auto& pinv_ = sym->pinv_;
   auto& l_colptr_ = sym->l_colptr_;
@@ -190,6 +486,19 @@ void SparseLU::factorize_full(const CscMatrix& a,
     // --- Symbolic: reach of A(:, col) in the graph of L.
     const index_t top = symbolic_reach(a, col, l_colptr_, l_rows_, pinv_,
                                        marked, xi, node_stack, pos_stack);
+
+    // Canonical replay order: pivotal nodes ascending by pivot position
+    // (a valid topological order -- L's column graph only has edges
+    // toward later pivot positions), not-yet-pivotal rows after them by
+    // original index. The full factorization, the scalar numeric replay,
+    // and the blocked supernodal kernel all accumulate updates in this
+    // one order, which is what makes their results bitwise identical.
+    std::sort(xi.begin() + top, xi.begin() + n_, [&](index_t lhs,
+                                                     index_t rhs) {
+      const index_t pl = pinv_[static_cast<std::size_t>(lhs)];
+      const index_t pr = pinv_[static_cast<std::size_t>(rhs)];
+      return (pl >= 0 ? pl : n_ + lhs) < (pr >= 0 ? pr : n_ + rhs);
+    });
 
     // --- Numeric: x = L \ A(:, col) restricted to the reach.
     for (index_t p = top; p < n_; ++p) x[static_cast<std::size_t>(xi[p])] = 0.0;
@@ -258,11 +567,36 @@ void SparseLU::factorize_full(const CscMatrix& a,
   // Remap L's row indices from original numbering to pivot positions.
   for (index_t& r : l_rows_) r = pinv_[static_cast<std::size_t>(r)];
 
+  // Sort each L column's off-diagonal entries by pivot position (values
+  // along). Numerically free -- updates from one source column scatter to
+  // distinct destinations, so their order never affects rounding -- and
+  // it gives the supernode plan sorted row lists to merge and the
+  // blocked kernel prefix-structured diagonal blocks.
+  {
+    std::vector<std::pair<index_t, double>> entries;
+    for (index_t k = 0; k < n_; ++k) {
+      const index_t begin = l_colptr_[static_cast<std::size_t>(k)] + 1;
+      const index_t end = l_colptr_[static_cast<std::size_t>(k) + 1];
+      entries.clear();
+      for (index_t p = begin; p < end; ++p)
+        entries.emplace_back(l_rows_[static_cast<std::size_t>(p)],
+                             l_vals_[static_cast<std::size_t>(p)]);
+      std::sort(entries.begin(), entries.end());
+      for (index_t p = begin; p < end; ++p) {
+        l_rows_[static_cast<std::size_t>(p)] =
+            entries[static_cast<std::size_t>(p - begin)].first;
+        l_vals_[static_cast<std::size_t>(p)] =
+            entries[static_cast<std::size_t>(p - begin)].second;
+      }
+    }
+  }
+
   fill_ratio_ = a.nnz() == 0
                     ? 0.0
                     : static_cast<double>(l_rows_.size() + u_rows_.size()) /
                           static_cast<double>(a.nnz());
   sym->pattern_fp_ = pattern_fingerprint(a);
+  sym->build_supernode_plan(a, options);
   sym_ = std::move(sym);
   refactored_ = false;
 }
@@ -336,6 +670,158 @@ bool SparseLU::refactor_numeric(const CscMatrix& a,
     for (index_t p = u_begin; p <= u_diag; ++p)
       x[static_cast<std::size_t>(s.u_rows_[static_cast<std::size_t>(p)])] =
           0.0;
+  }
+
+  fill_ratio_ = a.nnz() == 0
+                    ? 0.0
+                    : static_cast<double>(s.l_rows_.size() +
+                                          s.u_rows_.size()) /
+                          static_cast<double>(a.nnz());
+  return true;
+}
+
+bool SparseLU::refactor_numeric_blocked(const CscMatrix& a,
+                                        const SparseLuOptions& options) {
+  MATEX_CHECK(options.refactor_pivot_tol > 0.0 &&
+                  options.refactor_pivot_tol <= 1.0,
+              "refactor_pivot_tol must be in (0, 1]");
+  const SymbolicLU& s = *sym_;
+  const index_t ns = s.num_supernodes();
+  l_vals_.assign(s.l_rows_.size(), 0.0);
+  u_vals_.assign(s.u_rows_.size(), 0.0);
+  // Compressed per-supernode workspace: ne external-U rows, nr panel
+  // rows, and one trash row per column (padded source cells that reach
+  // outside the target structure land there carrying exact zeros). All
+  // scatter indices were resolved at analysis time, so the numeric pass
+  // only streams through precomputed index arrays.
+  std::vector<double> wbuf(
+      static_cast<std::size_t>(s.max_workspace_cells_), 0.0);
+  // Pooled scaled L panels, one trapezoid per supernode; cells without an
+  // exact entry stay exactly zero, so their updates multiply by 0 and can
+  // at most flip the sign of an exact zero (== - invisible).
+  std::vector<double> panels(
+      static_cast<std::size_t>(s.sn_panel_ptr_.back()), 0.0);
+  // Gather scratch for one source window: target columns run strictly
+  // sequentially, so one panel-height slice is all that is ever live.
+  index_t max_src_rows = 0;
+  for (index_t sn = 0; sn < ns; ++sn)
+    max_src_rows = std::max(
+        max_src_rows, s.sn_rows_ptr_[static_cast<std::size_t>(sn) + 1] -
+                          s.sn_rows_ptr_[static_cast<std::size_t>(sn)]);
+  std::vector<double> z(static_cast<std::size_t>(max_src_rows));
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  std::size_t a_cursor = 0;  // a_scatter_ is laid out in this walk order
+  for (index_t sn = 0; sn < ns; ++sn) {
+    const index_t k0 = s.sn_ptr_[static_cast<std::size_t>(sn)];
+    const index_t w = s.sn_ptr_[static_cast<std::size_t>(sn) + 1] - k0;
+    const index_t nr = s.sn_rows_ptr_[static_cast<std::size_t>(sn) + 1] -
+                       s.sn_rows_ptr_[static_cast<std::size_t>(sn)];
+    const index_t ne = s.sn_ne_[static_cast<std::size_t>(sn)];
+    const index_t ldw = ne + nr + 1;
+    std::fill(wbuf.begin(),
+              wbuf.begin() + static_cast<std::size_t>(ldw) *
+                                 static_cast<std::size_t>(w),
+              0.0);
+
+    // Scatter the A columns into the workspace.
+    for (index_t t = 0; t < w; ++t) {
+      double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
+                                        static_cast<std::size_t>(ldw);
+      const index_t col = s.q_[static_cast<std::size_t>(k0 + t)];
+      for (index_t pa = a.col_ptr()[col]; pa < a.col_ptr()[col + 1]; ++pa)
+        w_col[s.a_scatter_[a_cursor++]] = a.values()[pa];
+    }
+
+    // External updates, one source supernode at a time in ascending
+    // order (the canonical replay order).
+    const index_t task_begin = s.task_ptr_[static_cast<std::size_t>(sn)];
+    const index_t task_end = s.task_ptr_[static_cast<std::size_t>(sn) + 1];
+    for (index_t task = task_begin; task < task_end; ++task) {
+      const index_t src = s.task_src_[static_cast<std::size_t>(task)];
+      const index_t nrs =
+          s.sn_rows_ptr_[static_cast<std::size_t>(src) + 1] -
+          s.sn_rows_ptr_[static_cast<std::size_t>(src)];
+      const index_t r = s.sn_ptr_[static_cast<std::size_t>(src) + 1] -
+                        s.sn_ptr_[static_cast<std::size_t>(src)];
+      const double* panel =
+          panels.data() + s.sn_panel_ptr_[static_cast<std::size_t>(src)];
+      const index_t* u0 =
+          s.task_u0_.data() + s.task_u0_ptr_[static_cast<std::size_t>(task)];
+      const index_t* dst =
+          s.task_dst_.data() +
+          s.task_dst_ptr_[static_cast<std::size_t>(task)];
+      for (index_t t = 0; t < w; ++t) {
+        const index_t start = u0[static_cast<std::size_t>(t)];
+        if (start >= r) continue;  // column takes nothing from this source
+        double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
+                                          static_cast<std::size_t>(ldw);
+        if (r <= 3) {
+          // Narrow source: the contiguous gather cannot amortize over so
+          // few columns, so apply the scaled columns directly.
+          for (index_t u = start; u < r; ++u) {
+            const double y = w_col[dst[u]];
+            if (y == 0.0) continue;
+            const double* pcol = panel + static_cast<std::size_t>(u) *
+                                             static_cast<std::size_t>(nrs);
+            for (index_t di = u + 1; di < nrs; ++di)
+              w_col[dst[di]] -= pcol[di] * y;
+          }
+          continue;
+        }
+        // Wide source: gather the destination window once, run the dense
+        // triangular-solve + trailing-update kernel, scatter back.
+        double* zc = z.data();
+        for (index_t di = start; di < nrs; ++di) zc[di] = w_col[dst[di]];
+        supernode_apply_updates(panel, static_cast<std::size_t>(nrs),
+                                static_cast<std::size_t>(r),
+                                static_cast<std::size_t>(start), zc);
+        for (index_t di = start; di < nrs; ++di) w_col[dst[di]] = zc[di];
+      }
+    }
+
+    // The panel rows sit contiguously under the E block, so the target
+    // panel gather is a straight copy; factorize it under the frozen
+    // pivot sequence and keep it pooled -- it is the dense source
+    // operand of every later supernode that reaches these columns.
+    double* panelT =
+        panels.data() + s.sn_panel_ptr_[static_cast<std::size_t>(sn)];
+    for (index_t t = 0; t < w; ++t) {
+      const double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
+                                              static_cast<std::size_t>(ldw);
+      std::copy(w_col + ne, w_col + ne + nr,
+                panelT + static_cast<std::size_t>(t) *
+                             static_cast<std::size_t>(nr));
+    }
+    if (!supernode_panel_factorize(panelT, static_cast<std::size_t>(nr),
+                                   static_cast<std::size_t>(w),
+                                   options.refactor_pivot_tol, min_pivot_))
+      return false;
+
+    // Write the factor values along the exact patterns: external U
+    // entries from the workspace, intra entries and L from the panel.
+    for (index_t t = 0; t < w; ++t) {
+      const index_t c = k0 + t;
+      const double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
+                                              static_cast<std::size_t>(ldw);
+      const double* pcol = panelT + static_cast<std::size_t>(t) *
+                                        static_cast<std::size_t>(nr);
+      const index_t ub = s.u_colptr_[static_cast<std::size_t>(c)];
+      const index_t ud = s.u_colptr_[static_cast<std::size_t>(c) + 1] - 1;
+      for (index_t p = ub; p < ud; ++p) {
+        const index_t lv = s.u_local_[static_cast<std::size_t>(p)];
+        u_vals_[static_cast<std::size_t>(p)] =
+            lv < ne ? w_col[lv] : pcol[lv - ne];
+      }
+      u_vals_[static_cast<std::size_t>(ud)] = pcol[t];
+
+      const index_t lb = s.l_colptr_[static_cast<std::size_t>(c)];
+      const index_t le = s.l_colptr_[static_cast<std::size_t>(c) + 1];
+      l_vals_[static_cast<std::size_t>(lb)] = 1.0;
+      for (index_t p = lb + 1; p < le; ++p)
+        l_vals_[static_cast<std::size_t>(p)] =
+            pcol[s.l_panel_[static_cast<std::size_t>(p)]];
+    }
   }
 
   fill_ratio_ = a.nnz() == 0

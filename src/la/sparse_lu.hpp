@@ -21,6 +21,16 @@
 ///    the constructor transparently falls back to a full pivoting
 ///    factorization (observable via refactored()).
 ///
+/// The analysis additionally partitions the pivot columns into
+/// *supernodes* -- runs of adjacent columns whose L reaches chain and
+/// whose U patterns agree modulo the diagonal, merged greedily under a
+/// relaxed-amalgamation threshold -- and the numeric refactorization can
+/// then refill whole supernode panels with dense rank-k updates
+/// (refactor kernels in dense_matrix.hpp) instead of replaying column by
+/// column. Both kernels execute the same floating-point operation
+/// sequence, so the blocked path is a pure speedup: every factor entry
+/// and solve result compares equal under ==.
+///
 /// Design: symmetric fill-reducing pre-ordering (min degree / RCM),
 /// symbolic reach by depth-first search per column, threshold partial
 /// pivoting with diagonal preference (KLU-style) so the ordering is
@@ -37,6 +47,17 @@
 
 namespace matex::la {
 
+/// Which numeric-refactorization kernel SparseLU(a, symbolic) runs.
+enum class SupernodalMode {
+  /// Blocked kernel when the cached analysis found enough supernode
+  /// structure to pay for the panel bookkeeping; scalar replay otherwise.
+  kAuto,
+  /// Blocked kernel whenever the analysis carries a supernode plan.
+  kAlways,
+  /// Scalar column-at-a-time replay only.
+  kNever,
+};
+
 /// Options controlling the factorization.
 struct SparseLuOptions {
   /// Fill-reducing ordering applied symmetrically to rows and columns.
@@ -50,6 +71,37 @@ struct SparseLuOptions {
   /// rows the original pivot search chose from). A violation triggers the
   /// full-pivoting fallback.
   double refactor_pivot_tol = 1e-6;
+  /// Refactorization kernel selection (see SupernodalMode). Acts at
+  /// refactorization time; both kernels produce results that compare
+  /// equal under == (see refactored_supernodal()).
+  SupernodalMode supernodal = SupernodalMode::kAuto;
+  /// Relaxed-amalgamation threshold, applied at analysis time: adjacent
+  /// pivot columns merge into one supernode while the dense panel cells
+  /// not backed by an exact L/U entry stay within this fraction of the
+  /// panel. 0 admits only exact merges (identical-modulo-diagonal
+  /// U patterns and chained L reaches); must be >= 0.
+  double amalg_relax = 0.15;
+  /// Maximum supernode width (panel columns); bounds the dense workspace.
+  index_t amalg_max_width = 32;
+};
+
+/// Shape of a supernode plan (see SymbolicLU::supernode_stats()).
+struct SupernodeStats {
+  index_t supernodes = 0;     ///< number of supernodes (n for all-singleton)
+  index_t max_width = 0;      ///< widest panel (columns)
+  index_t panel_entries = 0;  ///< dense panel cells across all supernodes
+  index_t padded_entries = 0; ///< panel cells with no exact L/U entry
+  double avg_width(index_t n) const {
+    return supernodes == 0 ? 0.0
+                           : static_cast<double>(n) /
+                                 static_cast<double>(supernodes);
+  }
+  double padded_fraction() const {
+    return panel_entries == 0
+               ? 0.0
+               : static_cast<double>(padded_entries) /
+                     static_cast<double>(panel_entries);
+  }
 };
 
 /// The value-independent half of a sparse LU: ordering, pivot sequence,
@@ -67,20 +119,90 @@ class SymbolicLU {
   /// refactorization requires a matching fingerprint.
   std::uint64_t pattern_fp() const { return pattern_fp_; }
 
+  /// Number of supernodes in the plan (== order() when every pivot column
+  /// is its own singleton supernode).
+  index_t num_supernodes() const {
+    return static_cast<index_t>(sn_ptr_.empty() ? 0 : sn_ptr_.size() - 1);
+  }
+  /// Column range of supernode `sn`: pivot columns
+  /// [supernode_begin(sn), supernode_begin(sn + 1)).
+  index_t supernode_begin(index_t sn) const {
+    return sn_ptr_[static_cast<std::size_t>(sn)];
+  }
+  /// Supernode-plan shape counters (width distribution, padding).
+  const SupernodeStats& supernode_stats() const { return sn_stats_; }
+  /// True when SupernodalMode::kAuto engages the blocked kernel: enough
+  /// columns merged into multi-column panels to pay for the panel
+  /// gather/scatter bookkeeping.
+  bool supernodal_profitable() const { return blocked_profitable_; }
+
  private:
   friend class SparseLU;
+
+  /// Builds the supernode partition and the per-supernode update tasks
+  /// from the completed (canonically sorted) L/U patterns, resolving
+  /// every scatter destination of the blocked kernel to a local
+  /// workspace index up front. Called once at the end of the full
+  /// factorization; value-independent, so one plan serves every numeric
+  /// refactorization sharing this analysis (`a` contributes only its
+  /// pattern, which the refactor constructor pins via the fingerprint).
+  void build_supernode_plan(const CscMatrix& a,
+                            const SparseLuOptions& options);
 
   index_t n_ = 0;
   std::uint64_t pattern_fp_ = 0;
   // L: unit lower triangular; the pivot (value 1.0, row k after remap) is
-  // stored first in each column. U: upper triangular in pivot-position row
-  // indices; the diagonal is stored last in each column. Off-diagonal
-  // entries of each U column are stored in the topological order of the
-  // original reach, so the numeric phase can replay them directly.
+  // stored first in each column, followed by the off-diagonal entries in
+  // ascending pivot position. U: upper triangular in pivot-position row
+  // indices; the diagonal is stored last in each column, preceded by the
+  // off-diagonal entries in ascending pivot position -- the canonical
+  // replay order shared by the full factorization, the scalar numeric
+  // replay, and the blocked supernodal kernel (what makes all three
+  // produce identical floating-point operation sequences).
   std::vector<index_t> l_colptr_, l_rows_;
   std::vector<index_t> u_colptr_, u_rows_;
   std::vector<index_t> pinv_;  // original row index -> pivot position
   std::vector<index_t> q_;     // column ordering (new j -> old column)
+
+  // ---- Supernode plan (value-independent, shared by refactorizations).
+  // Supernode sn spans pivot columns [sn_ptr_[sn], sn_ptr_[sn+1]) and owns
+  // a dense panel whose rows are the pooled list
+  // sn_rows_[sn_rows_ptr_[sn] .. sn_rows_ptr_[sn+1]) -- the union of the
+  // member columns' L patterns in ascending pivot position, whose first
+  // `width` entries are the diagonal block. The panel itself occupies
+  // |rows| * width doubles at sn_panel_ptr_[sn] of a pooled buffer.
+  std::vector<index_t> sn_ptr_;
+  std::vector<index_t> sn_of_;  // pivot column -> supernode
+  std::vector<index_t> sn_rows_ptr_, sn_rows_;
+  std::vector<index_t> sn_panel_ptr_;
+  // Per-supernode workspace geometry: the numeric kernel accumulates each
+  // target column in a compressed column of sn_ne_[sn] external-U rows,
+  // then the |rows| panel rows, then one trash row that absorbs padded
+  // source cells reaching outside the target structure (they only ever
+  // carry exact zeros). Leading dimension = sn_ne_ + |rows| + 1.
+  std::vector<index_t> sn_ne_;
+  // External update tasks of target supernode T:
+  // [task_ptr_[T], task_ptr_[T+1]), ordered by ascending source
+  // supernode (the canonical replay order). Task `k` applies source
+  // supernode task_src_[k]; task_u0_[task_u0_ptr_[k] + t] is the first
+  // source column (offset within the source) present in target column
+  // t's exact U pattern, or the source width when column t takes no
+  // update from this source. task_dst_[task_dst_ptr_[k] + di] maps the
+  // source panel row di into the target workspace.
+  std::vector<index_t> task_ptr_, task_src_;
+  std::vector<index_t> task_u0_ptr_, task_u0_;
+  std::vector<index_t> task_dst_ptr_, task_dst_;
+  // Numeric-phase scatter/gather indices resolved at analysis time:
+  //  - a_scatter_: workspace row of every A entry, in the order the
+  //    refactorization walks them (supernode-major, column-major);
+  //  - u_local_: aligned with u_rows_; workspace row for external
+  //    entries, ne + panel row for intra entries (read from the panel);
+  //  - l_panel_: aligned with l_rows_; panel row of each off-diagonal L
+  //    entry (the leading unit-diagonal slot is unused).
+  std::vector<index_t> a_scatter_, u_local_, l_panel_;
+  index_t max_workspace_cells_ = 0;  ///< max (ne + rows + 1) * width
+  SupernodeStats sn_stats_;
+  bool blocked_profitable_ = false;
 };
 
 /// Reusable scratch for the sparse-right-hand-side solve (reach stacks,
@@ -124,6 +246,14 @@ class SparseLU {
   /// True if this factorization was produced by the fast numeric-only
   /// path (no pivot-tolerance violation).
   bool refactored() const { return refactored_; }
+
+  /// True if the numeric refill ran the blocked supernodal kernel (dense
+  /// panel updates on the cached supernode plan) rather than the scalar
+  /// column-at-a-time replay. Both kernels execute the same per-entry
+  /// floating-point operation sequence, so every factor entry and solve
+  /// result compares equal under == (the blocked path may flip the sign
+  /// of exact zeros via padded panel cells, which == ignores).
+  bool refactored_supernodal() const { return supernodal_; }
 
   /// The shared symbolic analysis (never null).
   const std::shared_ptr<const SymbolicLU>& symbolic() const { return sym_; }
@@ -187,6 +317,11 @@ class SparseLU {
   /// Numeric-only refill along sym_'s pattern. Returns false on a
   /// pivot-tolerance violation (values are then unspecified).
   bool refactor_numeric(const CscMatrix& a, const SparseLuOptions& options);
+  /// Blocked supernodal refill along sym_'s supernode plan: dense
+  /// rank-k panel updates instead of per-entry scatter. Same return
+  /// contract as refactor_numeric.
+  bool refactor_numeric_blocked(const CscMatrix& a,
+                                const SparseLuOptions& options);
 
   std::shared_ptr<const SymbolicLU> sym_;
   std::vector<double> l_vals_;
@@ -194,6 +329,7 @@ class SparseLU {
   double fill_ratio_ = 0.0;
   double min_pivot_ = 0.0;
   bool refactored_ = false;
+  bool supernodal_ = false;
 };
 
 }  // namespace matex::la

@@ -22,9 +22,9 @@ BatchEngine::BatchEngine(BatchOptions options)
   }
 }
 
-std::size_t BatchEngine::add_deck(std::string label,
-                                  circuit::Netlist netlist) {
-  decks_.push_back({std::move(label), std::move(netlist)});
+std::size_t BatchEngine::add_deck(std::string label, circuit::Netlist netlist,
+                                  circuit::MnaOptions mna_options) {
+  decks_.push_back({std::move(label), std::move(netlist), mna_options});
   return decks_.size() - 1;
 }
 
@@ -74,7 +74,8 @@ const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
           scale_supplies(*source, vdd_scale));
       source = variant->scaled.get();
     }
-    variant->mna = std::make_unique<circuit::MnaSystem>(*source);
+    variant->mna = std::make_unique<circuit::MnaSystem>(
+        *source, decks_[deck_index].mna_options);
     const std::lock_guard<std::mutex> lock(variants_mutex_);
     variant_storage_.push_back(std::move(variant));
     promise.set_value(variant_storage_.back().get());

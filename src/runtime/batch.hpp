@@ -86,9 +86,12 @@ class BatchEngine {
   explicit BatchEngine(BatchOptions options = {});
 
   /// Registers a deck. The netlist is copied and owned by the engine;
-  /// MNA assembly happens lazily, once per (deck, Vdd scale) variant.
+  /// MNA assembly happens lazily, once per (deck, Vdd scale) variant,
+  /// under `mna_options` (e.g. eliminate_grounded_vsources = false keeps
+  /// supply pads as branch-current unknowns -- the index-1 DAE decks).
   /// \returns the deck index ScenarioSpec::deck_index refers to.
-  std::size_t add_deck(std::string label, circuit::Netlist netlist);
+  std::size_t add_deck(std::string label, circuit::Netlist netlist,
+                       circuit::MnaOptions mna_options = {});
 
   std::size_t deck_count() const { return decks_.size(); }
   const std::string& deck_label(std::size_t index) const;
@@ -112,6 +115,7 @@ class BatchEngine {
   struct Deck {
     std::string label;
     circuit::Netlist netlist;
+    circuit::MnaOptions mna_options;
   };
   /// One assembled (deck, Vdd scale) combination, built on first use and
   /// shared by every scenario that needs it.

@@ -97,6 +97,7 @@ std::shared_ptr<la::SparseLU> FactorCache::factorize_with_symbolic(
   const std::lock_guard<std::mutex> lock(mutex_);
   if (lu->refactored()) {
     ++stats_.symbolic_hits;
+    if (lu->refactored_supernodal()) ++stats_.supernodal_refactors;
     return lu;
   }
   if (had_symbolic) ++stats_.refactor_fallbacks;

@@ -77,6 +77,9 @@ struct FactorCacheStats {
   /// Symbolic-cache hits whose numeric refactorization violated the
   /// pivot tolerance and fell back to a full pivoting factorization.
   long long refactor_fallbacks = 0;
+  /// Symbolic hits whose refill ran the blocked supernodal kernel
+  /// (subset of symbolic_hits; the rest replayed column-at-a-time).
+  long long supernodal_refactors = 0;
   double factor_seconds = 0.0;  ///< wall time spent factorizing on misses
 
   double hit_rate() const {

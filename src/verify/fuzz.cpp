@@ -621,30 +621,44 @@ FuzzReport run_vsource_fuzz(FuzzOptions options) {
 
 BatchFuzzReport run_batch_fuzz(const BatchFuzzOptions& options) {
   MATEX_CHECK(options.decks > 0, "batch fuzz needs at least one deck");
+  MATEX_CHECK(options.vsource_decks >= 0,
+              "vsource deck count must be >= 0");
   BatchFuzzReport report;
 
   runtime::BatchOptions bopt;
   bopt.threads = options.threads;
   runtime::BatchEngine engine(bopt);
 
-  // Per-deck fuzz cases: reuse the single-case generator for the grid and
-  // solver parameters, then fan the corners out through the engine.
+  // Per-deck fuzz cases: reuse the single-case generators for the grid
+  // and solver parameters, then fan the corners out through the engine.
+  // Decks [0, options.decks) are classic eliminated-supply grids; decks
+  // after that are kept-vsource index-1 DAE grids assembled with
+  // eliminate_grounded_vsources = false via the engine's per-deck
+  // MnaOptions, checked against the dense DAE oracle below.
+  const int total_decks = options.decks + options.vsource_decks;
   std::vector<FuzzCase> cases;
   std::vector<std::vector<la::index_t>> deck_probes;
-  for (int d = 0; d < options.decks; ++d) {
-    FuzzCase c = fuzz_case_from_seed(options.seed ^ 0xba7cfu, d);
+  for (int d = 0; d < total_decks; ++d) {
+    const bool vsrc = d >= options.decks;
+    FuzzCase c = vsrc ? vsource_case_from_seed(options.seed ^ 0x5eedau,
+                                               d - options.decks)
+                      : fuzz_case_from_seed(options.seed ^ 0xba7cfu, d);
     c.vdd_scale = 1.0;  // corners are swept below instead
     cases.push_back(c);
+    circuit::MnaOptions mna_options;
+    mna_options.eliminate_grounded_vsources = !c.keep_vsources;
     circuit::Netlist netlist = pgbench::generate_power_grid(c.grid);
-    const circuit::MnaSystem mna(netlist);
+    const circuit::MnaSystem mna(netlist, mna_options);
     deck_probes.push_back(spread_probes(mna.dimension()));
-    engine.add_deck("fuzz-deck-" + std::to_string(d), std::move(netlist));
+    std::string label(vsrc ? "vsrc-deck-" : "fuzz-deck-");
+    label += std::to_string(d);
+    engine.add_deck(std::move(label), std::move(netlist), mna_options);
   }
 
   // Campaign: methods x gamma x Vdd corner per deck.
   std::vector<runtime::ScenarioSpec> scenarios;
   const double vdd_corners[] = {1.0, 0.9};
-  for (int d = 0; d < options.decks; ++d) {
+  for (int d = 0; d < total_decks; ++d) {
     const FuzzCase& c = cases[d];
     int made = 0;
     for (const auto kind :
@@ -678,9 +692,11 @@ BatchFuzzReport run_batch_fuzz(const BatchFuzzOptions& options) {
     if (!r.ok) report.failure_names.push_back(r.name + ": " + r.error);
 
   // Differential check: every scenario against the per-(deck, Vdd)
-  // tight-step TR oracle.
+  // reference -- a tight-step TR oracle for the classic decks, the dense
+  // index-1 DAE oracle for the kept-vsource decks (no finer TR run is a
+  // trusted reference for their algebraic unknowns).
   std::vector<std::vector<solver::WaveformTable>> oracles(
-      static_cast<std::size_t>(options.decks));
+      static_cast<std::size_t>(total_decks));
   for (auto& per_deck : oracles) per_deck.resize(2);
   const auto oracle_for = [&](std::size_t deck,
                               double vdd) -> const solver::WaveformTable& {
@@ -690,11 +706,19 @@ BatchFuzzReport run_batch_fuzz(const BatchFuzzOptions& options) {
       const FuzzCase& c = cases[deck];
       circuit::Netlist netlist = pgbench::generate_power_grid(c.grid);
       if (vdd != 1.0) netlist = runtime::scale_supplies(netlist, vdd);
-      const circuit::MnaSystem mna(netlist);
-      const solver::DcResult dc = solver::dc_operating_point(mna);
-      slot = run_oracle(mna, dc.x, c, deck_probes[deck],
-                        solver::uniform_grid(0.0, c.t_end,
-                                             c.t_end / c.output_steps));
+      circuit::MnaOptions mna_options;
+      mna_options.eliminate_grounded_vsources = !c.keep_vsources;
+      const circuit::MnaSystem mna(netlist, mna_options);
+      const std::vector<double> times = solver::uniform_grid(
+          0.0, c.t_end, c.t_end / c.output_steps);
+      if (c.dense_oracle) {
+        slot = DenseReference(mna, 300).table(
+            deck_probes[deck], spread_probe_names(deck_probes[deck]),
+            times);
+      } else {
+        const solver::DcResult dc = solver::dc_operating_point(mna);
+        slot = run_oracle(mna, dc.x, c, deck_probes[deck], times);
+      }
     }
     return slot;
   };
@@ -726,12 +750,14 @@ BatchFuzzReport run_batch_fuzz(const BatchFuzzOptions& options) {
     }
   }
   if (options.log)
-    *options.log << "batch-fuzz: " << report.scenarios << " scenarios, "
+    *options.log << "batch-fuzz: " << report.scenarios << " scenarios ("
+                 << options.vsource_decks << " vsource decks), "
                  << report.failures << " failures, cache hits "
                  << report.cache.hits << "/" << (report.cache.hits +
                                                  report.cache.misses)
                  << ", symbolic hits " << report.cache.symbolic_hits
-                 << "\n";
+                 << " (supernodal " << report.cache.supernodal_refactors
+                 << ")\n";
   return report;
 }
 

@@ -170,6 +170,11 @@ std::string fuzz_failure_summary(const FuzzCaseResult& result);
 struct BatchFuzzOptions {
   std::uint64_t seed = 20140601;
   int decks = 3;             ///< random PDN decks registered with the engine
+  /// Additional kept-vsource decks (vsource_case_from_seed grids
+  /// assembled with eliminate_grounded_vsources = false): the concurrent
+  /// campaign also covers singular-C index-1 DAE systems, differentially
+  /// checked against the dense DAE oracle instead of the TR oracle.
+  int vsource_decks = 1;
   int threads = 4;           ///< shared pool size
   int scenarios_per_deck = 8;  ///< methods x gammas x Vdd corners
   ToleranceLadder ladder;

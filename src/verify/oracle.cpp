@@ -9,6 +9,18 @@
 #include "la/expm.hpp"
 
 namespace matex::verify {
+namespace {
+
+/// prefix + to_string(v) without the operator+(const char*, string&&)
+/// overload, whose inlined insert() trips GCC 12's -Wrestrict false
+/// positive (PR105329) under the -Werror CI leg.
+std::string numbered(const char* prefix, long long v) {
+  std::string s(prefix);
+  s += std::to_string(v);
+  return s;
+}
+
+}  // namespace
 
 circuit::Netlist single_pole_rc_netlist(const SinglePoleRc& spec) {
   MATEX_CHECK(spec.r > 0.0 && spec.c > 0.0, "R and C must be positive");
@@ -56,9 +68,9 @@ circuit::Netlist rc_ladder_netlist(const RcLadder& spec) {
   n.add_voltage_source("Vdd", "vdd", "0", circuit::Waveform::dc(spec.vdd));
   std::string prev = "vdd";
   for (int k = 1; k <= spec.stages; ++k) {
-    const std::string node = "n" + std::to_string(k);
-    n.add_resistor("R" + std::to_string(k), prev, node, spec.r);
-    n.add_capacitor("C" + std::to_string(k), node, "0", spec.c);
+    const std::string node = numbered("n", k);
+    n.add_resistor(numbered("R", k), prev, node, spec.r);
+    n.add_capacitor(numbered("C", k), node, "0", spec.c);
     prev = node;
   }
   n.add_current_source("Iload", prev, "0",
@@ -316,8 +328,7 @@ std::vector<std::string> spread_probe_names(
     std::span<const la::index_t> probes) {
   std::vector<std::string> names;
   names.reserve(probes.size());
-  for (const la::index_t p : probes)
-    names.push_back("x" + std::to_string(p));
+  for (const la::index_t p : probes) names.push_back(numbered("x", p));
   return names;
 }
 

@@ -464,13 +464,14 @@ TEST_P(MnaLadderPropertyTest, EliminationPreservesDcSolution) {
   n.add_voltage_source("Vdd", "n0", "0", Waveform::dc(1.8));
   const int len = 3 + static_cast<int>(rng.index(8));
   for (int i = 0; i < len; ++i) {
-    const std::string a = "n" + std::to_string(i);
-    const std::string b = "n" + std::to_string(i + 1);
-    n.add_resistor("R" + std::to_string(i), a, b, rng.uniform(0.5, 5.0));
-    n.add_capacitor("C" + std::to_string(i), b, "0",
+    const std::string a = matex::testing::numbered("n", i);
+    const std::string b = matex::testing::numbered("n", i + 1);
+    n.add_resistor(matex::testing::numbered("R", i), a, b,
+                   rng.uniform(0.5, 5.0));
+    n.add_capacitor(matex::testing::numbered("C", i), b, "0",
                     rng.uniform(1e-12, 5e-12));
     if (rng.uniform() < 0.5)
-      n.add_current_source("I" + std::to_string(i), b, "0",
+      n.add_current_source(matex::testing::numbered("I", i), b, "0",
                            Waveform::dc(rng.uniform(0.0, 0.05)));
   }
   const MnaSystem elim(n);
@@ -486,7 +487,7 @@ TEST_P(MnaLadderPropertyTest, EliminationPreservesDcSolution) {
   const auto xk = la::SparseLU(kept.g()).solve(rhs_k);
 
   for (int i = 0; i <= len; ++i) {
-    const NodeId node = n.find_node("n" + std::to_string(i));
+    const NodeId node = n.find_node(matex::testing::numbered("n", i));
     EXPECT_NEAR(elim.node_voltage(xe, node, 0.0),
                 kept.node_voltage(xk, node, 0.0), 1e-10)
         << "node n" << i;

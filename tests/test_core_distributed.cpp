@@ -50,18 +50,25 @@ struct PdnFixture {
     netlist.add_voltage_source("Vdd", "p", "0", Waveform::dc(1.0));
     // 2x3 mesh of nodes m<r><c> hanging off the pad through Rp.
     const auto node = [](int r, int c) {
-      return "m" + std::to_string(r) + std::to_string(c);
+      std::string s = matex::testing::numbered("m", r);
+      s += std::to_string(c);
+      return s;
+    };
+    const auto tagged = [&](const char* prefix, int r, int c) {
+      std::string s(prefix);
+      s += node(r, c);
+      return s;
     };
     netlist.add_resistor("Rp", "p", node(0, 0), 0.2);
     for (int r = 0; r < 2; ++r)
       for (int c = 0; c < 3; ++c) {
-        netlist.add_capacitor("C" + node(r, c), node(r, c), "0", 0.3);
+        netlist.add_capacitor(tagged("C", r, c), node(r, c), "0", 0.3);
         if (c + 1 < 3)
-          netlist.add_resistor("Rh" + node(r, c), node(r, c), node(r, c + 1),
-                               0.5);
+          netlist.add_resistor(tagged("Rh", r, c), node(r, c),
+                               node(r, c + 1), 0.5);
         if (r + 1 < 2)
-          netlist.add_resistor("Rv" + node(r, c), node(r, c), node(r + 1, c),
-                               0.5);
+          netlist.add_resistor(tagged("Rv", r, c), node(r, c),
+                               node(r + 1, c), 0.5);
       }
     // Shape A at two sites, shape B at two sites, one DC load.
     netlist.add_current_source("I1", node(0, 1), "0",
@@ -114,7 +121,7 @@ TEST(Decomposition, RoundRobinMergeDistributesShapesEvenly) {
   n.add_resistor("R1", "a", "0", 1.0);
   for (int i = 0; i < 5; ++i)
     n.add_current_source(
-        "I" + std::to_string(i), "a", "0",
+        matex::testing::numbered("I", i), "a", "0",
         Waveform::pulse(bump(0.1 * (i + 1), 0.05, 0.2, 0.05, 1.0)));
   const MnaSystem mna(n);
   DecompositionOptions opt;

@@ -47,10 +47,10 @@ struct ChainFixture {
     netlist.add_voltage_source("Vdd", "p", "0", Waveform::dc(1.0));
     const char* nodes[] = {"p", "n1", "n2", "n3", "n4"};
     for (int i = 0; i < 4; ++i) {
-      netlist.add_resistor("R" + std::to_string(i), nodes[i], nodes[i + 1],
-                           0.5);
-      netlist.add_capacitor("C" + std::to_string(i), nodes[i + 1], "0",
-                            0.4);
+      netlist.add_resistor(matex::testing::numbered("R", i), nodes[i],
+                           nodes[i + 1], 0.5);
+      netlist.add_capacitor(matex::testing::numbered("C", i), nodes[i + 1],
+                            "0", 0.4);
     }
     netlist.add_current_source("I1", "n4", "0",
                                Waveform::pulse(bump(0.5, 0.1, 0.4, 0.1,

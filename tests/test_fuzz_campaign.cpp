@@ -48,11 +48,18 @@ TEST(FuzzCampaign, BatchEngineConcurrentCampaignMatchesOracles) {
   opt.seed =
       static_cast<std::uint64_t>(env_long("MATEX_FUZZ_SEED", 20140601));
   opt.decks = 3;
+  // Kept-vsource decks ride the same concurrent campaign (MnaOptions
+  // threaded through BatchEngine::add_deck) and are checked against the
+  // dense index-1 DAE oracle; CI pins the count explicitly.
+  opt.vsource_decks =
+      static_cast<int>(env_long("MATEX_BATCH_VSOURCE_DECKS", 2));
   opt.threads = 4;
   opt.log = &std::cout;
 
   const BatchFuzzReport report = run_batch_fuzz(opt);
-  EXPECT_GT(report.scenarios, 0);
+  const int per_deck_scenarios = opt.scenarios_per_deck;
+  EXPECT_EQ(report.scenarios,
+            (opt.decks + opt.vsource_decks) * per_deck_scenarios);
   EXPECT_EQ(report.failures, 0);
   for (const std::string& failure : report.failure_names)
     ADD_FAILURE() << failure;

@@ -10,6 +10,7 @@
 
 #include "la/error.hpp"
 #include "solver/json_writer.hpp"
+#include "test_util.hpp"
 
 namespace matex::solver {
 namespace {
@@ -40,19 +41,24 @@ TEST(JsonWriter, ExponentFormattingRoundTrips) {
   JsonWriter w;
   w.begin_object();
   for (std::size_t i = 0; i < std::size(values); ++i)
-    w.key("v" + std::to_string(i)).value(values[i]);
+    w.key(matex::testing::numbered("v", static_cast<long long>(i)))
+        .value(values[i]);
   w.end_object();
   const JsonValue doc = parse_json(w.str());
   for (std::size_t i = 0; i < std::size(values); ++i) {
     const double back =
-        doc.at("v" + std::to_string(i)).as_number();
+        doc.at(matex::testing::numbered("v", static_cast<long long>(i)))
+            .as_number();
     const double rel = values[i] == 0.0
                            ? std::abs(back)
                            : std::abs(back - values[i]) /
                                  std::abs(values[i]);
     EXPECT_LE(rel, 1e-11) << "value " << values[i];
     EXPECT_DOUBLE_EQ(
-        json_number_field(w.str(), "v" + std::to_string(i), 0.0), back);
+        json_number_field(
+            w.str(), matex::testing::numbered("v", static_cast<long long>(i)),
+            0.0),
+        back);
   }
 }
 

@@ -281,6 +281,203 @@ TEST(SparseLuRefactor, SharedSymbolicIsConcurrencySafeByConstness) {
 }
 
 // ------------------------------------------------------------------------
+// Supernode detection and the blocked numeric refactorization.
+
+TEST(SupernodePlan, DiagonalMatrixIsAllSingletons) {
+  TripletMatrix t(6, 6);
+  for (index_t i = 0; i < 6; ++i) t.add(i, i, 2.0 + i);
+  const SparseLU lu(t.to_csc());
+  const SymbolicLU& s = *lu.symbolic();
+  EXPECT_EQ(s.num_supernodes(), 6);
+  EXPECT_EQ(s.supernode_stats().max_width, 1);
+  EXPECT_EQ(s.supernode_stats().padded_entries, 0);
+  EXPECT_FALSE(s.supernodal_profitable());
+}
+
+TEST(SupernodePlan, DenseMatrixIsOneSupernode) {
+  // A fully dense SPD-like matrix: every column shares the full reach, so
+  // strict merging collapses the whole factor into one panel (the
+  // "full-dense tail" shape a mesh factorization ends in).
+  const index_t n = 12;
+  TripletMatrix t(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      t.add(i, j, i == j ? 2.0 * n : 1.0 / (1.0 + i + j));
+  SparseLuOptions opt;
+  opt.amalg_relax = 0.0;
+  const SparseLU lu(t.to_csc(), opt);
+  const SymbolicLU& s = *lu.symbolic();
+  EXPECT_EQ(s.num_supernodes(), 1);
+  EXPECT_EQ(s.supernode_stats().max_width, n);
+  EXPECT_EQ(s.supernode_stats().padded_entries, 0);
+  // Merged, but far too small to leave the scalar replay's cache-resident
+  // regime: kAuto correctly stays scalar (kAlways still runs the panels).
+  EXPECT_FALSE(s.supernodal_profitable());
+}
+
+TEST(SupernodePlan, MaxWidthBoundsThePanels) {
+  const index_t n = 12;
+  TripletMatrix t(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      t.add(i, j, i == j ? 2.0 * n : 1.0 / (1.0 + i + j));
+  SparseLuOptions opt;
+  opt.amalg_max_width = 5;
+  const SparseLU lu(t.to_csc(), opt);
+  EXPECT_EQ(lu.symbolic()->supernode_stats().max_width, 5);
+  // amalg_max_width == 1 degenerates to all singletons.
+  opt.amalg_max_width = 1;
+  const SparseLU singletons(t.to_csc(), opt);
+  EXPECT_EQ(singletons.symbolic()->num_supernodes(), n);
+}
+
+TEST(SupernodePlan, AmalgamationOffAdmitsOnlyExactMerges) {
+  const auto g = testing::grid_laplacian(9, 11);
+  SparseLuOptions strict_opt;
+  strict_opt.amalg_relax = 0.0;
+  const SparseLU strict_lu(g, strict_opt);
+  const SparseLU relaxed_lu(g);  // default relax
+  // Zero-padding merges only under relax == 0; the relaxed plan merges at
+  // least as aggressively and pays for it with padded cells.
+  EXPECT_EQ(strict_lu.symbolic()->supernode_stats().padded_entries, 0);
+  EXPECT_LE(relaxed_lu.symbolic()->num_supernodes(),
+            strict_lu.symbolic()->num_supernodes());
+  EXPECT_GT(strict_lu.symbolic()->num_supernodes(), 0);
+}
+
+TEST(SupernodalRefactor, BitwiseIdenticalToScalarReplayAcrossMatrices) {
+  testing::Rng rng(41);
+  std::vector<CscMatrix> cases;
+  cases.push_back(testing::grid_laplacian(10, 12));
+  cases.push_back(testing::random_sparse_spd_like(70, 0.12, rng));
+  cases.push_back(testing::random_sparse_spd_like(40, 0.3, rng));
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const CscMatrix& a = cases[ci];
+    const SparseLU fresh(a);
+    // Same pattern, different values: the gamma-sweep refill.
+    const auto a2 = with_scaled_values(a, 2.25, 0.75);
+    SparseLuOptions blocked_opt, scalar_opt;
+    blocked_opt.supernodal = SupernodalMode::kAlways;
+    scalar_opt.supernodal = SupernodalMode::kNever;
+    const SparseLU blocked(a2, fresh.symbolic(), blocked_opt);
+    const SparseLU scalar(a2, fresh.symbolic(), scalar_opt);
+    ASSERT_TRUE(blocked.refactored()) << "case " << ci;
+    EXPECT_TRUE(blocked.refactored_supernodal()) << "case " << ci;
+    ASSERT_TRUE(scalar.refactored()) << "case " << ci;
+    EXPECT_FALSE(scalar.refactored_supernodal()) << "case " << ci;
+    EXPECT_EQ(blocked.min_abs_pivot(), scalar.min_abs_pivot())
+        << "case " << ci;
+    const auto b = testing::random_vector(
+        static_cast<std::size_t>(a.rows()), rng);
+    const auto xb = blocked.solve(b);
+    const auto xs = scalar.solve(b);
+    for (std::size_t i = 0; i < xb.size(); ++i)
+      EXPECT_EQ(xb[i], xs[i]) << "case " << ci << " i " << i;
+    // Transpose solves run off the same factor arrays.
+    const auto tb = blocked.solve_transpose(b);
+    const auto ts = scalar.solve_transpose(b);
+    for (std::size_t i = 0; i < tb.size(); ++i)
+      EXPECT_EQ(tb[i], ts[i]) << "case " << ci << " i " << i;
+  }
+}
+
+TEST(SupernodalRefactor, SameValuesRefillMatchesFreshFactorization) {
+  testing::Rng rng(42);
+  const auto a = testing::grid_laplacian(11, 9);
+  SparseLuOptions opt;
+  opt.supernodal = SupernodalMode::kAlways;
+  const SparseLU fresh(a, opt);
+  const SparseLU refill(a, fresh.symbolic(), opt);
+  EXPECT_TRUE(refill.refactored_supernodal());
+  EXPECT_EQ(fresh.min_abs_pivot(), refill.min_abs_pivot());
+  const auto b = testing::random_vector(
+      static_cast<std::size_t>(a.rows()), rng);
+  const auto x1 = fresh.solve(b);
+  const auto x2 = refill.solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+}
+
+TEST(SupernodalRefactor, PivotViolationFallsBackAndRecovers) {
+  // Same shape as the scalar-replay fallback test, forced through the
+  // blocked kernel: the frozen diagonal pivot trips, the constructor
+  // falls back (blocked -> scalar replay -> full factorization), and the
+  // result still solves.
+  TripletMatrix t1(2, 2);
+  t1.add(0, 0, 4.0);
+  t1.add(0, 1, 1.0);
+  t1.add(1, 0, 1.0);
+  t1.add(1, 1, 4.0);
+  TripletMatrix t2(2, 2);
+  t2.add(0, 0, 1e-13);
+  t2.add(0, 1, 1.0);
+  t2.add(1, 0, 1.0);
+  t2.add(1, 1, 1e-13);
+  SparseLuOptions opt;
+  opt.supernodal = SupernodalMode::kAlways;
+  const SparseLU fresh(t1.to_csc(), opt);
+  const auto a2 = t2.to_csc();
+  const SparseLU fallback(a2, fresh.symbolic(), opt);
+  EXPECT_FALSE(fallback.refactored());
+  EXPECT_FALSE(fallback.refactored_supernodal());
+  std::vector<double> b{1.0, 2.0};
+  const auto x = fallback.solve(b);
+  EXPECT_LE(norm_inf(residual(a2, x, b)), 1e-12);
+}
+
+TEST(SupernodalRefactor, AutoModeSkipsThinPlans) {
+  // All-singleton plan (tridiagonal): kAuto stays on the scalar replay,
+  // kAlways runs the panels anyway -- and both agree bitwise.
+  const index_t n = 30;
+  TripletMatrix t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t.add(i, i, 4.0);
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  const auto a = t.to_csc();
+  const SparseLU fresh(a);
+  const auto a2 = with_scaled_values(a, 1.5, 0.25);
+  SparseLuOptions auto_opt;  // kAuto default
+  const SparseLU auto_lu(a2, fresh.symbolic(), auto_opt);
+  SparseLuOptions always_opt;
+  always_opt.supernodal = SupernodalMode::kAlways;
+  const SparseLU always_lu(a2, fresh.symbolic(), always_opt);
+  ASSERT_TRUE(auto_lu.refactored());
+  ASSERT_TRUE(always_lu.refactored());
+  EXPECT_TRUE(always_lu.refactored_supernodal());
+  testing::Rng rng(43);
+  const auto b = testing::random_vector(static_cast<std::size_t>(n), rng);
+  const auto x1 = auto_lu.solve(b);
+  const auto x2 = always_lu.solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+}
+
+TEST(SupernodalRefactor, SparseRhsSolveAgreesWithScalarFactors) {
+  testing::Rng rng(44);
+  const auto a = testing::grid_laplacian(8, 9);
+  const SparseLU fresh(a);
+  const auto a2 = with_scaled_values(a, 3.0, 0.5);
+  SparseLuOptions blocked_opt;
+  blocked_opt.supernodal = SupernodalMode::kAlways;
+  const SparseLU blocked(a2, fresh.symbolic(), blocked_opt);
+  ASSERT_TRUE(blocked.refactored_supernodal());
+  const index_t n = a.rows();
+  SparseRhsWorkspace ws(n);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const std::vector<index_t> rows{3, 17};
+  const std::vector<double> vals{1.0, -0.5};
+  const auto pattern = blocked.solve_sparse_rhs(rows, vals, x, ws);
+  std::vector<double> dense_b(static_cast<std::size_t>(n), 0.0);
+  dense_b[3] = 1.0;
+  dense_b[17] = -0.5;
+  const auto x_ref = blocked.solve(dense_b);
+  for (std::size_t i = 0; i < x_ref.size(); ++i) EXPECT_EQ(x[i], x_ref[i]);
+  for (const index_t i : pattern) x[static_cast<std::size_t>(i)] = 0.0;
+}
+
+// ------------------------------------------------------------------------
 // Sparse-right-hand-side (reach-restricted) solve.
 
 TEST(SparseRhsSolve, MatchesDenseSolveOnRandomPatterns) {

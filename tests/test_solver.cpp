@@ -540,6 +540,58 @@ TEST(AdaptiveTr, HysteresisReducesFactorizations) {
   EXPECT_LT(s2.factorizations, s1.factorizations);
 }
 
+TEST(AdaptiveTr, SupernodalRefactorMatchesScalarAndIsCounted) {
+  // Step-size changes refactorize C/h + G/2 along one cached analysis;
+  // with the kernel pinned to kAlways vs kNever the trajectories must
+  // agree sample-for-sample (the blocked kernel replays the identical
+  // operation sequence) and the supernodal counter must attribute every
+  // refactorization to the panels.
+  Netlist n;
+  n.add_voltage_source("V1", "a", "0", Waveform::dc(1.0));
+  n.add_resistor("R1", "a", "b", 1.0);
+  n.add_capacitor("C1", "b", "0", 0.5);
+  n.add_resistor("R2", "b", "c", 2.0);
+  n.add_capacitor("C2", "c", "0", 0.01);  // stiff second pole
+  PulseSpec s;
+  s.v1 = 0.0;
+  s.v2 = 0.3;
+  s.delay = 0.3;
+  s.rise = 0.1;
+  s.width = 0.2;
+  s.fall = 0.1;
+  s.period = 1.0;
+  n.add_current_source("I1", "c", "0", Waveform::pulse(s));
+  const MnaSystem mna(n);
+  const auto dc = dc_operating_point(mna);
+
+  AdaptiveTrOptions blocked;
+  blocked.t_end = 3.0;
+  blocked.h_init = 1e-3;
+  blocked.lte_tol = 1e-5;
+  blocked.lu_options.supernodal = la::SupernodalMode::kAlways;
+  AdaptiveTrOptions scalar = blocked;
+  scalar.lu_options.supernodal = la::SupernodalMode::kNever;
+
+  ProbeRecorder rec_b({0, 1});
+  auto obs_b = rec_b.observer();
+  const auto st_b = run_adaptive_trapezoidal(mna, dc.x, blocked, obs_b);
+  ProbeRecorder rec_s({0, 1});
+  auto obs_s = rec_s.observer();
+  const auto st_s = run_adaptive_trapezoidal(mna, dc.x, scalar, obs_s);
+
+  ASSERT_GT(st_b.refactorizations, 0);
+  EXPECT_EQ(st_b.supernodal_refactorizations, st_b.refactorizations);
+  EXPECT_EQ(st_s.supernodal_refactorizations, 0);
+  EXPECT_EQ(st_b.steps, st_s.steps);
+  ASSERT_EQ(rec_b.times().size(), rec_s.times().size());
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto& wb = rec_b.waveform(p);
+    const auto& ws = rec_s.waveform(p);
+    ASSERT_EQ(wb.size(), ws.size());
+    for (std::size_t i = 0; i < wb.size(); ++i) EXPECT_EQ(wb[i], ws[i]);
+  }
+}
+
 TEST(AdaptiveTr, InvalidOptionsThrow) {
   RcFixture f;
   const std::vector<double> x0{0.0};

@@ -29,6 +29,15 @@ inline std::string env_string(const char* name, const char* fallback) {
   return value && *value ? value : fallback;
 }
 
+/// prefix + to_string(v) without the operator+(const char*, string&&)
+/// overload, whose inlining trips GCC 12's -Wrestrict false positive
+/// (PR105329) under the -Werror CI leg.
+inline std::string numbered(const char* prefix, long long v) {
+  std::string s(prefix);
+  s += std::to_string(v);
+  return s;
+}
+
 /// Small deterministic PRNG (xorshift64*) so tests are reproducible across
 /// platforms without pulling in <random> distribution differences.
 class Rng {

@@ -95,7 +95,7 @@ TEST(Golden, CheckedInGoldensMatchCurrentRuns) {
   std::ostringstream log;
   const GoldenGateReport report =
       run_golden_gate(MATEX_GOLDEN_DIR, /*update=*/false, &log);
-  EXPECT_EQ(report.checked, 8);
+  EXPECT_EQ(report.checked, 9);
   EXPECT_EQ(report.failures, 0) << log.str();
 }
 
