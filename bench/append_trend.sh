@@ -41,7 +41,11 @@ jq -c --arg pr "$pr_label" --arg date "$(date -u +%Y-%m-%d)" '{
   tr_steps_per_second: .transient.tr_steps_per_second,
   arnoldi_step_seconds: .arnoldi.step_seconds_avg,
   allocs_per_step: .arnoldi.allocs_per_step,
-  tr_allocs_per_step: .transient.tr_allocs_per_step
+  tr_allocs_per_step: .transient.tr_allocs_per_step,
+  span_disabled_ns: .obs.span_disabled_ns,
+  span_disabled_allocs: .obs.span_disabled_allocs,
+  span_enabled_allocs: .obs.span_enabled_allocs,
+  traced_tr_overhead_ratio: .obs.traced_tr_overhead_ratio
 }' "$tmp_json" >> "$out"
 
 tail -1 "$out" >&2

@@ -33,6 +33,7 @@
 #include "la/sparse_csc.hpp"
 #include "la/sparse_lu.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/trace.hpp"
 #include "pgbench/pg_generator.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
@@ -348,6 +349,53 @@ int main(int argc, char** argv) try {
         std::min(arnoldi_allocs_per_step, static_cast<double>(hi - lo));
   }
 
+  // ------------------------------------------------------- observability
+  // PR 6's zero-perturbation guarantee, measured: a disabled span costs a
+  // relaxed flag load plus a branch and must never allocate; tracing a
+  // whole TR run (a "solve" span per step plus the run span) must stay
+  // within 5% of the untraced wall time.
+  obs::stop_tracing();
+  constexpr long long kSpanReps = 2000000;
+  std::atomic<long long> span_sink{0};  // keeps the loop observable
+  const long long obs_a0 = allocs();
+  clock.restart();
+  for (long long i = 0; i < kSpanReps; ++i) {
+    MATEX_SPAN("disabled", "i", i);
+    span_sink.fetch_add(1, std::memory_order_relaxed);
+  }
+  const double span_disabled_ns = clock.seconds() * 1e9 / kSpanReps;
+  const long long span_disabled_allocs = allocs() - obs_a0;
+
+  obs::start_tracing();
+  { MATEX_SPAN("warmup"); }  // sizes this thread's ring outside the timing
+  constexpr long long kEnabledSpans = 1000;
+  const long long obs_a1 = allocs();
+  for (long long i = 0; i < kEnabledSpans; ++i)
+    MATEX_SPAN("enabled", "i", i);
+  const long long span_enabled_allocs = allocs() - obs_a1;
+  obs::discard_trace();
+  obs::stop_tracing();
+
+  // Traced-vs-untraced TR overhead: best-of-5 on both sides so scheduler
+  // noise cannot fake a regression.
+  constexpr long long kObsTrSteps = 512;
+  const auto best_tr = [&](int reps) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      long long scratch = 0;
+      best = std::min(best, run_tr(kObsTrSteps, &scratch));
+      if (obs::trace_enabled()) obs::discard_trace();
+    }
+    return best;
+  };
+  const double untraced_tr_seconds = best_tr(5);
+  obs::start_tracing();
+  const double traced_tr_seconds = best_tr(5);
+  obs::stop_tracing();
+  obs::discard_trace();
+  const double traced_tr_overhead_ratio =
+      traced_tr_seconds / untraced_tr_seconds;
+
   // ------------------------------------------------------------- report
   solver::JsonWriter w;
   w.begin_object();
@@ -395,6 +443,12 @@ int main(int argc, char** argv) try {
   w.key("step_seconds_avg").value(arnoldi_step_seconds);
   w.key("allocs_per_step").value(arnoldi_allocs_per_step);
   w.end_object();
+  w.key("obs").begin_object();
+  w.key("span_disabled_ns").value(span_disabled_ns);
+  w.key("span_disabled_allocs").value(span_disabled_allocs);
+  w.key("span_enabled_allocs").value(span_enabled_allocs);
+  w.key("traced_tr_overhead_ratio").value(traced_tr_overhead_ratio);
+  w.end_object();
   w.end_object();
 
   std::fputs(w.str().c_str(), stderr);
@@ -431,6 +485,26 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr,
                  "FAIL: blocked refactorization solutions are not bitwise "
                  "identical to the scalar replay\n");
+    ++failures;
+  }
+  if (span_disabled_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled spans allocated %lld times over %lld "
+                 "iterations (must be zero)\n",
+                 span_disabled_allocs, kSpanReps);
+    ++failures;
+  }
+  if (span_enabled_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: enabled spans allocated %lld times over %lld "
+                 "emissions (the ring path must be allocation-free)\n",
+                 span_enabled_allocs, kEnabledSpans);
+    ++failures;
+  }
+  if (traced_tr_overhead_ratio > 1.05) {
+    std::fprintf(stderr,
+                 "FAIL: tracing slowed the TR run by %.1f%% (cap 5%%)\n",
+                 100.0 * (traced_tr_overhead_ratio - 1.0));
     ++failures;
   }
 
@@ -488,6 +562,9 @@ int main(int argc, char** argv) try {
     check_allocs("sparse_rhs_allocs_per_call", sparse_solve_allocs);
     check_allocs("tr_allocs_per_step", tr_allocs_per_step);
     check_allocs("allocs_per_step", arnoldi_allocs_per_step);
+    check_allocs("span_disabled_allocs", span_disabled_allocs);
+    check_allocs("span_enabled_allocs", span_enabled_allocs);
+    check_ratio_max("traced_tr_overhead_ratio", traced_tr_overhead_ratio);
     std::fprintf(stderr, "baseline check vs %s: %s\n",
                  args.baseline_path.c_str(),
                  failures == 0 ? "ok" : "FAILED");

@@ -17,6 +17,9 @@
 #   refactor_speedup, blocked_vs_scalar_speedup      -- may not halve
 #   sparse_rhs_vs_dense_ratio                        -- may not double
 #   allocs_per_step, tr_allocs_per_step              -- may not grow by >1
+#   span_disabled_allocs, span_enabled_allocs        -- may not grow by >1
+#   traced_tr_overhead_ratio                         -- absolute cap 1.05x
+#     (tracing a run may never cost more than 5%, regardless of history)
 set -euo pipefail
 
 trend="bench/trend.jsonl"
@@ -47,7 +50,10 @@ if [[ -n "$candidate_json" ]]; then
     blocked_vs_scalar_speedup: .factorization.blocked_vs_scalar_speedup,
     sparse_rhs_vs_dense_ratio: .solve.sparse_rhs_vs_dense_ratio,
     allocs_per_step: .arnoldi.allocs_per_step,
-    tr_allocs_per_step: .transient.tr_allocs_per_step
+    tr_allocs_per_step: .transient.tr_allocs_per_step,
+    span_disabled_allocs: .obs.span_disabled_allocs,
+    span_enabled_allocs: .obs.span_enabled_allocs,
+    traced_tr_overhead_ratio: .obs.traced_tr_overhead_ratio
   }' "$candidate_json")"
   label="candidate $candidate_json vs last committed point"
 else
@@ -79,11 +85,18 @@ jq -n -e --argjson prev "$prev" --argjson cur "$current" \
         $cur[key] > $prev[key] + 1)
     then ["FAIL: \(key) regressed: \($cur[key]) allocations vs \($prev[key])"]
     else [] end;
+  def gate_cap(key; cap):
+    if ($cur[key] != null and $cur[key] > cap)
+    then ["FAIL: \(key) = \($cur[key]) exceeds the absolute cap \(cap)"]
+    else [] end;
   ( gate_min("refactor_speedup")
   + gate_min("blocked_vs_scalar_speedup")
   + gate_max("sparse_rhs_vs_dense_ratio")
   + gate_allocs("allocs_per_step")
-  + gate_allocs("tr_allocs_per_step") ) as $failures
+  + gate_allocs("tr_allocs_per_step")
+  + gate_allocs("span_disabled_allocs")
+  + gate_allocs("span_enabled_allocs")
+  + gate_cap("traced_tr_overhead_ratio"; 1.05) ) as $failures
   | if ($failures | length) > 0
     then ($failures | join("\n")) | halt_error(1)
     else "trend gate: ok" end

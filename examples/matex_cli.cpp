@@ -6,6 +6,7 @@
 ///             [--tstep S] [--tstop S] [--gamma S] [--tol EPS]
 ///             [--threads N] [--batch] [--keep-vsources]
 ///             [--probe NODE]... [--out FILE] [--perf-json FILE]
+///             [--trace FILE]
 ///   matex_cli --verify [--update-goldens] [--goldens DIR]
 ///   matex_cli --fuzz N | --fuzz-vsource N
 ///             [--fuzz-seed S] [--artifacts DIR]
@@ -43,7 +44,14 @@
 ///
 /// --perf-json FILE dumps the run's timing / counter / cache-hit stats as
 /// JSON (same writer as the BENCH_*.json artifacts), so campaigns can be
-/// tracked by dashboards without scraping stderr.
+/// tracked by dashboards without scraping stderr. Since PR 6 it also
+/// carries the per-node scheduler timings, per-scenario cache attribution,
+/// pool counters and the obs metrics registry (see README, Observability).
+///
+/// --trace FILE records a Chrome trace-event timeline of the run (spans
+/// for stamp/factor/solve/arnoldi, per-task scheduler spans with
+/// scenario/node identity, cache hit/miss/evict instants) -- open the
+/// file in ui.perfetto.dev or chrome://tracing.
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -60,6 +68,8 @@
 #include "core/input_view.hpp"
 #include "core/matex_solver.hpp"
 #include "core/scheduler.hpp"
+#include "obs/stats_export.hpp"
+#include "obs/trace.hpp"
 #include "runtime/batch.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
@@ -126,34 +136,43 @@ struct CliOptions {
   std::vector<std::string> probes;
   std::string out_path;
   std::string perf_json_path;
+  std::string trace_path;
 };
 
-/// Serializes TransientStats counters into an open JSON object.
-void write_stats_fields(solver::JsonWriter& w,
-                        const solver::TransientStats& stats) {
-  w.key("steps").value(stats.steps);
-  w.key("rejected_steps").value(stats.rejected_steps);
-  w.key("solves").value(stats.solves);
-  w.key("factorizations").value(stats.factorizations);
-  w.key("refactorizations").value(stats.refactorizations);
-  w.key("supernodal_refactorizations")
-      .value(stats.supernodal_refactorizations);
-  w.key("krylov_subspaces").value(stats.krylov_subspaces);
-  w.key("krylov_dim_avg").value(stats.krylov_dim_avg());
-  w.key("krylov_dim_peak").value(stats.krylov_dim_peak);
-  w.key("transient_seconds").value(stats.transient_seconds);
-  w.key("total_seconds").value(stats.total_seconds);
-}
-
-/// Writes the --perf-json artifact (returns false on I/O failure).
+/// Writes the --perf-json artifact (returns false on I/O failure --
+/// including a failure *after* the open, e.g. a full disk, which the
+/// pre-PR-6 version reported as success).
 bool write_perf_json(const std::string& path, const solver::JsonWriter& w) {
   std::ofstream out(path);
+  if (out) {
+    out << w.str();
+    out.flush();
+  }
   if (!out) {
     std::fprintf(stderr, "matex_cli: cannot write %s\n", path.c_str());
     return false;
   }
-  out << w.str();
   std::fprintf(stderr, "wrote perf stats to %s\n", path.c_str());
+  return true;
+}
+
+/// Stops tracing and writes the Chrome trace-event file, if --trace was
+/// given. Returns false (after a diagnostic) on I/O failure.
+bool dump_trace(const CliOptions& cli) {
+  if (cli.trace_path.empty()) return true;
+  obs::stop_tracing();
+  if (!obs::write_chrome_trace_file(cli.trace_path)) {
+    std::fprintf(stderr, "matex_cli: cannot write trace %s\n",
+                 cli.trace_path.c_str());
+    return false;
+  }
+  const long long dropped = obs::dropped_event_count();
+  if (dropped > 0)
+    std::fprintf(stderr,
+                 "matex_cli: trace ring overflow, %lld events dropped\n",
+                 dropped);
+  std::fprintf(stderr, "wrote trace to %s (open in ui.perfetto.dev)\n",
+               cli.trace_path.c_str());
   return true;
 }
 
@@ -165,6 +184,7 @@ bool write_perf_json(const std::string& path, const solver::JsonWriter& w) {
       "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
       "                 [--threads N] [--batch] [--keep-vsources]\n"
       "                 [--probe NODE]... [--out FILE] [--perf-json FILE]\n"
+      "                 [--trace FILE]\n"
       "       matex_cli --verify [--update-goldens] [--goldens DIR]\n"
       "       matex_cli --fuzz N | --fuzz-vsource N\n"
       "                 [--fuzz-seed S] [--artifacts DIR]\n");
@@ -237,6 +257,8 @@ CliOptions parse_args(int argc, char** argv) {
       opt.out_path = next();
     } else if (arg == "--perf-json") {
       opt.perf_json_path = next();
+    } else if (arg == "--trace") {
+      opt.trace_path = next();
     } else if (arg.rfind("--", 0) == 0) {
       usage_and_exit();
     } else if (opt.deck_path.empty()) {
@@ -278,6 +300,12 @@ int main(int argc, char** argv) try {
                  report.checks, report.failures, report.max_err_ratio);
     return report.failures == 0 ? 0 : 1;
   }
+
+  // Observability switches before any simulation work: tracing from deck
+  // parse onward (so the "stamp" span is captured), metrics instruments
+  // live whenever a perf artifact was requested.
+  if (!cli.trace_path.empty()) obs::start_tracing();
+  if (!cli.perf_json_path.empty()) obs::enable_metrics();
 
   const circuit::SpiceDeck deck =
       cli.deck_path.empty() ? circuit::read_spice_string(kDemoDeck)
@@ -412,14 +440,10 @@ int main(int argc, char** argv) try {
       w.key("threads").value(engine.pool().size());
       w.key("wall_seconds").value(report.wall_seconds);
       w.key("factor_cache").begin_object();
-      w.key("hits").value(report.cache.hits);
-      w.key("misses").value(report.cache.misses);
-      w.key("hit_rate").value(report.cache.hit_rate());
-      w.key("symbolic_hits").value(report.cache.symbolic_hits);
-      w.key("refactor_fallbacks").value(report.cache.refactor_fallbacks);
-      w.key("supernodal_refactors").value(report.cache.supernodal_refactors);
-      w.key("evictions").value(report.cache.evictions);
-      w.key("factor_seconds").value(report.cache.factor_seconds);
+      obs::write_factor_cache_stats(w, report.cache);
+      w.end_object();
+      w.key("pool").begin_object();
+      obs::write_thread_pool_stats(w, report.pool);
       w.end_object();
       w.key("per_scenario").begin_array();
       for (const auto& r : report.results) {
@@ -427,14 +451,20 @@ int main(int argc, char** argv) try {
         w.key("name").value(r.name);
         w.key("ok").value(r.ok);
         w.key("wall_seconds").value(r.wall_seconds);
-        write_stats_fields(w, r.distributed.aggregate);
+        obs::write_transient_stats(w, r.distributed.aggregate);
+        // Scheduler timing split, per-scenario cache attribution and the
+        // per-node reports (group identity, LTS size, per-node stats).
+        obs::write_distributed_timings(w, r.distributed);
+        obs::write_node_reports(w, r.distributed.nodes);
         w.end_object();
       }
       w.end_array();
+      obs::write_metrics(w);
       w.end_object();
       if (!write_perf_json(cli.perf_json_path, w)) return 1;
     }
-    return report.failures == 0 ? 0 : 1;
+    const bool trace_ok = dump_trace(cli);
+    return report.failures == 0 && trace_ok ? 0 : 1;
   }
 
   const auto dc = solver::dc_operating_point(mna);
@@ -442,6 +472,7 @@ int main(int argc, char** argv) try {
   auto observer = recorder.observer();
 
   solver::TransientStats stats;
+  core::DistributedResult dist_result;  // kept for --perf-json (dist only)
   if (cli.method == "tr" || cli.method == "be") {
     solver::FixedStepOptions opt;
     opt.t_end = tstop;
@@ -465,13 +496,13 @@ int main(int argc, char** argv) try {
     opt.solver.tolerance = cli.tol;
     opt.output_times = grid;
     if (cli.threads >= 0) opt.parallelism = cli.threads;
-    const auto result = core::run_distributed_matex(mna, opt, observer);
+    dist_result = core::run_distributed_matex(mna, opt, observer);
     std::fprintf(stderr,
                  "distributed: %zu nodes on %d workers, "
                  "max node transient %.4f s\n",
-                 result.group_count, result.workers_used,
-                 result.max_node_transient_seconds);
-    stats = result.aggregate;
+                 dist_result.group_count, dist_result.workers_used,
+                 dist_result.max_node_transient_seconds);
+    stats = dist_result.aggregate;
   } else {
     core::MatexOptions opt;
     opt.tolerance = cli.tol;
@@ -508,7 +539,12 @@ int main(int argc, char** argv) try {
     w.key("tstep").value(tstep);
     w.key("tstop").value(tstop);
     w.key("dc_seconds").value(dc.seconds);
-    write_stats_fields(w, stats);
+    obs::write_transient_stats(w, stats);
+    if (cli.method == "dist") {
+      obs::write_distributed_timings(w, dist_result);
+      obs::write_node_reports(w, dist_result.nodes);
+    }
+    obs::write_metrics(w);
     w.end_object();
     if (!write_perf_json(cli.perf_json_path, w)) return 1;
   }
@@ -523,6 +559,7 @@ int main(int argc, char** argv) try {
     solver::write_waveform_table_file(table, cli.out_path);
     std::fprintf(stderr, "wrote %s\n", cli.out_path.c_str());
   }
+  if (!dump_trace(cli)) return 1;
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "matex_cli: %s\n", e.what());

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "la/error.hpp"
+#include "obs/trace.hpp"
 
 namespace matex::circuit {
 
 MnaSystem::MnaSystem(const Netlist& netlist, MnaOptions options)
     : netlist_(&netlist) {
+  obs::Span span("stamp");
   const la::index_t n_nodes = netlist.node_count();
   node_to_unknown_.assign(static_cast<std::size_t>(n_nodes), -1);
   node_fixed_input_.assign(static_cast<std::size_t>(n_nodes), -1);
@@ -142,6 +144,8 @@ MnaSystem::MnaSystem(const Netlist& netlist, MnaOptions options)
   c_ = tc.to_csc();
   g_ = tg.to_csc();
   b_ = tb.to_csc();
+  span.arg("unknowns", dim_).arg("nnz_g", g_.nnz()).arg("inputs",
+                                                        inputs_.size());
 }
 
 const Waveform& MnaSystem::input_waveform(la::index_t k) const {

@@ -5,6 +5,8 @@
 
 #include "la/error.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/factor_cache.hpp"
 
 namespace matex::core {
@@ -97,6 +99,17 @@ solver::TransientStats MatexCircuitSolver::run(
     std::span<const double> x0, double t_start, double t_end,
     const InputView& input, std::span<const double> eval_times,
     const solver::Observer& observer) {
+  const char* kind_name =
+      options_.kind == krylov::KrylovKind::kRational   ? "rmatex"
+      : options_.kind == krylov::KrylovKind::kInverted ? "imatex"
+                                                       : "mexp";
+  obs::Span run_span("matex.run", "kind", kind_name, "n",
+                     mna_->dimension());
+  obs::Histogram* dim_hist =
+      obs::metrics_enabled()
+          ? &obs::MetricsRegistry::global().histogram("krylov.dim", 1.0,
+                                                      1024.0)
+          : nullptr;
   MATEX_CHECK(t_end > t_start, "t_end must exceed t_start");
   const std::size_t n = static_cast<std::size_t>(mna_->dimension());
   MATEX_CHECK(x0.size() == n, "initial state dimension mismatch");
@@ -257,6 +270,8 @@ solver::TransientStats MatexCircuitSolver::run(
       stats.krylov_dim_total += space.dim();
       stats.krylov_dim_peak = std::max(stats.krylov_dim_peak, space.dim());
       stats.solves += space.operator_applications();
+      if (dim_hist != nullptr)
+        dim_hist->record(static_cast<double>(space.dim()));
     }
 
     // --- evaluate by reuse at every point inside the segment
@@ -283,6 +298,8 @@ solver::TransientStats MatexCircuitSolver::run(
   stats.factorizations = setup_factorizations_;
   stats.transient_seconds = transient_clock.seconds();
   stats.total_seconds = transient_clock.seconds() + setup_seconds_;
+  run_span.arg("subspaces", stats.krylov_subspaces)
+      .arg("dim_peak", stats.krylov_dim_peak);
   return stats;
 }
 

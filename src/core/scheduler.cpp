@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "la/error.hpp"
+#include "obs/trace.hpp"
 #include "runtime/factor_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -115,6 +116,8 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
 
   const auto drain_staged_locked = [&] {
     while (!staged.empty() && staged.begin()->first == merge_next) {
+      MATEX_SPAN("superpose", "node", merge_next, "scenario",
+                 options.trace_label);
       solver::Stopwatch sup_clock;
       const std::vector<double>& buffer = staged.begin()->second;
       for (std::size_t ti = 0; ti < t_count; ++ti) {
@@ -134,6 +137,9 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
   const auto run_node = [&](std::size_t gi) {
     if (aborted.load()) return;  // a sibling failed; don't waste the work
     const SourceGroup& group = decomp.groups[gi];
+    obs::Span node_span("node", "node", gi, "sources",
+                        group.members.size(), "scenario",
+                        options.trace_label);
     const GroupInput input(mna, group.members, options.t_start);
     std::vector<double> node_buffer(t_count * n);
 
@@ -168,6 +174,8 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
         input.transition_spots(options.t_start, options.t_end).size();
     report.cache_hits = local ? local->setup_cache_hits() : 0;
     report.stats = stats;
+    node_span.arg("lts", report.lts_size)
+        .arg("cache_hits", report.cache_hits);
     if (!options.share_factorizations) report.stats.total_seconds = node_total;
 
     const std::lock_guard<std::mutex> lock(merge_mutex);

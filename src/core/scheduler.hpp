@@ -74,6 +74,12 @@ struct SchedulerOptions {
   /// (effective parallelism 1) or on a pool of its own. Sharing one pool
   /// across concurrent distributed runs is the batch engine's mode.
   runtime::ThreadPool* pool = nullptr;
+  /// Optional label attached to this run's trace spans ("scenario"
+  /// attribute of the per-node spans), so a shared-pool campaign's trace
+  /// attributes every node task to its scenario. Must be a literal or an
+  /// obs::intern()-ed string that outlives the trace flush; nullptr omits
+  /// the attribute. Ignored when tracing is disabled.
+  const char* trace_label = nullptr;
   /// Optional factorization cache shared across nodes, methods, and jobs
   /// (not owned; must outlive the call). When set, LU(G) and the Krylov
   /// operator LU are content-addressed lookups: the first node (or the DC

@@ -6,6 +6,7 @@
 #include "la/error.hpp"
 #include "la/expm.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/trace.hpp"
 
 namespace matex::krylov {
 namespace {
@@ -240,6 +241,7 @@ void KrylovSubspace::grow(double h, const ArnoldiOptions& options) {
 
 KrylovSubspace arnoldi(const CircuitOperator& op, std::span<const double> v0,
                        double h, const ArnoldiOptions& options) {
+  obs::Span span("arnoldi", "n", op.dimension(), "h", h);
   MATEX_CHECK(v0.size() == static_cast<std::size_t>(op.dimension()),
               "starting vector dimension mismatch");
   KrylovSubspace s;
@@ -258,11 +260,13 @@ KrylovSubspace arnoldi(const CircuitOperator& op, std::span<const double> v0,
   la::scale(1.0 / s.beta_, v1);
   s.vcount_ = 1;
   s.grow(h, options);
+  span.arg("dim", s.dim()).arg("converged", s.converged_ ? 1 : 0);
   return s;
 }
 
 bool arnoldi_extend(KrylovSubspace& space, double h,
                     const ArnoldiOptions& options) {
+  obs::Span span("arnoldi_extend", "h", h, "dim_in", space.dim());
   MATEX_CHECK(space.op_ != nullptr, "subspace was not built by arnoldi()");
   if (space.trivial() || space.breakdown_) return true;
   if (space.m_ > 0 && space.error_estimate(h) < options.tolerance) {
@@ -270,6 +274,7 @@ bool arnoldi_extend(KrylovSubspace& space, double h,
     return true;
   }
   space.grow(h, options);
+  span.arg("dim", space.dim());
   return space.converged_;
 }
 

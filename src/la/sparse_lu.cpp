@@ -7,6 +7,7 @@
 
 #include "la/dense_matrix.hpp"
 #include "la/error.hpp"
+#include "obs/trace.hpp"
 
 namespace matex::la {
 namespace {
@@ -394,12 +395,14 @@ void SymbolicLU::build_supernode_plan(const CscMatrix& a,
 }
 
 SparseLU::SparseLU(const CscMatrix& a, SparseLuOptions options) {
+  MATEX_SPAN("factor", "n", a.rows(), "nnz", a.nnz());
   factorize_full(a, options);
 }
 
 SparseLU::SparseLU(const CscMatrix& a,
                    std::shared_ptr<const SymbolicLU> symbolic,
                    SparseLuOptions options) {
+  obs::Span span("refactor", "n", a.rows(), "nnz", a.nnz());
   MATEX_CHECK(symbolic != nullptr, "symbolic analysis must not be null");
   MATEX_CHECK(a.rows() == a.cols(), "SparseLU requires a square matrix");
   MATEX_CHECK(a.rows() == symbolic->order(),
@@ -416,6 +419,7 @@ SparseLU::SparseLU(const CscMatrix& a,
     if (refactor_numeric_blocked(a, options)) {
       refactored_ = true;
       supernodal_ = true;
+      span.arg("kernel", "blocked");
       return;
     }
     // Pivot-tolerance trip in the blocked kernel: fall back to the
@@ -426,11 +430,13 @@ SparseLU::SparseLU(const CscMatrix& a,
   }
   if (refactor_numeric(a, options)) {
     refactored_ = true;
+    span.arg("kernel", "scalar");
     return;
   }
   // Pivot-tolerance violation: the frozen pivot sequence is numerically
   // inadmissible for these values. Fall back to a full pivoting
   // factorization (builds a fresh symbolic analysis).
+  span.arg("kernel", "fallback");
   factorize_full(a, options);
 }
 
@@ -839,6 +845,7 @@ void SparseLU::solve_in_place(std::span<double> b) const {
 
 void SparseLU::solve_in_place(std::span<double> b,
                               std::span<double> work) const {
+  MATEX_SPAN("solve", "n", order());
   const SymbolicLU& s = *sym_;
   const index_t n_ = s.n_;
   MATEX_CHECK(b.size() == static_cast<std::size_t>(n_));
@@ -931,6 +938,7 @@ std::vector<double> SparseLU::solve_transpose(
 std::span<const index_t> SparseLU::solve_sparse_rhs(
     std::span<const index_t> rhs_rows, std::span<const double> rhs_vals,
     std::span<double> x, SparseRhsWorkspace& ws) const {
+  MATEX_SPAN("solve", "n", order(), "sparse_rhs", 1);
   const SymbolicLU& s = *sym_;
   const index_t n_ = s.n_;
   MATEX_CHECK(rhs_rows.size() == rhs_vals.size(),

@@ -1,0 +1,191 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "solver/json_writer.hpp"
+
+namespace matex::obs {
+
+namespace {
+
+/// fetch_add for atomic<double>-via-bits (portable CAS loop; relaxed is
+/// enough, the sum is only read at export time).
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next =
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + delta);
+    if (bits.compare_exchange_weak(cur, next, std::memory_order_relaxed))
+      return;
+  }
+}
+
+void atomic_min_double(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v < std::bit_cast<double>(cur)) {
+    if (bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+void atomic_max_double(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v > std::bit_cast<double>(cur)) {
+    if (bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi)
+    : lo_(lo > 0.0 ? lo : 1e-300),
+      hi_(hi > lo_ ? hi : lo_ * 2.0),
+      log_lo_(std::log(lo_)),
+      inv_log_step_(static_cast<double>(kBucketCount) /
+                    (std::log(hi_) - std::log(lo_))),
+      log_ratio_((std::log(hi_) - std::log(lo_)) /
+                 static_cast<double>(kBucketCount)),
+      min_bits_(std::bit_cast<std::uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<std::uint64_t>(
+          -std::numeric_limits<double>::infinity())) {}
+
+void Histogram::record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, v);
+  atomic_min_double(min_bits_, v);
+  atomic_max_double(max_bits_, v);
+  if (!(v > lo_)) {  // v <= lo, or NaN
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+  } else if (v > hi_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    int i = static_cast<int>((std::log(v) - log_lo_) * inv_log_step_);
+    if (i < 0) i = 0;
+    if (i >= kBucketCount) i = kBucketCount - 1;
+    buckets_[static_cast<std::size_t>(i)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::edge(int i) const {
+  return lo * std::exp(log_ratio * static_cast<double>(i));
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  s.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  s.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  s.underflow = underflow_.load(std::memory_order_relaxed);
+  s.overflow = overflow_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBucketCount; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+  s.lo = lo_;
+  s.log_ratio = log_ratio_;
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                  std::memory_order_relaxed);
+  min_bits_.store(std::bit_cast<std::uint64_t>(
+                      std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(
+                      -std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: instruments may be touched by worker threads during static
+  // destruction (same policy as the trace registry).
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                      double hi) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(lo, hi))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::write_json(solver::JsonWriter& w) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    w.key(name).begin_object();
+    w.key("count").value(s.count);
+    w.key("sum").value(s.sum);
+    w.key("mean").value(s.mean());
+    w.key("min").value(s.count == 0 ? 0.0 : s.min);
+    w.key("max").value(s.count == 0 ? 0.0 : s.max);
+    w.key("underflow").value(s.underflow);
+    w.key("overflow").value(s.overflow);
+    // Only occupied buckets, as [lower_edge, upper_edge, count] triples.
+    w.key("buckets").begin_array();
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const long long n = s.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      w.begin_array();
+      w.value(s.edge(i));
+      w.value(s.edge(i + 1));
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace matex::obs

@@ -1,0 +1,136 @@
+/// \file metrics.hpp
+/// \brief Named counters, gauges and histograms with one JSON export.
+///
+/// The registry unifies the ad-hoc end-of-run counter plumbing
+/// (TransientStats / FactorCacheStats dumps) behind a single schema shared
+/// by `matex_cli --perf-json`, the BatchEngine report and the benches (see
+/// stats_export.hpp). Instruments are process-global, thread-safe and
+/// cheap: counters/gauges are single relaxed atomics, histograms are
+/// log-bucketed atomic arrays. Lookup by name takes a mutex -- resolve an
+/// instrument pointer once per run, outside hot loops, and gate hot-path
+/// recording on `obs::metrics_enabled()` (trace.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace matex::solver {
+class JsonWriter;
+}
+
+namespace matex::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(long long delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Log-bucketed histogram over (lo, hi]: kBucketCount geometric buckets
+/// plus underflow/overflow, with exact count/sum/min/max. Built for the
+/// step-size and Krylov-dimension distributions of the MATEX runs (Table 1
+/// tracks m_a / m_p per node), where values span decades.
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 40;
+
+  /// `lo` and `hi` must be positive with lo < hi. Values <= lo land in
+  /// the underflow bucket, values > hi in the overflow bucket.
+  Histogram(double lo, double hi);
+
+  void record(double v);
+
+  struct Snapshot {
+    long long count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    long long underflow = 0;
+    long long overflow = 0;
+    std::array<long long, kBucketCount> buckets{};
+    double lo = 0.0;
+    double log_ratio = 0.0;  // log(hi/lo) / kBucketCount
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    /// Lower edge of bucket i.
+    double edge(int i) const;
+  };
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double log_lo_;
+  double inv_log_step_;
+  double log_ratio_;
+  std::atomic<long long> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+  std::atomic<long long> underflow_{0};
+  std::atomic<long long> overflow_{0};
+  std::array<std::atomic<long long>, kBucketCount> buckets_{};
+};
+
+/// Process-global instrument registry. Instruments live for the process
+/// lifetime; references returned by the lookup methods never dangle.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration fixes the bucket range; later lookups with a
+  /// different range return the existing instrument unchanged.
+  Histogram& histogram(std::string_view name, double lo, double hi);
+
+  /// Serializes every instrument as one object value (counters, gauges,
+  /// histograms keyed by name, sorted). Call with a pending key:
+  ///   w.key("metrics"); registry.write_json(w);
+  void write_json(solver::JsonWriter& w) const;
+
+  /// Zeroes every instrument (references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace matex::obs

@@ -1,0 +1,57 @@
+/// \file stats_export.hpp
+/// \brief One JSON schema for every runtime statistic.
+///
+/// Before PR 6 each consumer (matex_cli --perf-json, the bench harnesses)
+/// hand-rolled its own serialization of TransientStats / FactorCacheStats
+/// and simply dropped the per-node and pool numbers on the floor. These
+/// helpers are the single source of truth for the field names, shared by
+/// the CLI, the batch engine report and the benches, and they add the
+/// per-node scheduler timings the ROADMAP carried ("needed to attribute
+/// time once factorization goes parallel").
+///
+/// All writers emit *fields into the currently open object* unless noted,
+/// so callers can mix in their own keys:
+///   w.begin_object();
+///   obs::write_transient_stats(w, stats);
+///   w.key("wall_seconds").value(...);
+///   w.end_object();
+#pragma once
+
+#include <span>
+
+#include "core/scheduler.hpp"
+#include "runtime/factor_cache.hpp"
+#include "runtime/thread_pool.hpp"
+#include "solver/json_writer.hpp"
+#include "solver/stats.hpp"
+
+namespace matex::obs {
+
+/// TransientStats fields (steps, factorizations, krylov_*, timings).
+void write_transient_stats(solver::JsonWriter& w,
+                           const solver::TransientStats& s);
+
+/// FactorCacheStats fields, prefixed `cache_*`.
+void write_factor_cache_stats(solver::JsonWriter& w,
+                              const runtime::FactorCacheStats& s);
+
+/// ThreadPoolStats fields, prefixed `pool_*`.
+void write_thread_pool_stats(solver::JsonWriter& w,
+                             const runtime::ThreadPoolStats& s);
+
+/// Per-node scheduler reports as `"nodes": [...]` (one object per node:
+/// identity, LTS size, cache hits, and that node's TransientStats).
+void write_node_reports(solver::JsonWriter& w,
+                        std::span<const core::NodeReport> nodes);
+
+/// The scheduler-level timing split of a distributed run (dc_seconds,
+/// superposition_seconds, max-over-nodes times, workers), without the
+/// aggregate TransientStats (use write_transient_stats for those).
+void write_distributed_timings(solver::JsonWriter& w,
+                               const core::DistributedResult& r);
+
+/// The global metrics registry as `"metrics": {...}`; no-op when metrics
+/// were never enabled.
+void write_metrics(solver::JsonWriter& w);
+
+}  // namespace matex::obs

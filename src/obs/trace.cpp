@@ -1,0 +1,263 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "solver/json_writer.hpp"
+
+namespace matex::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Single-producer (the owning thread) / single-consumer (the flusher,
+/// serialized by the registry mutex) bounded ring. The producer never
+/// blocks and never overwrites: a full ring drops the event and counts
+/// it. head/tail use release/acquire so slot contents published before a
+/// head store are visible to the consumer, and slots released by a tail
+/// store are reusable by the producer -- the classic SPSC protocol, clean
+/// under TSan.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t cap) : slots(cap) {}
+
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+  std::atomic<long long> dropped{0};
+  std::atomic<const char*> name{nullptr};
+  int tid = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mutex;  // guards buffers/interned/epoch and serializes flushes
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::unordered_set<std::string> interned;  // node-based: stable c_str()
+  std::size_t ring_capacity = TraceOptions{}.ring_capacity;
+  std::uint64_t epoch = 0;
+  int next_tid = 1;
+};
+
+/// Leaked singleton: emit() may run from detached worker threads during
+/// static destruction, so the registry must never be destroyed.
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry;
+  return *r;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> tl_buffer;
+thread_local const char* tl_pending_name = nullptr;
+
+ThreadBuffer* local_buffer() {
+  if (!tl_buffer) {
+    TraceRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    auto buf = std::make_shared<ThreadBuffer>(r.ring_capacity);
+    buf->tid = r.next_tid++;
+    if (tl_pending_name)
+      buf->name.store(tl_pending_name, std::memory_order_relaxed);
+    r.buffers.push_back(buf);
+    tl_buffer = std::move(buf);
+  }
+  return tl_buffer.get();
+}
+
+double microseconds_per_tick() {
+  using Period = std::chrono::steady_clock::period;
+  return 1e6 * static_cast<double>(Period::num) /
+         static_cast<double>(Period::den);
+}
+
+void write_event_json(solver::JsonWriter& w, const TraceEvent& ev, int tid,
+                      std::uint64_t epoch, double us_per_tick) {
+  w.begin_object();
+  w.key("name").value(ev.name);
+  w.key("cat").value("matex");
+  w.key("ph").value(ev.phase == 'i' ? "i" : "X");
+  w.key("ts").value(static_cast<double>(ev.t0 - epoch) * us_per_tick);
+  if (ev.phase != 'i')
+    w.key("dur").value(static_cast<double>(ev.t1 - ev.t0) * us_per_tick);
+  else
+    w.key("s").value("t");  // instant scope: thread
+  w.key("pid").value(1);
+  w.key("tid").value(tid);
+  if (ev.nargs > 0) {
+    w.key("args").begin_object();
+    for (int a = 0; a < ev.nargs; ++a) {
+      const TraceArg& arg = ev.args[a];
+      if (arg.str != nullptr)
+        w.key(arg.key).value(arg.str);
+      else
+        w.key(arg.key).value(arg.num);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+/// Drains every buffer into `w` (which must have an open array) under the
+/// registry lock. Returns the total drop count.
+long long drain_into(solver::JsonWriter* w, TraceRegistry& r,
+                     std::uint64_t epoch, double us_per_tick) {
+  long long dropped_total = 0;
+  for (const auto& buf : r.buffers) {
+    const char* name = buf->name.load(std::memory_order_relaxed);
+    if (w != nullptr && name != nullptr) {
+      w->begin_object();
+      w->key("name").value("thread_name");
+      w->key("ph").value("M");
+      w->key("pid").value(1);
+      w->key("tid").value(buf->tid);
+      w->key("args").begin_object();
+      w->key("name").value(name);
+      w->end_object();
+      w->end_object();
+    }
+    std::uint64_t t = buf->tail.load(std::memory_order_relaxed);
+    const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+    for (; t != h; ++t) {
+      const TraceEvent& ev = buf->slots[t % buf->slots.size()];
+      // Events recorded before the current epoch belong to a previous
+      // tracing session that was discarded; skip them.
+      if (w != nullptr && ev.t0 >= epoch)
+        write_event_json(*w, ev, buf->tid, epoch, us_per_tick);
+    }
+    buf->tail.store(t, std::memory_order_release);
+    dropped_total += buf->dropped.load(std::memory_order_relaxed);
+  }
+  return dropped_total;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ticks() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+void emit(const TraceEvent& ev) {
+  ThreadBuffer* b = local_buffer();
+  const std::uint64_t h = b->head.load(std::memory_order_relaxed);
+  if (h - b->tail.load(std::memory_order_acquire) >= b->slots.size()) {
+    b->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b->slots[h % b->slots.size()] = ev;
+  b->head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void start_tracing(const TraceOptions& options) {
+  TraceRegistry& r = registry();
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.ring_capacity = options.ring_capacity == 0 ? 1 : options.ring_capacity;
+    r.epoch = detail::now_ticks();
+    // Drop buffers of threads that have exited (only the registry holds
+    // them) so repeated tracing sessions don't accumulate dead rings.
+    std::erase_if(r.buffers, [](const std::shared_ptr<ThreadBuffer>& b) {
+      return b.use_count() == 1;
+    });
+    for (const auto& buf : r.buffers) {
+      buf->tail.store(buf->head.load(std::memory_order_acquire),
+                      std::memory_order_release);
+      buf->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void enable_metrics() {
+  detail::g_metrics_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_metrics() {
+  detail::g_metrics_enabled.store(false, std::memory_order_relaxed);
+}
+
+const char* intern(std::string_view s) {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.interned.emplace(s).first->c_str();
+}
+
+void set_thread_name(const char* stable_name) {
+  tl_pending_name = stable_name;
+  if (tl_buffer)
+    tl_buffer->name.store(stable_name, std::memory_order_relaxed);
+}
+
+long long dropped_event_count() {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  long long total = 0;
+  for (const auto& buf : r.buffers)
+    total += buf->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+long long buffered_event_count() {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  long long total = 0;
+  for (const auto& buf : r.buffers)
+    total += static_cast<long long>(
+        buf->head.load(std::memory_order_acquire) -
+        buf->tail.load(std::memory_order_relaxed));
+  return total;
+}
+
+void discard_trace() {
+  TraceRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  drain_into(nullptr, r, 0, 0.0);
+}
+
+bool write_chrome_trace(std::ostream& out) {
+  solver::JsonWriter w;
+  {
+    TraceRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    w.begin_object();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").begin_array();
+    const long long dropped =
+        drain_into(&w, r, r.epoch, microseconds_per_tick());
+    w.end_array();
+    w.key("droppedEvents").value(dropped);
+    w.end_object();
+  }
+  out << w.str();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return write_chrome_trace(out);
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return out.str();
+}
+
+}  // namespace matex::obs

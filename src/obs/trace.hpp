@@ -1,0 +1,220 @@
+/// \file trace.hpp
+/// \brief Low-overhead span tracer with Chrome trace-event (Perfetto) export.
+///
+/// The MATEX paper's headline claims are time-attribution claims (Table 3
+/// separates "pure transient computing" from factorization and DC); this
+/// tracer makes the same attribution observable on a real run. Spans are
+/// RAII scopes (`MATEX_SPAN("factor", "n", n)`) recorded into per-thread
+/// lock-free SPSC ring buffers and flushed on demand into Chrome
+/// trace-event JSON, which opens directly in Perfetto / chrome://tracing.
+///
+/// Design constraints (the "zero-perturbation guarantee" of PR 6):
+///  - tracing disabled costs one relaxed atomic load and a branch per span;
+///  - tracing enabled performs no heap allocation on the hot path (events
+///    are PODs copied into a preallocated ring; string attributes must be
+///    literals or `obs::intern()`-ed);
+///  - the tracer never touches the numeric value flow, so waveforms are
+///    bitwise-identical with tracing on or off (verified by test_obs).
+///
+/// This header is dependency-free (std only) so every layer -- la/, solver/,
+/// core/, runtime/ -- may include it without cycles. The JSON export lives
+/// in trace.cpp and reuses solver::JsonWriter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace matex::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// One relaxed load; the only cost a span pays when tracing is off.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Gate for metric recording (histograms on the stepping hot paths).
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+struct TraceOptions {
+  /// Ring capacity (events) per thread. Buffers created while tracing is
+  /// active use the capacity in effect at their creation; a full ring
+  /// drops new events and counts them (never blocks, never overwrites).
+  std::size_t ring_capacity = 1u << 15;
+};
+
+/// Enables span recording. Resets the trace epoch and drop counters and
+/// discards any undrained events from a previous tracing session.
+void start_tracing(const TraceOptions& options = {});
+
+/// Disables recording. Buffered events stay available for export.
+void stop_tracing();
+
+/// Enables / disables the metrics registry gate (see metrics.hpp).
+void enable_metrics();
+void disable_metrics();
+
+/// Returns a stable, process-lifetime `const char*` for `s`. Span string
+/// attributes must outlive the flush; intern dynamic strings (scenario
+/// names) once per run, outside hot loops.
+const char* intern(std::string_view s);
+
+/// Names the calling thread in the exported trace ("pool-worker-3").
+/// `stable_name` must be a literal or interned string.
+void set_thread_name(const char* stable_name);
+
+/// Events rejected because a ring was full, since start_tracing().
+long long dropped_event_count();
+
+/// Events currently buffered and awaiting export.
+long long buffered_event_count();
+
+/// Drains all buffers without writing anything.
+void discard_trace();
+
+/// Writes the buffered events as a Chrome trace-event JSON document and
+/// drains the buffers. Returns false if the stream write failed.
+bool write_chrome_trace(std::ostream& out);
+
+/// write_chrome_trace() into `path`; false on any I/O failure.
+bool write_chrome_trace_file(const std::string& path);
+
+/// The trace document as a string (test hook; drains the buffers).
+std::string chrome_trace_json();
+
+/// One key/value span attribute. `str == nullptr` means numeric value.
+struct TraceArg {
+  const char* key;
+  const char* str;
+  double num;
+};
+
+inline constexpr int kMaxSpanArgs = 6;
+
+/// POD trace record. Timestamps are raw steady_clock ticks; the exporter
+/// converts to microseconds relative to the start_tracing() epoch.
+/// Fields are set explicitly by the recording paths -- no default member
+/// initializers, so a disabled span never pays for zero-filling ~100 B.
+struct TraceEvent {
+  const char* name;
+  std::uint64_t t0;
+  std::uint64_t t1;
+  char phase;  // 'X' complete span, 'i' instant
+  std::uint8_t nargs;
+  TraceArg args[kMaxSpanArgs];
+};
+
+namespace detail {
+std::uint64_t now_ticks();
+void emit(const TraceEvent& ev);
+
+inline void put_arg(TraceEvent& ev, const char* key, double v) {
+  if (ev.nargs < kMaxSpanArgs) {
+    ev.args[ev.nargs] = TraceArg{key, nullptr, v};
+    ++ev.nargs;
+  }
+}
+inline void put_arg(TraceEvent& ev, const char* key, const char* v) {
+  if (v != nullptr && ev.nargs < kMaxSpanArgs) {
+    ev.args[ev.nargs] = TraceArg{key, v, 0.0};
+    ++ev.nargs;
+  }
+}
+template <class T>
+  requires std::is_arithmetic_v<T>
+inline void put_arg(TraceEvent& ev, const char* key, T v) {
+  put_arg(ev, key, static_cast<double>(v));
+}
+
+inline void put_args(TraceEvent&) {}
+template <class V, class... Rest>
+inline void put_args(TraceEvent& ev, const char* key, V&& v,
+                     Rest&&... rest) {
+  put_arg(ev, key, std::forward<V>(v));
+  put_args(ev, std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+/// RAII span: records [construction, destruction) as one complete event.
+/// Attributes are (key, value) pairs; values are arithmetic (stored as
+/// double) or stable `const char*` strings. Extra attributes beyond
+/// kMaxSpanArgs are silently dropped; a nullptr string attribute is
+/// skipped (convenient for optional labels).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+
+  template <class... KV>
+  Span(const char* name, KV&&... kv) {
+    if (trace_enabled()) {
+      begin(name);
+      detail::put_args(ev_, std::forward<KV>(kv)...);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (active_) {
+      ev_.t1 = detail::now_ticks();
+      detail::emit(ev_);
+    }
+  }
+
+  /// Attaches an attribute after construction (for values known only at
+  /// scope exit, e.g. the converged Krylov dimension).
+  template <class V>
+  Span& arg(const char* key, V&& v) {
+    if (active_) detail::put_arg(ev_, key, std::forward<V>(v));
+    return *this;
+  }
+
+ private:
+  void begin(const char* name) {
+    active_ = true;
+    ev_.name = name;
+    ev_.phase = 'X';
+    ev_.nargs = 0;
+    ev_.t0 = detail::now_ticks();
+    ev_.t1 = ev_.t0;
+  }
+
+  bool active_ = false;
+  TraceEvent ev_;
+};
+
+/// Zero-duration event ("cache.hit") with optional attributes.
+template <class... KV>
+inline void instant(const char* name, KV&&... kv) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.nargs = 0;
+  ev.t0 = detail::now_ticks();
+  ev.t1 = ev.t0;
+  detail::put_args(ev, std::forward<KV>(kv)...);
+  detail::emit(ev);
+}
+
+#define MATEX_OBS_CONCAT_INNER(a, b) a##b
+#define MATEX_OBS_CONCAT(a, b) MATEX_OBS_CONCAT_INNER(a, b)
+
+/// Declares an anonymous RAII span covering the rest of the scope:
+///   MATEX_SPAN("factor", "n", n, "nnz", nnz);
+#define MATEX_SPAN(...) \
+  ::matex::obs::Span MATEX_OBS_CONCAT(matex_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace matex::obs

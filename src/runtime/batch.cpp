@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "la/error.hpp"
+#include "obs/trace.hpp"
 #include "solver/observer.hpp"
 #include "solver/stats.hpp"
 
@@ -137,6 +138,8 @@ void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios) {
   for (const auto& [key, requests] : groups) {
     tasks.push_back(pool_->submit([this, key = key, requests = requests] {
       try {
+        MATEX_SPAN("cache.prewarm", "deck", key.deck_index, "operators",
+                   requests.size());
         const circuit::MnaSystem& mna = variant_mna(
             key.deck_index, std::bit_cast<double>(key.vdd_bits));
         const std::uint64_t fp_g = fingerprint(mna.g());
@@ -179,6 +182,13 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
       out.name = spec.name;
       out.deck_index = spec.deck_index;
       out.scenario_index = si;
+      // Interned once per scenario (never in the node loop): the label
+      // must outlive the trace flush, and interning off keeps the
+      // disabled path at the one-branch guarantee.
+      const char* trace_label =
+          obs::trace_enabled() ? obs::intern(spec.name) : nullptr;
+      obs::Span scenario_span("scenario", "name", trace_label, "deck",
+                              spec.deck_index);
       solver::Stopwatch job_clock;
       try {
         const circuit::MnaSystem& mna =
@@ -188,6 +198,7 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
         opts.factor_cache = &cache_;
         opts.pool = options_.nodes_on_pool ? pool_ : nullptr;
         if (!options_.nodes_on_pool) opts.parallelism = 1;
+        opts.trace_label = trace_label;
 
         solver::ProbeRecorder recorder(spec.probes);
         out.distributed = core::run_distributed_matex(
@@ -223,6 +234,8 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
       cache_after.symbolic_hits - cache_before.symbolic_hits;
   report.cache.refactor_fallbacks =
       cache_after.refactor_fallbacks - cache_before.refactor_fallbacks;
+  report.cache.supernodal_refactors =
+      cache_after.supernodal_refactors - cache_before.supernodal_refactors;
   report.cache.factor_seconds =
       cache_after.factor_seconds - cache_before.factor_seconds;
   const ThreadPoolStats pool_after = pool_->stats();

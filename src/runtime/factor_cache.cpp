@@ -4,10 +4,21 @@
 #include <cstring>
 
 #include "la/error.hpp"
+#include "obs/trace.hpp"
 #include "solver/stats.hpp"
 
 namespace matex::runtime {
 namespace {
+
+/// Trace attribute for a key's operator family (stable literals).
+const char* family_name(FactorKey::Family family) {
+  switch (family) {
+    case FactorKey::Family::kC: return "C";
+    case FactorKey::Family::kG: return "G";
+    case FactorKey::Family::kCGammaG: return "C+gG";
+  }
+  return "?";
+}
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -140,9 +151,12 @@ FactorCache::Entry FactorCache::get_or_factorize(
     const auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
+      const bool wait_for_leader = !it->second.ready;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       auto future = it->second.future;
       lock.unlock();
+      obs::instant("cache.hit", "family", family_name(key.family),
+                   "in_flight", wait_for_leader ? 1 : 0);
       // May wait for an in-flight leader; either way the factorization
       // cost is paid once (a failed leader rethrows here too).
       return {future.get(), true};
@@ -158,6 +172,7 @@ FactorCache::Entry FactorCache::get_or_factorize(
   solver::Stopwatch clock;
   std::shared_ptr<la::SparseLU> factors;
   try {
+    MATEX_SPAN("cache.miss", "family", family_name(key.family));
     factors = factorize();
   } catch (...) {
     auto error = std::current_exception();
@@ -186,6 +201,7 @@ void FactorCache::evict_excess_locked() {
     --it;
     const auto mit = map_.find(*it);
     if (mit == map_.end() || !mit->second.ready) continue;  // pin in-flight
+    obs::instant("cache.evict", "family", family_name(it->family));
     map_.erase(mit);
     it = lru_.erase(it);
     ++stats_.evictions;

@@ -1,7 +1,9 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "solver/stats.hpp"
 
 namespace matex::runtime {
@@ -104,7 +106,10 @@ void ThreadPool::execute(Task& task, bool helped) {
   executing_.fetch_add(1);
   pending_.fetch_sub(1);
   solver::Stopwatch clock;
-  task.fn();
+  {
+    MATEX_SPAN("task", "helped", helped ? 1 : 0);
+    task.fn();
+  }
   const double seconds = clock.seconds();
   executing_.fetch_sub(1);
   {
@@ -123,6 +128,8 @@ void ThreadPool::execute(Task& task, bool helped) {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_index = index;
+  obs::set_thread_name(
+      obs::intern("pool-worker-" + std::to_string(index)));
   Task task;
   for (;;) {
     if (try_pop(task, index, /*is_worker=*/true, /*helpable_only=*/false)) {

@@ -3,11 +3,13 @@
 #include <chrono>
 
 #include "la/error.hpp"
+#include "obs/trace.hpp"
 
 namespace matex::solver {
 
 DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
                             la::SparseLuOptions lu_options) {
+  MATEX_SPAN("dc", "n", mna.dimension());
   const auto clock_start = std::chrono::steady_clock::now();
   DcResult result;
   result.g_factors = std::make_shared<la::SparseLU>(mna.g(), lu_options);
@@ -28,6 +30,7 @@ DcResult dc_operating_point(const circuit::MnaSystem& mna, double t_start,
   MATEX_CHECK(g_factors != nullptr, "g_factors must not be null");
   MATEX_CHECK(g_factors->order() == mna.dimension(),
               "g_factors order does not match the system");
+  MATEX_SPAN("dc", "n", mna.dimension(), "shared_factors", 1);
   const auto clock_start = std::chrono::steady_clock::now();
   DcResult result;
   result.g_factors = std::move(g_factors);

@@ -7,6 +7,7 @@
 
 #include "la/error.hpp"
 #include "la/sparse_lu.hpp"
+#include "obs/trace.hpp"
 
 namespace matex::solver {
 
@@ -14,6 +15,12 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
                               std::span<const double> x0, StepMethod method,
                               const FixedStepOptions& options,
                               const Observer& observer) {
+  obs::Span span("fixed_step", "h", options.h, "n", mna.dimension());
+  switch (method) {
+    case StepMethod::kTrapezoidal: span.arg("method", "tr"); break;
+    case StepMethod::kBackwardEuler: span.arg("method", "be"); break;
+    case StepMethod::kForwardEuler: span.arg("method", "fe"); break;
+  }
   MATEX_CHECK(options.t_end > options.t_start, "t_end must exceed t_start");
   MATEX_CHECK(options.h > 0.0, "step size must be positive");
   const std::size_t n = static_cast<std::size_t>(mna.dimension());
@@ -131,6 +138,7 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
   }
   stats.transient_seconds = transient_clock.seconds();
   stats.total_seconds = total_clock.seconds();
+  span.arg("steps", stats.steps);
   return stats;
 }
 

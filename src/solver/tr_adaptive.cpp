@@ -7,6 +7,8 @@
 
 #include "la/error.hpp"
 #include "la/sparse_lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matex::solver {
 namespace {
@@ -47,6 +49,15 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
                                         std::span<const double> x0,
                                         const AdaptiveTrOptions& options,
                                         const Observer& observer) {
+  obs::Span run_span("tr_adaptive", "n", mna.dimension(), "lte_tol",
+                     options.lte_tol);
+  // Resolved once per run: instrument lookup takes a lock, recording is a
+  // few relaxed atomics. Never touches the numeric value flow.
+  obs::Histogram* step_hist =
+      obs::metrics_enabled()
+          ? &obs::MetricsRegistry::global().histogram("tradpt.step_size",
+                                                      1e-15, 1e-3)
+          : nullptr;
   MATEX_CHECK(options.t_end > options.t_start, "t_end must exceed t_start");
   MATEX_CHECK(options.h_init > 0.0, "h_init must be positive");
   MATEX_CHECK(options.lte_tol > 0.0, "lte_tol must be positive");
@@ -226,6 +237,7 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
     hist.emplace_back(t_new, x_new);
     if (hist.size() > 4) hist.pop_front();
     ++stats.steps;
+    if (step_hist != nullptr) step_hist->record(h_use);
     t = t_new;
 
     // Step-size controller for the next step.
@@ -255,6 +267,7 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
     }
 
   stats.total_seconds = total_clock.seconds();
+  run_span.arg("steps", stats.steps).arg("rejected", stats.rejected_steps);
   return stats;
 }
 

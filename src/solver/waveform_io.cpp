@@ -50,6 +50,10 @@ void write_waveform_table_file(const WaveformTable& table,
   std::ofstream out(path);
   if (!out) throw ParseError("cannot open waveform file: " + path);
   write_waveform_table(table, out);
+  // A full disk or yanked mount fails *after* the open; without this
+  // check the caller would report a truncated table as success.
+  out.flush();
+  if (!out) throw ParseError("cannot write waveform file: " + path);
 }
 
 WaveformTable read_waveform_table(std::istream& in) {
