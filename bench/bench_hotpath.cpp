@@ -35,6 +35,8 @@
 #include "la/vector_ops.hpp"
 #include "obs/trace.hpp"
 #include "pgbench/pg_generator.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/failpoint.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
 #include "solver/json_writer.hpp"
@@ -284,11 +286,13 @@ int main(int argc, char** argv) try {
   // ------------------------------------- transient step marginal allocs
   // Marginal cost per step: run the TR stepper for N and 2N steps and
   // difference the counters, which cancels all setup allocations.
-  const auto run_tr = [&](long long steps, long long* alloc_delta) {
+  const auto run_tr = [&](long long steps, long long* alloc_delta,
+                          const runtime::CancelToken* cancel = nullptr) {
     solver::FixedStepOptions opt;
     opt.h = 1e-11;
     opt.t_start = 0.0;
     opt.t_end = static_cast<double>(steps) * opt.h;
+    opt.cancel = cancel;
     const std::vector<double> x0(n, 0.0);
     const long long before = allocs();
     clock.restart();
@@ -396,6 +400,35 @@ int main(int argc, char** argv) try {
   const double traced_tr_overhead_ratio =
       traced_tr_seconds / untraced_tr_seconds;
 
+  // ------------------------------------------------------ fault tolerance
+  // PR 7's zero-perturbation guarantee, measured the same way: a disarmed
+  // failpoint costs a relaxed flag load plus a branch and must never
+  // allocate, and a cancellation-guarded TR run (token polled every step,
+  // never fired) must stay within 5% of the unguarded wall time.
+  runtime::disarm_failpoints();
+  const long long fp_a0 = allocs();
+  clock.restart();
+  for (long long i = 0; i < kSpanReps; ++i) {
+    MATEX_FAILPOINT("bench.disarmed");
+    span_sink.fetch_add(1, std::memory_order_relaxed);
+  }
+  const double failpoint_disarmed_ns = clock.seconds() * 1e9 / kSpanReps;
+  const long long failpoint_disarmed_allocs = allocs() - fp_a0;
+
+  runtime::CancelToken never_cancelled;
+  const auto best_guarded_tr = [&](int reps) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      long long scratch = 0;
+      best = std::min(best, run_tr(kObsTrSteps, &scratch,
+                                   &never_cancelled));
+    }
+    return best;
+  };
+  const double guarded_tr_seconds = best_guarded_tr(5);
+  const double guarded_tr_overhead_ratio =
+      guarded_tr_seconds / untraced_tr_seconds;
+
   // ------------------------------------------------------------- report
   solver::JsonWriter w;
   w.begin_object();
@@ -448,6 +481,11 @@ int main(int argc, char** argv) try {
   w.key("span_disabled_allocs").value(span_disabled_allocs);
   w.key("span_enabled_allocs").value(span_enabled_allocs);
   w.key("traced_tr_overhead_ratio").value(traced_tr_overhead_ratio);
+  w.end_object();
+  w.key("fault").begin_object();
+  w.key("failpoint_disarmed_ns").value(failpoint_disarmed_ns);
+  w.key("failpoint_disarmed_allocs").value(failpoint_disarmed_allocs);
+  w.key("guarded_tr_overhead_ratio").value(guarded_tr_overhead_ratio);
   w.end_object();
   w.end_object();
 
@@ -505,6 +543,20 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr,
                  "FAIL: tracing slowed the TR run by %.1f%% (cap 5%%)\n",
                  100.0 * (traced_tr_overhead_ratio - 1.0));
+    ++failures;
+  }
+  if (failpoint_disarmed_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: disarmed failpoints allocated %lld times over "
+                 "%lld hits (must be zero)\n",
+                 failpoint_disarmed_allocs, kSpanReps);
+    ++failures;
+  }
+  if (guarded_tr_overhead_ratio > 1.05) {
+    std::fprintf(stderr,
+                 "FAIL: cancellation polling slowed the TR run by %.1f%% "
+                 "(cap 5%%)\n",
+                 100.0 * (guarded_tr_overhead_ratio - 1.0));
     ++failures;
   }
 
@@ -565,6 +617,8 @@ int main(int argc, char** argv) try {
     check_allocs("span_disabled_allocs", span_disabled_allocs);
     check_allocs("span_enabled_allocs", span_enabled_allocs);
     check_ratio_max("traced_tr_overhead_ratio", traced_tr_overhead_ratio);
+    check_allocs("failpoint_disarmed_allocs", failpoint_disarmed_allocs);
+    check_ratio_max("guarded_tr_overhead_ratio", guarded_tr_overhead_ratio);
     std::fprintf(stderr, "baseline check vs %s: %s\n",
                  args.baseline_path.c_str(),
                  failures == 0 ? "ok" : "FAILED");

@@ -5,6 +5,7 @@
 ///   matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|dist]
 ///             [--tstep S] [--tstop S] [--gamma S] [--tol EPS]
 ///             [--threads N] [--batch] [--keep-vsources]
+///             [--deadline S] [--checkpoint FILE]
 ///             [--probe NODE]... [--out FILE] [--perf-json FILE]
 ///             [--trace FILE]
 ///   matex_cli --verify [--update-goldens] [--goldens DIR]
@@ -52,7 +53,20 @@
 /// for stamp/factor/solve/arnoldi, per-task scheduler spans with
 /// scenario/node identity, cache hit/miss/evict instants) -- open the
 /// file in ui.perfetto.dev or chrome://tracing.
+///
+/// Fault tolerance (PR 7): Ctrl-C trips a cancel token instead of killing
+/// the process -- in-flight solves stop within one step, completed batch
+/// results and --perf-json/--trace artifacts still flush, and the exit
+/// code is 3 (a second Ctrl-C force-kills). --deadline S cancels the run
+/// the same way after S seconds of wall time. --checkpoint FILE journals
+/// completed batch scenarios to FILE and, on a re-run with the same deck
+/// and sweep, restores them instead of re-running (bitwise-identical
+/// waveforms; see README, Fault tolerance).
+///
+/// Exit codes: 0 success; 1 simulation/verify/fuzz failures or artifact
+/// write errors; 2 bad invocation; 3 cancelled (SIGINT or --deadline).
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +85,7 @@
 #include "obs/stats_export.hpp"
 #include "obs/trace.hpp"
 #include "runtime/batch.hpp"
+#include "runtime/cancel.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
 #include "solver/json_writer.hpp"
@@ -83,6 +98,16 @@
 namespace {
 
 using namespace matex;
+
+/// SIGINT trips this token: every in-flight solver loop observes it
+/// within one step, batch results complete as "cancelled", and the
+/// artifacts (--out, --perf-json, --trace, --checkpoint) still flush.
+runtime::CancelToken g_sigint_cancel;
+
+void handle_sigint(int) {
+  g_sigint_cancel.cancel();      // relaxed atomic store: async-signal-safe
+  std::signal(SIGINT, SIG_DFL);  // a second Ctrl-C force-kills
+}
 
 constexpr const char* kDemoDeck = R"(* matex_cli demo deck
 Vdd vdd 0 1.8
@@ -124,6 +149,8 @@ struct CliOptions {
   double gamma = 0.0;
   double tol = 1e-7;
   int threads = -1;  ///< -1 = not given; 0 = hardware concurrency
+  double deadline = 0.0;        ///< wall-clock budget in s; 0 = none
+  std::string checkpoint_path;  ///< batch journal; empty = disabled
   bool batch = false;
   bool keep_vsources = false;
   bool verify = false;
@@ -183,11 +210,20 @@ bool dump_trace(const CliOptions& cli) {
       "dist]\n"
       "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
       "                 [--threads N] [--batch] [--keep-vsources]\n"
+      "                 [--deadline S] [--checkpoint FILE]\n"
       "                 [--probe NODE]... [--out FILE] [--perf-json FILE]\n"
       "                 [--trace FILE]\n"
       "       matex_cli --verify [--update-goldens] [--goldens DIR]\n"
       "       matex_cli --fuzz N | --fuzz-vsource N\n"
-      "                 [--fuzz-seed S] [--artifacts DIR]\n");
+      "                 [--fuzz-seed S] [--artifacts DIR]\n"
+      "\n"
+      "--deadline S cancels the run after S seconds of wall time;\n"
+      "--checkpoint FILE journals completed batch scenarios and resumes\n"
+      "a re-run from them. Ctrl-C cancels cleanly (artifacts flush);\n"
+      "a second Ctrl-C force-kills.\n"
+      "exit codes: 0 success; 1 simulation/verify/fuzz failures or\n"
+      "artifact write errors; 2 bad invocation; 3 cancelled (SIGINT or\n"
+      "--deadline).\n");
   std::exit(2);
 }
 
@@ -217,6 +253,11 @@ CliOptions parse_args(int argc, char** argv) {
       if (value.empty() || *end != '\0' || parsed < 0 || parsed > 4096)
         usage_and_exit();
       opt.threads = static_cast<int>(parsed);
+    } else if (arg == "--deadline") {
+      opt.deadline = circuit::parse_spice_value(next());
+      if (opt.deadline <= 0.0) usage_and_exit();
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_path = next();
     } else if (arg == "--batch") {
       opt.batch = true;
     } else if (arg == "--keep-vsources") {
@@ -307,6 +348,13 @@ int main(int argc, char** argv) try {
   if (!cli.trace_path.empty()) obs::start_tracing();
   if (!cli.perf_json_path.empty()) obs::enable_metrics();
 
+  // Clean cancellation from here on: SIGINT (and --deadline, layered on
+  // the same token below) stops solver loops within one step and still
+  // flushes whatever artifacts were requested.
+  std::signal(SIGINT, handle_sigint);
+  runtime::CancelToken run_cancel(&g_sigint_cancel);
+  if (cli.deadline > 0.0) run_cancel.set_deadline_after(cli.deadline);
+
   const circuit::SpiceDeck deck =
       cli.deck_path.empty() ? circuit::read_spice_string(kDemoDeck)
                             : circuit::read_spice_file(cli.deck_path);
@@ -361,6 +409,9 @@ int main(int argc, char** argv) try {
     // the shared pool + factorization cache, streaming per-job stats.
     runtime::BatchOptions bopt;
     bopt.threads = cli.threads < 0 ? 0 : cli.threads;
+    bopt.cancel = &g_sigint_cancel;
+    bopt.campaign_deadline_seconds = cli.deadline;
+    bopt.checkpoint_path = cli.checkpoint_path;
     runtime::BatchEngine engine(bopt);
     const std::string label =
         cli.deck_path.empty() ? std::string("demo") : cli.deck_path;
@@ -404,14 +455,23 @@ int main(int argc, char** argv) try {
                        r.name.c_str(), r.distributed.group_count,
                        r.distributed.aggregate.steps,
                        r.distributed.aggregate.solves, r.wall_seconds,
-                       r.ok ? "ok" : r.error.c_str());
+                       r.ok         ? (r.attempts == 0 ? "ok (restored)"
+                                                       : "ok")
+                       : r.cancelled ? "cancelled"
+                                     : r.error.c_str());
         });
     std::fprintf(stderr,
                  "batch done in %.4f s: %zu scenarios, %d failed, "
+                 "%d cancelled, %d retries, "
                  "factor cache %lld hits / %lld misses (%.0f%% hit rate)\n",
                  report.wall_seconds, report.results.size(),
-                 report.failures, report.cache.hits, report.cache.misses,
+                 report.failures, report.cancelled, report.retries,
+                 report.cache.hits, report.cache.misses,
                  100.0 * report.cache_hit_rate());
+    if (report.checkpoint_restored > 0)
+      std::fprintf(stderr, "checkpoint: %lld scenarios restored from %s\n",
+                   report.checkpoint_restored,
+                   cli.checkpoint_path.c_str());
 
     if (!cli.out_path.empty()) {
       for (const auto& r : report.results) {
@@ -437,6 +497,10 @@ int main(int argc, char** argv) try {
       w.key("mode").value("batch");
       w.key("scenarios").value(report.results.size());
       w.key("failures").value(report.failures);
+      w.key("cancelled").value(report.cancelled);
+      w.key("retries").value(report.retries);
+      w.key("cache_sheds").value(report.cache_sheds);
+      w.key("checkpoint_restored").value(report.checkpoint_restored);
       w.key("threads").value(engine.pool().size());
       w.key("wall_seconds").value(report.wall_seconds);
       w.key("factor_cache").begin_object();
@@ -464,7 +528,8 @@ int main(int argc, char** argv) try {
       if (!write_perf_json(cli.perf_json_path, w)) return 1;
     }
     const bool trace_ok = dump_trace(cli);
-    return report.failures == 0 && trace_ok ? 0 : 1;
+    if (report.failures > 0 || !trace_ok) return 1;
+    return report.cancelled > 0 ? 3 : 0;
   }
 
   const auto dc = solver::dc_operating_point(mna);
@@ -477,6 +542,7 @@ int main(int argc, char** argv) try {
     solver::FixedStepOptions opt;
     opt.t_end = tstop;
     opt.h = tstep;
+    opt.cancel = &run_cancel;
     stats = run_fixed_step(mna, dc.x,
                            cli.method == "tr"
                                ? solver::StepMethod::kTrapezoidal
@@ -488,6 +554,7 @@ int main(int argc, char** argv) try {
     opt.h_init = tstep / 10.0;
     opt.lte_tol = cli.tol;
     opt.output_times = grid;
+    opt.cancel = &run_cancel;
     stats = run_adaptive_trapezoidal(mna, dc.x, opt, observer);
   } else if (cli.method == "dist") {
     core::SchedulerOptions opt;
@@ -495,6 +562,7 @@ int main(int argc, char** argv) try {
     opt.solver.gamma = gamma;
     opt.solver.tolerance = cli.tol;
     opt.output_times = grid;
+    opt.cancel = &run_cancel;
     if (cli.threads >= 0) opt.parallelism = cli.threads;
     dist_result = core::run_distributed_matex(mna, opt, observer);
     std::fprintf(stderr,
@@ -507,6 +575,7 @@ int main(int argc, char** argv) try {
     core::MatexOptions opt;
     opt.tolerance = cli.tol;
     opt.gamma = gamma;
+    opt.cancel = &run_cancel;
     if (cli.method == "rmatex") {
       opt.kind = krylov::KrylovKind::kRational;
     } else if (cli.method == "imatex") {
@@ -561,6 +630,9 @@ int main(int argc, char** argv) try {
   }
   if (!dump_trace(cli)) return 1;
   return 0;
+} catch (const matex::CancelledError& e) {
+  std::fprintf(stderr, "matex_cli: cancelled: %s\n", e.what());
+  return 3;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "matex_cli: %s\n", e.what());
   return 1;

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/factor_cache.hpp"
+#include "runtime/failpoint.hpp"
 
 namespace matex::core {
 namespace {
@@ -227,6 +228,8 @@ solver::TransientStats MatexCircuitSolver::run(
   aopts.throw_on_stall = false;
 
   for (std::size_t seg = 0; seg + 1 < bounds.size(); ++seg) {
+    runtime::poll_cancel(options_.cancel);
+    MATEX_FAILPOINT("solver.step");
     const double l = bounds[seg];
     const double r = bounds[seg + 1];
     if (r - l <= t_eps) continue;

@@ -36,6 +36,7 @@
 #include "core/input_view.hpp"
 #include "krylov/arnoldi.hpp"
 #include "krylov/operator.hpp"
+#include "runtime/cancel.hpp"
 #include "solver/observer.hpp"
 #include "solver/stats.hpp"
 
@@ -74,6 +75,10 @@ struct MatexOptions {
   /// mode of Table 1 (every method stepping at 5 ps); production runs
   /// leave it off and enjoy the reuse.
   bool regenerate_at_eval_points = false;
+  /// Polled once per segment step of run(); a fired token aborts the run
+  /// within one step by throwing CancelledError. Null = not cancellable.
+  /// Must outlive the run.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// MATEX transient solver for one computing node (Alg. 2).

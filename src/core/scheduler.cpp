@@ -11,6 +11,7 @@
 #include "la/error.hpp"
 #include "obs/trace.hpp"
 #include "runtime/factor_cache.hpp"
+#include "runtime/failpoint.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace matex::core {
@@ -31,6 +32,12 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
   const std::size_t n = static_cast<std::size_t>(mna.dimension());
   const std::size_t t_count = options.output_times.size();
 
+  // Node solvers poll the run's token at step granularity; inherit an
+  // already-set MatexOptions.cancel when the caller threaded one directly.
+  MatexOptions solver_options = options.solver;
+  if (options.cancel != nullptr) solver_options.cancel = options.cancel;
+  runtime::poll_cancel(options.cancel);
+
   // --- shared preprocessing: DC operating point (also the task-0 result:
   // with x(0) = DC and only the DC inputs active, the response is the DC
   // point for all t, so no simulation is needed for the baseline task).
@@ -43,7 +50,7 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
       // column stays comparable with uncached runs.
       solver::Stopwatch g_clock;
       const auto entry = options.factor_cache->g_factors(
-          mna.g(), options.solver.lu_options);
+          mna.g(), solver_options.lu_options);
       const double g_seconds = g_clock.seconds();
       auto r = solver::dc_operating_point(mna, options.t_start,
                                           entry.factors);
@@ -51,7 +58,7 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
       return r;
     }
     return solver::dc_operating_point(mna, options.t_start,
-                                      options.solver.lu_options);
+                                      solver_options.lu_options);
   }();
   result.dc_seconds = dc.seconds;
 
@@ -72,7 +79,7 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
   std::unique_ptr<MatexCircuitSolver> shared_solver;
   if (options.share_factorizations) {
     shared_solver = std::make_unique<MatexCircuitSolver>(
-        mna, options.solver, dc.g_factors, options.factor_cache);
+        mna, solver_options, dc.g_factors, options.factor_cache);
     result.factor_cache_hits += shared_solver->setup_cache_hits();
   }
 
@@ -136,6 +143,8 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
   // write-back of Fig. 4).
   const auto run_node = [&](std::size_t gi) {
     if (aborted.load()) return;  // a sibling failed; don't waste the work
+    runtime::poll_cancel(options.cancel);
+    MATEX_FAILPOINT("scheduler.node");
     const SourceGroup& group = decomp.groups[gi];
     obs::Span node_span("node", "node", gi, "sources",
                         group.members.size(), "scenario",
@@ -148,7 +157,7 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
     std::unique_ptr<MatexCircuitSolver> local;
     if (!node_solver) {
       local = std::make_unique<MatexCircuitSolver>(
-          mna, options.solver,
+          mna, solver_options,
           options.share_g_factors ? dc.g_factors : nullptr,
           options.factor_cache);
       node_solver = local.get();

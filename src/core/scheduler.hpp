@@ -87,6 +87,12 @@ struct SchedulerOptions {
   /// bit-identical with and without the cache -- cached factors are the
   /// same factorization a node would have computed locally.
   runtime::FactorCache* factor_cache = nullptr;
+  /// Optional cancellation token (not owned; must outlive the call).
+  /// Polled before each node subtask starts and, via MatexOptions.cancel,
+  /// once per solver step inside every node, so a fired token stops the
+  /// run within one step. The run then throws CancelledError; sibling
+  /// scenarios sharing the pool or cache are unaffected.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Per-node outcome.

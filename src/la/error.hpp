@@ -2,6 +2,8 @@
 /// \brief Error types and runtime checks shared by all MATEX libraries.
 #pragma once
 
+#include <exception>
+#include <new>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -31,6 +33,61 @@ class ParseError : public Error {
  public:
   using Error::Error;
 };
+
+/// Thrown by cancellation-aware loops when a CancelToken fires (explicit
+/// cancel or deadline). Distinct from the failure taxonomy below: a
+/// cancelled scenario is neither transient nor permanent -- it is simply
+/// not run to completion and is never retried.
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Retry classification of a failure. The campaign runtime retries
+/// transient failures (with backoff and, for memory pressure, cache
+/// shedding) and reports permanent ones immediately.
+enum class ErrorClass {
+  kPermanent,  ///< wrong input / logic error; retrying cannot help
+  kTransient,  ///< resource pressure or a pivot trip; retrying may help
+  kCancelled,  ///< CancelToken fired; not a failure, never retried
+};
+
+/// A failure reduced to what ScenarioResult records: retry class, a stable
+/// type name ("NumericalError", "bad_alloc", ...) and the message.
+struct ClassifiedError {
+  ErrorClass cls = ErrorClass::kPermanent;
+  std::string kind;
+  std::string message;
+};
+
+/// Maps an in-flight exception onto the taxonomy. `bad_alloc` and
+/// NumericalError (singular pivots under aggressive drop tolerances clear
+/// up on an uncached re-factorization) are transient; InvalidArgument /
+/// ParseError / unknown exceptions are permanent. Never returns an empty
+/// kind or message, so `catch (...)` sites routed through here cannot
+/// swallow the cause silently.
+inline ClassifiedError classify_exception(std::exception_ptr ep) {
+  try {
+    if (ep) std::rethrow_exception(ep);
+    return {ErrorClass::kPermanent, "unknown", "no exception captured"};
+  } catch (const CancelledError& e) {
+    return {ErrorClass::kCancelled, "Cancelled", e.what()};
+  } catch (const NumericalError& e) {
+    return {ErrorClass::kTransient, "NumericalError", e.what()};
+  } catch (const InvalidArgument& e) {
+    return {ErrorClass::kPermanent, "InvalidArgument", e.what()};
+  } catch (const ParseError& e) {
+    return {ErrorClass::kPermanent, "ParseError", e.what()};
+  } catch (const Error& e) {
+    return {ErrorClass::kPermanent, "Error", e.what()};
+  } catch (const std::bad_alloc& e) {
+    return {ErrorClass::kTransient, "bad_alloc", e.what()};
+  } catch (const std::exception& e) {
+    return {ErrorClass::kPermanent, "exception", e.what()};
+  } catch (...) {
+    return {ErrorClass::kPermanent, "unknown", "non-standard exception"};
+  }
+}
 
 namespace detail {
 [[noreturn]] inline void throw_check_failure(

@@ -131,6 +131,20 @@ class SymbolicLU {
   }
   /// Supernode-plan shape counters (width distribution, padding).
   const SupernodeStats& supernode_stats() const { return sn_stats_; }
+
+  /// Heap bytes held by this analysis (vector capacities, not counting
+  /// the object header). Feeds the FactorCache byte budget.
+  std::size_t memory_bytes() const {
+    auto vec = [](const std::vector<index_t>& v) {
+      return v.capacity() * sizeof(index_t);
+    };
+    return vec(l_colptr_) + vec(l_rows_) + vec(u_colptr_) + vec(u_rows_) +
+           vec(pinv_) + vec(q_) + vec(sn_ptr_) + vec(sn_of_) +
+           vec(sn_rows_ptr_) + vec(sn_rows_) + vec(sn_panel_ptr_) +
+           vec(sn_ne_) + vec(task_ptr_) + vec(task_src_) + vec(task_u0_ptr_) +
+           vec(task_u0_) + vec(task_dst_ptr_) + vec(task_dst_) +
+           vec(a_scatter_) + vec(u_local_) + vec(l_panel_);
+  }
   /// True when SupernodalMode::kAuto engages the blocked kernel: enough
   /// columns merged into multi-column panels to pay for the panel
   /// gather/scatter bookkeeping.
@@ -310,6 +324,16 @@ class SparseLU {
 
   /// Smallest |pivot| encountered; tiny values indicate near-singularity.
   double min_abs_pivot() const { return min_pivot_; }
+
+  /// Heap bytes held by this factorization: numeric values plus the
+  /// symbolic analysis. The symbolic half may be shared with other
+  /// factorizations, so summing memory_bytes() over a set of factors
+  /// over-counts shared analyses -- a deliberately conservative estimate
+  /// for the FactorCache byte budget.
+  std::size_t memory_bytes() const {
+    return (l_vals_.capacity() + u_vals_.capacity()) * sizeof(double) +
+           (sym_ ? sym_->memory_bytes() : 0);
+  }
 
  private:
   /// Full Gilbert-Peierls factorization (symbolic + numeric).

@@ -29,6 +29,9 @@ void write_factor_cache_stats(solver::JsonWriter& w,
   w.key("refactor_fallbacks").value(s.refactor_fallbacks);
   w.key("supernodal_refactors").value(s.supernodal_refactors);
   w.key("evictions").value(s.evictions);
+  w.key("bytes_resident").value(s.bytes_resident);
+  w.key("bytes_evicted").value(s.bytes_evicted);
+  w.key("budget_sheds").value(s.budget_sheds);
   w.key("factor_seconds").value(s.factor_seconds);
 }
 

@@ -3,18 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <map>
+#include <thread>
 #include <tuple>
 
 #include "la/error.hpp"
 #include "obs/trace.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/failpoint.hpp"
 #include "solver/observer.hpp"
 #include "solver/stats.hpp"
 
 namespace matex::runtime {
 
 BatchEngine::BatchEngine(BatchOptions options)
-    : options_(options), cache_(options.cache_capacity) {
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_max_bytes) {
   if (options_.pool) {
     pool_ = options_.pool;
   } else {
@@ -68,6 +73,7 @@ const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
     if (existing.valid()) return *existing.get()->mna;
   }
   try {
+    MATEX_FAILPOINT("batch.variant");
     auto variant = std::make_unique<Variant>();
     const circuit::Netlist* source = &decks_[deck_index].netlist;
     if (vdd_scale != 1.0) {
@@ -90,7 +96,8 @@ const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
   }
 }
 
-void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios) {
+void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios,
+                                  const std::vector<char>& skip) {
   if (cache_.capacity() == 0) return;
   // Group the campaign's factorization requests by (deck, Vdd, LU
   // options): one pool task per group, operators within a group in
@@ -114,7 +121,9 @@ void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios) {
   };
   using OperatorRequest = std::pair<krylov::KrylovKind, double>;
   std::map<GroupKey, std::vector<OperatorRequest>> groups;
-  for (const ScenarioSpec& spec : scenarios) {
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    if (!skip.empty() && skip[si]) continue;  // restored from checkpoint
+    const ScenarioSpec& spec = scenarios[si];
     if (spec.deck_index >= decks_.size()) continue;
     const core::MatexOptions& solver = spec.scheduler.solver;
     const GroupKey key{spec.deck_index,
@@ -149,7 +158,14 @@ void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios) {
           cache_.operator_factors(fp_c, fp_g, mna.c(), mna.g(), kind,
                                   gamma, key.lu);
       } catch (...) {
-        // The owning scenario reports the failure when it runs.
+        // The owning scenario reports the failure when it runs; prewarm
+        // only loses the head start. Classified so the trace records
+        // *what* bailed rather than an anonymous swallow.
+        const ClassifiedError err =
+            classify_exception(std::current_exception());
+        obs::instant(
+            "cache.prewarm_error", "deck", key.deck_index, "kind",
+            obs::trace_enabled() ? obs::intern(err.kind) : nullptr);
       }
     }));
   }
@@ -164,14 +180,55 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
   const ThreadPoolStats pool_before = pool_->stats();
   solver::Stopwatch campaign_clock;
 
-  if (options_.prewarm) prewarm_factors(scenarios);
+  // Campaign-wide cancellation: chains to the caller's token (the CLI's
+  // SIGINT) and carries the campaign deadline; every scenario token
+  // chains to this one in turn.
+  CancelToken campaign_cancel(options_.cancel);
+  if (options_.campaign_deadline_seconds > 0.0)
+    campaign_cancel.set_deadline_after(options_.campaign_deadline_seconds);
+
+  // Checkpoint/resume: restore completed scenarios by spec fingerprint,
+  // then journal every newly completed one.
+  std::vector<std::uint64_t> fingerprints;
+  std::vector<char> restored;
+  std::unique_ptr<CheckpointWriter> journal;
+  if (!options_.checkpoint_path.empty()) {
+    fingerprints.resize(scenarios.size(), 0);
+    restored.assign(scenarios.size(), 0);
+    CheckpointJournal loaded = load_checkpoint(options_.checkpoint_path);
+    report.checkpoint_skipped_lines = loaded.skipped_lines;
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+      const ScenarioSpec& spec = scenarios[si];
+      const std::string_view label =
+          spec.deck_index < decks_.size()
+              ? std::string_view(decks_[spec.deck_index].label)
+              : std::string_view();
+      fingerprints[si] = scenario_fingerprint(spec, label);
+      const auto it = loaded.completed.find(fingerprints[si]);
+      if (it == loaded.completed.end() || !it->second.ok) continue;
+      ScenarioResult& out = report.results[si];
+      out = it->second;
+      out.scenario_index = si;
+      out.attempts = 0;  // restored, not run
+      restored[si] = 1;
+      ++report.checkpoint_restored;
+      if (sink) sink(out);  // before the fan-out: no lock needed
+    }
+    journal = std::make_unique<CheckpointWriter>(options_.checkpoint_path);
+  }
+
+  if (options_.prewarm) prewarm_factors(scenarios, restored);
 
   std::mutex sink_mutex;
   std::atomic<int> failures{0};
+  std::atomic<int> cancelled{0};
+  std::atomic<int> retries{0};
+  std::atomic<int> cache_sheds{0};
 
   std::vector<std::future<void>> futures;
   futures.reserve(scenarios.size());
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    if (!restored.empty() && restored[si]) continue;
     // submit_job: scenario jobs fan out node subtasks and block on them;
     // only idle workers may start one, so in-flight jobs (and their
     // accumulator memory) stay bounded by the pool size while awaiting
@@ -190,32 +247,94 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
       obs::Span scenario_span("scenario", "name", trace_label, "deck",
                               spec.deck_index);
       solver::Stopwatch job_clock;
-      try {
-        const circuit::MnaSystem& mna =
-            variant_mna(spec.deck_index, spec.vdd_scale);
+      // The scenario deadline starts when the job does (queue time
+      // excluded), layered over campaign deadline and external cancel via
+      // the parent chain.
+      CancelToken scenario_cancel(&campaign_cancel);
+      if (options_.scenario_deadline_seconds > 0.0)
+        scenario_cancel.set_deadline_after(
+            options_.scenario_deadline_seconds);
+      for (int attempt = 1;; ++attempt) {
+        out.attempts = attempt;
+        try {
+          // Queued-behind-a-cancel jobs stop here, before touching decks
+          // or cache.
+          scenario_cancel.throw_if_cancelled();
+          MATEX_FAILPOINT("batch.scenario");
+          const circuit::MnaSystem& mna =
+              variant_mna(spec.deck_index, spec.vdd_scale);
 
-        core::SchedulerOptions opts = spec.scheduler;
-        opts.factor_cache = &cache_;
-        opts.pool = options_.nodes_on_pool ? pool_ : nullptr;
-        if (!options_.nodes_on_pool) opts.parallelism = 1;
-        opts.trace_label = trace_label;
+          core::SchedulerOptions opts = spec.scheduler;
+          opts.factor_cache = &cache_;
+          opts.pool = options_.nodes_on_pool ? pool_ : nullptr;
+          if (!options_.nodes_on_pool) opts.parallelism = 1;
+          opts.trace_label = trace_label;
+          opts.cancel = &scenario_cancel;
 
-        solver::ProbeRecorder recorder(spec.probes);
-        out.distributed = core::run_distributed_matex(
-            mna, opts,
-            spec.probes.empty() ? solver::Observer()
-                                : recorder.observer());
-        out.times = opts.output_times;
-        out.probe_waveforms.reserve(spec.probes.size());
-        for (std::size_t p = 0; p < spec.probes.size(); ++p)
-          out.probe_waveforms.push_back(recorder.waveform(p));
-        out.ok = true;
-      } catch (const std::exception& e) {
-        out.ok = false;
-        out.error = e.what();
+          solver::ProbeRecorder recorder(spec.probes);
+          out.distributed = core::run_distributed_matex(
+              mna, opts,
+              spec.probes.empty() ? solver::Observer()
+                                  : recorder.observer());
+          out.times = opts.output_times;
+          out.probe_waveforms.clear();
+          out.probe_waveforms.reserve(spec.probes.size());
+          for (std::size_t p = 0; p < spec.probes.size(); ++p)
+            out.probe_waveforms.push_back(recorder.waveform(p));
+          out.ok = true;
+          out.error.clear();
+          out.error_kind.clear();
+          break;
+        } catch (...) {
+          const ClassifiedError err =
+              classify_exception(std::current_exception());
+          out.ok = false;
+          out.error = err.message;
+          out.error_kind = err.kind;
+          if (err.cls == ErrorClass::kCancelled) {
+            out.cancelled = true;
+            break;
+          }
+          const bool retryable =
+              err.cls == ErrorClass::kTransient &&
+              attempt <= options_.max_retries &&
+              !scenario_cancel.cancelled();
+          if (!retryable) break;
+          if (err.kind == "bad_alloc") {
+            // Graceful degradation: give memory back before retrying.
+            // The first pass halves the resident factor bytes; a repeat
+            // empties the cache entirely (scenarios re-factorize -- slow
+            // but alive).
+            const long long resident = cache_.stats().bytes_resident;
+            const std::size_t target =
+                attempt == 1 ? static_cast<std::size_t>(resident / 2) : 0;
+            cache_.shed(target);
+            cache_sheds.fetch_add(1);
+          }
+          retries.fetch_add(1);
+          if (options_.retry_backoff_seconds > 0.0) {
+            const double factor =
+                static_cast<double>(1 << std::min(attempt - 1, 20));
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options_.retry_backoff_seconds * factor));
+          }
+        }
+      }
+      if (out.cancelled) {
+        cancelled.fetch_add(1);
+      } else if (!out.ok) {
         failures.fetch_add(1);
       }
       out.wall_seconds = job_clock.seconds();
+      if (journal && out.ok) {
+        try {
+          journal->append(fingerprints[si], out);
+        } catch (...) {
+          // A journal failure (disk full, injected fault) must not fail
+          // the scenario; the campaign merely stops being resumable past
+          // this record.
+        }
+      }
       if (sink) {
         const std::lock_guard<std::mutex> lock(sink_mutex);
         sink(out);
@@ -226,6 +345,9 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
 
   report.wall_seconds = campaign_clock.seconds();
   report.failures = failures.load();
+  report.cancelled = cancelled.load();
+  report.retries = retries.load();
+  report.cache_sheds = cache_sheds.load();
   const FactorCacheStats cache_after = cache_.stats();
   report.cache.hits = cache_after.hits - cache_before.hits;
   report.cache.misses = cache_after.misses - cache_before.misses;
@@ -238,6 +360,13 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
       cache_after.supernodal_refactors - cache_before.supernodal_refactors;
   report.cache.factor_seconds =
       cache_after.factor_seconds - cache_before.factor_seconds;
+  // bytes_resident is a level, not a counter: report the end-of-run
+  // occupancy; the byte churn fields are per-run deltas like the rest.
+  report.cache.bytes_resident = cache_after.bytes_resident;
+  report.cache.bytes_evicted =
+      cache_after.bytes_evicted - cache_before.bytes_evicted;
+  report.cache.budget_sheds =
+      cache_after.budget_sheds - cache_before.budget_sheds;
   const ThreadPoolStats pool_after = pool_->stats();
   report.pool.tasks_executed =
       pool_after.tasks_executed - pool_before.tasks_executed;

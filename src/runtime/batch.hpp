@@ -32,6 +32,7 @@
 
 #include "circuit/mna.hpp"
 #include "circuit/netlist.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/factor_cache.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/thread_pool.hpp"
@@ -61,6 +62,35 @@ struct BatchOptions {
   /// First-scenario latency on a wide campaign drops to pure transient
   /// cost, and every scenario-side cache lookup is a hit.
   bool prewarm = true;
+  /// Byte budget over the cache's resident factorizations (0 = unlimited).
+  /// Overflow sheds least-recently-used entries (counted as budget_sheds,
+  /// not evictions) instead of failing; see FactorCache.
+  std::size_t cache_max_bytes = 0;
+  /// Per-scenario deadline in seconds (0 = none), measured from the
+  /// scenario job's start -- queue time excluded, so it bounds the
+  /// scenario's own work. Exceeding it cancels the scenario within one
+  /// solver step; siblings are unaffected.
+  double scenario_deadline_seconds = 0.0;
+  /// Whole-campaign deadline in seconds from run() entry (0 = none).
+  /// Scenarios past the deadline finish as cancelled.
+  double campaign_deadline_seconds = 0.0;
+  /// External cancellation (e.g. the CLI's SIGINT token). Not owned; must
+  /// outlive run(). The campaign token chains to it, so one cancel()
+  /// stops every in-flight scenario within one solver step and every
+  /// queued one before it starts.
+  const CancelToken* cancel = nullptr;
+  /// Re-runs allowed per scenario after a *transient* failure (bad_alloc,
+  /// pivot-trip NumericalError). Permanent failures (InvalidArgument,
+  /// ParseError, ...) and cancellations are never retried.
+  int max_retries = 2;
+  /// Backoff before retry k: retry_backoff_seconds * 2^(k-1). 0 retries
+  /// immediately (what the fault-injection tests use).
+  double retry_backoff_seconds = 0.0;
+  /// Checkpoint journal path; empty disables checkpoint/resume. When set,
+  /// run() restores completed scenarios recorded under matching spec
+  /// fingerprints without re-running them and journals each newly
+  /// completed one (see runtime/checkpoint.hpp).
+  std::string checkpoint_path;
 };
 
 /// Campaign outcome: per-scenario results in campaign order plus the
@@ -68,7 +98,17 @@ struct BatchOptions {
 struct BatchReport {
   std::vector<ScenarioResult> results;
   double wall_seconds = 0.0;       ///< whole-campaign wall time
-  int failures = 0;                ///< scenarios with ok == false
+  /// Scenarios that failed (ok == false and not cancelled). A cancelled
+  /// campaign is not a failed one; cancellations count separately.
+  int failures = 0;
+  int cancelled = 0;   ///< scenarios stopped by cancellation or deadline
+  int retries = 0;     ///< transient-failure re-runs across the campaign
+  int cache_sheds = 0; ///< emergency cache sheds after bad_alloc
+  /// Scenarios restored from the checkpoint journal instead of re-run
+  /// (their results carry attempts == 0).
+  long long checkpoint_restored = 0;
+  /// Unparseable journal lines skipped on load (e.g. crash-truncated).
+  long long checkpoint_skipped_lines = 0;
   FactorCacheStats cache;          ///< hits/misses/evictions this run
   /// Pool counters for this run (deltas; max_task_seconds is the pool's
   /// high-water mark, which with a fresh engine is also this run's).
@@ -129,9 +169,12 @@ class BatchEngine {
 
   /// Factorizes every distinct (variant, operator) combination the
   /// campaign will request, before any scenario starts (see
-  /// BatchOptions::prewarm). Errors are swallowed: a broken scenario
-  /// reports its own failure when it runs.
-  void prewarm_factors(std::span<const ScenarioSpec> scenarios);
+  /// BatchOptions::prewarm). `skip` (empty = none) masks scenarios whose
+  /// results were restored from a checkpoint. Errors are classified and
+  /// traced, then swallowed: a broken scenario reports its own failure
+  /// when it runs.
+  void prewarm_factors(std::span<const ScenarioSpec> scenarios,
+                       const std::vector<char>& skip);
 
   BatchOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;

@@ -1,0 +1,80 @@
+/// \file checkpoint.hpp
+/// \brief Append-only campaign checkpoint: journal completed scenario
+///        results, skip them on resume.
+///
+/// A long campaign that dies (OOM kill, power loss, Ctrl-C) should not
+/// lose its completed scenarios. BatchEngine appends every successfully
+/// completed ScenarioResult to a JSON-lines journal, keyed by a
+/// deterministic fingerprint of the scenario spec; a resumed run loads
+/// the journal, restores matching scenarios without re-running them, and
+/// produces the same merged waveform payload bitwise -- the determinism
+/// discipline of the in-process scheduler extended across process
+/// restarts.
+///
+/// Format: one JSON object per line (solver::JsonWriter, full-precision
+/// doubles via value_exact so waveforms round-trip bit-for-bit). The file
+/// is append-only and each record is flushed as written, so a crash can
+/// at worst truncate the final line; the loader skips unparseable lines.
+/// Failed and cancelled scenarios are never journaled -- a resume retries
+/// them from scratch.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "runtime/scenario.hpp"
+
+namespace matex::runtime {
+
+/// Deterministic fingerprint of a scenario spec: the deck label plus
+/// every spec field that determines the output waveforms bitwise (name,
+/// window, output grid, probes, solver configuration, decomposition
+/// bound, sharing flags, Vdd scale). Stable across processes and
+/// platforms; a resumed run matches journal records against it, so any
+/// edit to the spec re-runs the scenario instead of restoring a stale
+/// result.
+std::uint64_t scenario_fingerprint(const ScenarioSpec& spec,
+                                   std::string_view deck_label);
+
+/// One journal line for a completed result (test hook; no trailing
+/// newline). Records the deterministic payload -- name, ok, error
+/// taxonomy, times, probe waveforms, group count -- not the per-run
+/// timings, which are not reproducible across runs by nature.
+std::string checkpoint_record(std::uint64_t fingerprint,
+                              const ScenarioResult& result);
+
+/// Completed results restored from a journal, keyed by spec fingerprint.
+struct CheckpointJournal {
+  std::unordered_map<std::uint64_t, ScenarioResult> completed;
+  long long skipped_lines = 0;  ///< unparseable (e.g. crash-truncated)
+};
+
+/// Loads `path`. A missing file is an empty journal (first run); a
+/// malformed line is skipped and counted. Later records win on duplicate
+/// fingerprints (re-journaled after an earlier truncated write).
+CheckpointJournal load_checkpoint(const std::string& path);
+
+/// Append-side of the journal. Thread-safe; one line per append, flushed
+/// immediately.
+class CheckpointWriter {
+ public:
+  /// Opens `path` in append mode (parent directory must exist).
+  explicit CheckpointWriter(const std::string& path);
+
+  /// False when the file could not be opened or a write failed; appends
+  /// become no-ops (the campaign still runs, it just isn't resumable).
+  bool ok() const { return ok_; }
+
+  void append(std::uint64_t fingerprint, const ScenarioResult& result);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+  bool ok_ = false;
+};
+
+}  // namespace matex::runtime

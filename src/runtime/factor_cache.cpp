@@ -5,6 +5,7 @@
 
 #include "la/error.hpp"
 #include "obs/trace.hpp"
+#include "runtime/failpoint.hpp"
 #include "solver/stats.hpp"
 
 namespace matex::runtime {
@@ -79,6 +80,7 @@ std::size_t FactorCache::SymbolicKeyHash::operator()(
 
 std::shared_ptr<la::SparseLU> FactorCache::factorize_with_symbolic(
     const la::CscMatrix& m, const la::SparseLuOptions& options) {
+  MATEX_FAILPOINT("factor_cache.symbolic");
   if (capacity_ == 0)  // caching disabled: plain full factorization
     return std::make_shared<la::SparseLU>(m, options);
 
@@ -129,7 +131,8 @@ std::shared_ptr<la::SparseLU> FactorCache::factorize_with_symbolic(
   return lu;
 }
 
-FactorCache::FactorCache(std::size_t capacity) : capacity_(capacity) {}
+FactorCache::FactorCache(std::size_t capacity, std::size_t max_resident_bytes)
+    : capacity_(capacity), max_resident_bytes_(max_resident_bytes) {}
 
 FactorCache::Entry FactorCache::get_or_factorize(
     const FactorKey& key,
@@ -173,6 +176,7 @@ FactorCache::Entry FactorCache::get_or_factorize(
   std::shared_ptr<la::SparseLU> factors;
   try {
     MATEX_SPAN("cache.miss", "family", family_name(key.family));
+    MATEX_FAILPOINT("factor_cache.insert");
     factors = factorize();
   } catch (...) {
     auto error = std::current_exception();
@@ -189,23 +193,66 @@ FactorCache::Entry FactorCache::get_or_factorize(
 
   const std::lock_guard<std::mutex> lock(mutex_);
   stats_.factor_seconds += clock.seconds();
-  if (const auto it = map_.find(key); it != map_.end())
+  if (const auto it = map_.find(key); it != map_.end()) {
     it->second.ready = true;
+    it->second.bytes = factors->memory_bytes();
+    stats_.bytes_resident += static_cast<long long>(it->second.bytes);
+  }
   evict_excess_locked();
   return {std::move(factors), false};
 }
 
 void FactorCache::evict_excess_locked() {
+  const auto over_bytes = [&] {
+    return max_resident_bytes_ > 0 &&
+           stats_.bytes_resident >
+               static_cast<long long>(max_resident_bytes_);
+  };
   auto it = lru_.end();
-  while (map_.size() > capacity_ && it != lru_.begin()) {
+  while ((map_.size() > capacity_ || over_bytes()) && it != lru_.begin()) {
+    const bool over_capacity = map_.size() > capacity_;
     --it;
     const auto mit = map_.find(*it);
     if (mit == map_.end() || !mit->second.ready) continue;  // pin in-flight
-    obs::instant("cache.evict", "family", family_name(it->family));
+    obs::instant("cache.evict", "family", family_name(it->family), "bytes",
+                 static_cast<double>(mit->second.bytes));
+    stats_.bytes_resident -= static_cast<long long>(mit->second.bytes);
+    stats_.bytes_evicted += static_cast<long long>(mit->second.bytes);
+    // Attribute the drop: plain LRU turnover vs the byte budget.
+    if (over_capacity)
+      ++stats_.evictions;
+    else
+      ++stats_.budget_sheds;
     map_.erase(mit);
     it = lru_.erase(it);
-    ++stats_.evictions;
   }
+}
+
+std::size_t FactorCache::shed(std::size_t target_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  auto it = lru_.end();
+  while (stats_.bytes_resident > static_cast<long long>(target_bytes) &&
+         it != lru_.begin()) {
+    --it;
+    const auto mit = map_.find(*it);
+    if (mit == map_.end() || !mit->second.ready) continue;  // pin in-flight
+    obs::instant("cache.shed", "family", family_name(it->family), "bytes",
+                 static_cast<double>(mit->second.bytes));
+    stats_.bytes_resident -= static_cast<long long>(mit->second.bytes);
+    stats_.bytes_evicted += static_cast<long long>(mit->second.bytes);
+    ++stats_.budget_sheds;
+    map_.erase(mit);
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  if (target_bytes == 0) {
+    // Full degradation: symbolic analyses go too (in-flight factorizations
+    // keep theirs alive via shared_ptr).
+    symbolic_map_.clear();
+    symbolic_lru_.clear();
+  }
+  return dropped;
 }
 
 FactorCache::Entry FactorCache::g_factors(const la::CscMatrix& g,

@@ -80,6 +80,15 @@ struct FactorCacheStats {
   /// Symbolic hits whose refill ran the blocked supernodal kernel
   /// (subset of symbolic_hits; the rest replayed column-at-a-time).
   long long supernodal_refactors = 0;
+  /// Heap bytes currently held by resident factorizations (a level, not a
+  /// monotonic counter; see SparseLU::memory_bytes() for what is counted).
+  long long bytes_resident = 0;
+  /// Cumulative bytes released by evictions and sheds.
+  long long bytes_evicted = 0;
+  /// Entries dropped for memory reasons: byte-budget overflow in
+  /// max_resident_bytes mode, or an explicit shed() under allocation
+  /// pressure (the capacity-LRU `evictions` counter is separate).
+  long long budget_sheds = 0;
   double factor_seconds = 0.0;  ///< wall time spent factorizing on misses
 
   double hit_rate() const {
@@ -94,7 +103,12 @@ struct FactorCacheStats {
 class FactorCache {
  public:
   /// \param capacity maximum resident factorizations; 0 disables caching.
-  explicit FactorCache(std::size_t capacity = kDefaultCapacity);
+  /// \param max_resident_bytes byte budget over the resident
+  ///        factorizations (SparseLU::memory_bytes() accounting); once
+  ///        exceeded, LRU entries are dropped by bytes until the cache
+  ///        fits. 0 = unlimited (entry-count LRU only).
+  explicit FactorCache(std::size_t capacity = kDefaultCapacity,
+                       std::size_t max_resident_bytes = 0);
 
   static constexpr std::size_t kDefaultCapacity = 64;
 
@@ -136,6 +150,7 @@ class FactorCache {
                          const la::SparseLuOptions& options);
 
   std::size_t capacity() const { return capacity_; }
+  std::size_t max_resident_bytes() const { return max_resident_bytes_; }
   /// Number of resident (completed) factorizations.
   std::size_t size() const;
   /// Number of resident symbolic analyses (pattern-fingerprint keyed).
@@ -144,6 +159,15 @@ class FactorCache {
   /// Drops all entries and resets the counters.
   void clear();
 
+  /// Memory-pressure degradation: drops ready entries in LRU order until
+  /// at most `target_bytes` remain resident (in-flight leaders are
+  /// pinned), counting each drop in stats().budget_sheds. shed(0)
+  /// additionally drops the symbolic side cache -- full graceful
+  /// degradation to uncached operation. Returns the number of
+  /// factorizations dropped. BatchEngine calls this on `bad_alloc`
+  /// before retrying a scenario.
+  std::size_t shed(std::size_t target_bytes);
+
  private:
   struct KeyHash {
     std::size_t operator()(const FactorKey& k) const;
@@ -151,6 +175,7 @@ class FactorCache {
   struct Slot {
     std::shared_future<std::shared_ptr<la::SparseLU>> future;
     bool ready = false;
+    std::size_t bytes = 0;  ///< memory_bytes() of the resident factors
     std::list<FactorKey>::iterator lru_it;
   };
   /// Key of the symbolic (pattern-only) side cache: values are excluded,
@@ -180,6 +205,7 @@ class FactorCache {
       const la::CscMatrix& m, const la::SparseLuOptions& options);
 
   std::size_t capacity_;
+  std::size_t max_resident_bytes_;
   mutable std::mutex mutex_;
   std::unordered_map<FactorKey, Slot, KeyHash> map_;
   std::list<FactorKey> lru_;  ///< most recently used at the front

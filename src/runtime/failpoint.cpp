@@ -1,0 +1,143 @@
+#include "runtime/failpoint.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+#include "la/error.hpp"
+
+namespace matex::runtime {
+
+namespace detail {
+std::atomic<bool> g_failpoints_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// splitmix64: the same finalizer the factor cache uses for fingerprint
+/// mixing. Deterministic across platforms.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct SiteState {
+  long long hits = 0;
+  long long fires = 0;
+  std::vector<const FailpointRule*> rules;  // rules naming this site
+};
+
+struct Registry {
+  std::mutex mutex;
+  FailpointPlan plan;
+  std::unordered_map<std::string, SiteState> sites;
+  long long total_fires = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during shutdown
+  return *r;
+}
+
+}  // namespace
+
+void arm_failpoints(FailpointPlan plan) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.plan = std::move(plan);
+  r.sites.clear();
+  r.total_fires = 0;
+  for (const FailpointRule& rule : r.plan.rules)
+    r.sites[rule.site].rules.push_back(&rule);
+  detail::g_failpoints_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm_failpoints() {
+  detail::g_failpoints_armed.store(false, std::memory_order_relaxed);
+}
+
+long long failpoint_hit_count(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(std::string(site));
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+long long failpoint_fire_count(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(std::string(site));
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+long long failpoint_total_fires() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.total_fires;
+}
+
+namespace detail {
+
+void failpoint_hit(const char* site) {
+  // Decide under the lock, act outside it: a delay must not serialize
+  // other sites, and a throw must not unwind through the lock guard
+  // while holding it (it would, safely, but keeping the critical
+  // section trivial makes the armed path obviously deadlock-free).
+  const FailpointRule* firing = nullptr;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (!g_failpoints_armed.load(std::memory_order_relaxed)) return;
+    SiteState& s = r.sites[site];
+    const long long hit = ++s.hits;
+    for (const FailpointRule* rule : s.rules) {
+      if (rule->nth_hit > 0 && hit == rule->nth_hit) {
+        firing = rule;
+        break;
+      }
+      if (rule->probability > 0.0) {
+        const std::uint64_t u = mix(r.plan.seed ^ fnv1a(rule->site) ^
+                                    static_cast<std::uint64_t>(hit));
+        const double x =
+            static_cast<double>(u >> 11) * 0x1.0p-53;  // [0,1)
+        if (x < rule->probability) {
+          firing = rule;
+          break;
+        }
+      }
+    }
+    if (firing != nullptr) {
+      ++s.fires;
+      ++r.total_fires;
+    }
+  }
+  if (firing == nullptr) return;
+  switch (firing->action) {
+    case FailpointAction::kThrow:
+      throw NumericalError(std::string("failpoint '") + site +
+                           "' injected NumericalError");
+    case FailpointAction::kBadAlloc:
+      throw std::bad_alloc();
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(firing->delay_seconds));
+      return;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace matex::runtime

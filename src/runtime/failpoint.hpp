@@ -1,0 +1,86 @@
+/// \file failpoint.hpp
+/// \brief Deterministic fault-injection registry.
+///
+/// Failpoints are named sites (`MATEX_FAILPOINT("factor_cache.insert")`)
+/// compiled into the runtime permanently. Disarmed -- the production
+/// state -- a site costs one relaxed atomic load and a branch, the same
+/// zero-perturbation discipline as obs/trace.hpp spans; bench_hotpath
+/// gates the disarmed cost at <= 1.05x alongside the span overhead.
+///
+/// Armed with a FailpointPlan, a site evaluates its rules on every hit
+/// and may throw NumericalError, throw std::bad_alloc, or sleep. Triggers
+/// are deterministic: an nth-hit rule fires on exactly that hit of the
+/// site, and a probabilistic rule hashes (plan seed, site, hit index) so
+/// the set of firing hit indices is a pure function of the plan. The
+/// fault fuzz tier (verify/fault_fuzz) drives randomized campaigns under
+/// randomized plans and asserts the runtime never crashes, deadlocks, or
+/// loses a result.
+///
+/// Arming/disarming is not meant to race with armed traffic from other
+/// threads; tests arm, run a campaign, then disarm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace matex::runtime {
+
+namespace detail {
+extern std::atomic<bool> g_failpoints_armed;
+void failpoint_hit(const char* site);
+}  // namespace detail
+
+/// One relaxed load; the only cost a disarmed site pays.
+inline bool failpoints_armed() {
+  return detail::g_failpoints_armed.load(std::memory_order_relaxed);
+}
+
+/// What a firing rule does at the site.
+enum class FailpointAction {
+  kThrow,     ///< throw matex::NumericalError (classified transient)
+  kBadAlloc,  ///< throw std::bad_alloc (memory-pressure path)
+  kDelay,     ///< sleep delay_seconds (exercises deadlines / slow nodes)
+};
+
+struct FailpointRule {
+  std::string site;  ///< exact site name this rule applies to
+  FailpointAction action = FailpointAction::kThrow;
+  /// Per-hit firing probability in [0,1], evaluated from the plan seed
+  /// and the site's hit index. 0 disables the probabilistic trigger.
+  double probability = 0.0;
+  /// Fire on exactly this (1-based) hit of the site. 0 disables.
+  long long nth_hit = 0;
+  double delay_seconds = 0.0;  ///< for kDelay
+};
+
+struct FailpointPlan {
+  std::uint64_t seed = 0;
+  std::vector<FailpointRule> rules;
+};
+
+/// Installs `plan` and arms every site. Resets all hit/fire counters.
+void arm_failpoints(FailpointPlan plan);
+
+/// Disarms all sites (hit/fire counters remain readable).
+void disarm_failpoints();
+
+/// Times the site was reached since the last arm_failpoints().
+long long failpoint_hit_count(std::string_view site);
+
+/// Times any rule fired at the site since the last arm_failpoints().
+long long failpoint_fire_count(std::string_view site);
+
+/// Total fires across all sites since the last arm_failpoints().
+long long failpoint_total_fires();
+
+/// Declares a fault-injection site. Zero-cost when disarmed.
+#define MATEX_FAILPOINT(site)                        \
+  do {                                               \
+    if (::matex::runtime::failpoints_armed())        \
+      ::matex::runtime::detail::failpoint_hit(site); \
+  } while (0)
+
+}  // namespace matex::runtime

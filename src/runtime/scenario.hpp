@@ -47,7 +47,17 @@ struct ScenarioResult {
   std::size_t deck_index = 0;
   std::size_t scenario_index = 0;  ///< position in the campaign
   bool ok = false;
+  /// True when the scenario was stopped by cancellation (SIGINT, campaign
+  /// or per-scenario deadline) rather than failing. Implies !ok; never
+  /// retried, never journaled.
+  bool cancelled = false;
   std::string error;  ///< what() of the failure when !ok
+  /// Stable failure type from the error taxonomy ("NumericalError",
+  /// "bad_alloc", "InvalidArgument", "Cancelled", ...); empty when ok.
+  std::string error_kind;
+  /// Times the engine ran the scenario (> 1 after transient-failure
+  /// retries; 0 for a result restored from a checkpoint).
+  int attempts = 1;
   /// Scheduler outcome (group count, per-node stats, cache hits, ...).
   core::DistributedResult distributed;
   /// Wall time of the whole job as run by the engine (DC + decomposition

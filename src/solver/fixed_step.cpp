@@ -76,6 +76,7 @@ TransientStats run_fixed_step(const circuit::MnaSystem& mna,
   // Steps land on t_start + k*h by construction (no floating-point drift);
   // the final step (if partial) lands exactly on t_end.
   while (t < options.t_end - t_eps) {
+    runtime::poll_cancel(options.cancel);
     ++k;
     double t_next = options.t_start + static_cast<double>(k) * h;
     if (t_next > options.t_end - t_eps) t_next = options.t_end;

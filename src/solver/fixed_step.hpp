@@ -14,6 +14,7 @@
 
 #include "circuit/mna.hpp"
 #include "la/sparse_lu.hpp"
+#include "runtime/cancel.hpp"
 #include "solver/observer.hpp"
 #include "solver/stats.hpp"
 
@@ -32,6 +33,10 @@ struct FixedStepOptions {
   double t_end = 0.0;  ///< must be > t_start
   double h = 0.0;      ///< fixed step size (> 0)
   la::SparseLuOptions lu_options;
+  /// Polled once per step; a fired token aborts the run within one step
+  /// by throwing CancelledError. Null = not cancellable. Must outlive
+  /// the run.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Runs a fixed-step transient simulation from initial state x0 (typically

@@ -81,6 +81,18 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_exact(double v) {
+  comma_and_indent();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(long long v) {
   comma_and_indent();
   out_ += std::to_string(v);

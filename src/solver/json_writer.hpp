@@ -32,6 +32,12 @@ class JsonWriter {
   JsonWriter& end_array();
   JsonWriter& key(std::string_view k);
   JsonWriter& value(double v);
+  /// Full-precision double (17 significant digits): strtod round-trips
+  /// the emitted text to the identical bit pattern for every finite
+  /// value, which is what the checkpoint journal's bitwise-resume
+  /// guarantee rests on. Non-finite values become null (read back as
+  /// NaN by as_number_array, like value()).
+  JsonWriter& value_exact(double v);
   JsonWriter& value(long long v);
   JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
   JsonWriter& value(std::size_t v) {

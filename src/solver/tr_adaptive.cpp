@@ -162,6 +162,7 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
 
   Stopwatch transient_clock;
   while (t < options.t_end - t_eps) {
+    runtime::poll_cancel(options.cancel);
     // Bound the step by the next transition spot and the horizon.
     while (gts_idx < gts.size() && gts[gts_idx] <= t + t_eps) ++gts_idx;
     double boundary = options.t_end;

@@ -15,6 +15,7 @@
 
 #include "circuit/mna.hpp"
 #include "la/sparse_lu.hpp"
+#include "runtime/cancel.hpp"
 #include "solver/observer.hpp"
 #include "solver/stats.hpp"
 
@@ -39,6 +40,10 @@ struct AdaptiveTrOptions {
   /// these times with linearly interpolated states. If empty, the observer
   /// is called at every accepted step instead.
   std::vector<double> output_times;
+  /// Polled once per attempted step; a fired token aborts the run within
+  /// one step by throwing CancelledError. Null = not cancellable. Must
+  /// outlive the run.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Runs the adaptive-TR transient simulation. Returns counters including

@@ -1,0 +1,323 @@
+#include "verify/fault_fuzz.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "circuit/mna.hpp"
+#include "pgbench/pg_generator.hpp"
+#include "runtime/batch.hpp"
+#include "solver/observer.hpp"
+#include "verify/fuzz.hpp"
+
+namespace matex::verify {
+namespace {
+
+/// splitmix64 (same mixer the failpoint registry uses): deterministic
+/// plan/campaign derivation across platforms.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Every instrumented site of the runtime (keep in sync with the
+/// MATEX_FAILPOINT call sites; the README's failpoint table lists them).
+constexpr const char* kSites[] = {
+    "batch.scenario",       "batch.variant", "factor_cache.insert",
+    "factor_cache.symbolic", "scheduler.node", "solver.step",
+    "checkpoint.append",
+};
+
+/// Failure kinds classify_exception can produce. A result carrying
+/// anything else means an unclassified escape -- a contract violation.
+const std::set<std::string>& known_kinds() {
+  static const std::set<std::string> kinds = {
+      "NumericalError", "bad_alloc", "InvalidArgument", "ParseError",
+      "Error",          "Cancelled", "exception",       "unknown",
+  };
+  return kinds;
+}
+
+/// The campaign every plan (and the fault-free reference) runs: seeded
+/// PDN decks plus a methods x gamma x Vdd sweep, mirroring the batch
+/// fuzzer's shape at a smaller scale.
+struct CampaignFixture {
+  std::vector<std::string> labels;
+  std::vector<circuit::Netlist> netlists;
+  std::vector<runtime::ScenarioSpec> scenarios;
+};
+
+CampaignFixture build_campaign(const FaultFuzzOptions& options) {
+  CampaignFixture fixture;
+  for (int d = 0; d < options.decks; ++d) {
+    FuzzCase c = fuzz_case_from_seed(options.seed ^ 0xfa7a1ull, d);
+    circuit::Netlist netlist = pgbench::generate_power_grid(c.grid);
+    const circuit::MnaSystem mna(netlist);
+    const la::index_t dim = mna.dimension();
+    std::vector<la::index_t> probes = {0, dim / 2, dim - 1};
+    probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+
+    int made = 0;
+    for (const auto kind :
+         {krylov::KrylovKind::kRational, krylov::KrylovKind::kInverted})
+      for (const double gamma_mul : {1.0, 2.0})
+        for (const double vdd : {1.0, 0.9}) {
+          if (made >= options.scenarios_per_deck) break;
+          runtime::ScenarioSpec spec;
+          spec.deck_index = static_cast<std::size_t>(d);
+          spec.name = "deck" + std::to_string(d) + "/" +
+                      krylov::kind_name(kind) + "/g" +
+                      std::to_string(gamma_mul) + "/v" + std::to_string(vdd);
+          spec.scheduler.t_end = c.t_end;
+          spec.scheduler.output_times = solver::uniform_grid(
+              0.0, c.t_end, c.t_end / c.output_steps);
+          spec.scheduler.solver.kind = kind;
+          spec.scheduler.solver.gamma = c.gamma * gamma_mul;
+          spec.scheduler.solver.tolerance = c.krylov_tol;
+          spec.vdd_scale = vdd;
+          spec.probes = probes;
+          fixture.scenarios.push_back(std::move(spec));
+          ++made;
+        }
+    fixture.labels.push_back("fault-deck-" + std::to_string(d));
+    fixture.netlists.push_back(std::move(netlist));
+  }
+  return fixture;
+}
+
+std::unique_ptr<runtime::BatchEngine> make_engine(
+    const CampaignFixture& fixture, runtime::BatchOptions bopt) {
+  auto engine = std::make_unique<runtime::BatchEngine>(bopt);
+  for (std::size_t d = 0; d < fixture.netlists.size(); ++d)
+    engine->add_deck(fixture.labels[d], fixture.netlists[d]);
+  return engine;
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Bitwise comparison of the deterministic result payload (times, probe
+/// waveforms, group count) -- the checkpoint journal's resume guarantee.
+bool payload_identical(const runtime::ScenarioResult& a,
+                       const runtime::ScenarioResult& b) {
+  if (a.distributed.group_count != b.distributed.group_count) return false;
+  if (a.times.size() != b.times.size()) return false;
+  for (std::size_t i = 0; i < a.times.size(); ++i)
+    if (!bits_equal(a.times[i], b.times[i])) return false;
+  if (a.probe_waveforms.size() != b.probe_waveforms.size()) return false;
+  for (std::size_t p = 0; p < a.probe_waveforms.size(); ++p) {
+    if (a.probe_waveforms[p].size() != b.probe_waveforms[p].size())
+      return false;
+    for (std::size_t i = 0; i < a.probe_waveforms[p].size(); ++i)
+      if (!bits_equal(a.probe_waveforms[p][i], b.probe_waveforms[p][i]))
+        return false;
+  }
+  return true;
+}
+
+void violate(FaultFuzzReport& report, std::ostream* log,
+             const std::string& what) {
+  ++report.violations;
+  report.violation_names.push_back(what);
+  if (log) *log << "fault-fuzz VIOLATION: " << what << "\n";
+}
+
+/// Structural invariants of one batch report under faults: one result
+/// per scenario at its own index, one sink delivery each, every failure
+/// classified.
+void check_invariants(const CampaignFixture& fixture,
+                      const runtime::BatchReport& batch,
+                      const std::vector<int>& sink_counts,
+                      const std::string& where, FaultFuzzReport& report,
+                      std::ostream* log) {
+  if (batch.results.size() != fixture.scenarios.size()) {
+    violate(report, log,
+            where + ": result count " +
+                std::to_string(batch.results.size()) + " != " +
+                std::to_string(fixture.scenarios.size()));
+    return;
+  }
+  for (std::size_t si = 0; si < batch.results.size(); ++si) {
+    const runtime::ScenarioResult& r = batch.results[si];
+    const std::string at = where + ": scenario " + std::to_string(si);
+    if (r.scenario_index != si)
+      violate(report, log, at + ": index " +
+                               std::to_string(r.scenario_index) +
+                               " (lost/misplaced result)");
+    if (r.name != fixture.scenarios[si].name)
+      violate(report, log, at + ": name '" + r.name + "' != spec '" +
+                               fixture.scenarios[si].name + "'");
+    if (sink_counts[si] != 1)
+      violate(report, log,
+              at + ": " + std::to_string(sink_counts[si]) +
+                  " sink deliveries (must be exactly 1)");
+    if (r.ok) {
+      if (r.cancelled)
+        violate(report, log, at + ": ok and cancelled simultaneously");
+      continue;
+    }
+    if (r.error.empty())
+      violate(report, log, at + ": failed with empty error message");
+    if (known_kinds().count(r.error_kind) == 0)
+      violate(report, log,
+              at + ": unclassified error_kind '" + r.error_kind + "'");
+    if (r.cancelled && r.error_kind != "Cancelled")
+      violate(report, log,
+              at + ": cancelled with error_kind '" + r.error_kind + "'");
+  }
+}
+
+}  // namespace
+
+runtime::FailpointPlan fault_plan_from_seed(std::uint64_t seed, int index) {
+  std::uint64_t state =
+      mix(seed ^ (0xfa117ull * (static_cast<std::uint64_t>(index) + 1)));
+  const auto next = [&state] { return state = mix(state); };
+  runtime::FailpointPlan plan;
+  plan.seed = next();
+  const int rule_count = 1 + static_cast<int>(next() % 3);
+  for (int r = 0; r < rule_count; ++r) {
+    runtime::FailpointRule rule;
+    rule.site = kSites[next() % (sizeof(kSites) / sizeof(kSites[0]))];
+    const std::uint64_t action_roll = next() % 10;
+    if (action_roll < 6) {
+      rule.action = runtime::FailpointAction::kThrow;
+    } else if (action_roll < 9) {
+      rule.action = runtime::FailpointAction::kBadAlloc;
+    } else {
+      rule.action = runtime::FailpointAction::kDelay;
+      rule.delay_seconds = 2e-4;
+    }
+    if (next() % 10 < 7) {
+      // Probabilistic: fires on ~5-40% of hits, decided per hit index
+      // from the plan seed (deterministic, platform-independent). The
+      // campaigns are small, so per-hit rates must be high enough that
+      // plans reliably fire at all.
+      rule.probability =
+          0.05 + static_cast<double>(next() % 1000) / 1000.0 * 0.35;
+    } else {
+      rule.nth_hit = 1 + static_cast<long long>(next() % 8);
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+FaultFuzzReport run_fault_fuzz(const FaultFuzzOptions& options) {
+  FaultFuzzReport report;
+  const CampaignFixture fixture = build_campaign(options);
+  report.scenarios = static_cast<int>(fixture.scenarios.size());
+  std::error_code ec;
+  std::filesystem::create_directories(options.checkpoint_dir, ec);
+
+  // Fault-free reference: the payload every resumed campaign must
+  // reproduce bitwise.
+  runtime::BatchOptions ref_opt;
+  ref_opt.threads = options.threads;
+  const runtime::BatchReport reference =
+      make_engine(fixture, ref_opt)->run(fixture.scenarios);
+  if (reference.failures != 0 || reference.cancelled != 0) {
+    violate(report, options.log,
+            "reference campaign failed without faults (" +
+                std::to_string(reference.failures) + " failures)");
+    return report;
+  }
+
+  for (int plan_index = 0; plan_index < options.plans; ++plan_index) {
+    ++report.plans;
+    const runtime::FailpointPlan plan =
+        fault_plan_from_seed(options.seed, plan_index);
+    const std::string tag = "plan " + std::to_string(plan_index);
+    const std::string journal_path =
+        options.checkpoint_dir + "/fault_plan" +
+        std::to_string(plan_index) + ".jsonl";
+    std::filesystem::remove(journal_path, ec);
+
+    runtime::BatchOptions bopt;
+    bopt.threads = options.threads;
+    // Sweep the retry budget across plans: 0 means every transient fault
+    // fails its scenario outright, forcing recovery through the
+    // checkpoint-resume rounds instead of in-place retries.
+    bopt.max_retries = plan_index % 3;
+    bopt.retry_backoff_seconds = 0.0;
+    bopt.checkpoint_path = journal_path;
+    // Half the plans also run under a tight cache byte budget, so
+    // budget sheds and fault injection interleave.
+    if (plan_index % 2 == 1) bopt.cache_max_bytes = 256 * 1024;
+
+    // Round 0 runs faulted; rounds 1..max resume from the journal with
+    // faults still armed (fresh engine each time -- a process restart);
+    // the final round disarms, so convergence is guaranteed.
+    runtime::BatchReport last;
+    for (int round = 0; round <= options.max_resume_rounds; ++round) {
+      const bool final_round = round == options.max_resume_rounds;
+      if (final_round) {
+        runtime::disarm_failpoints();
+      } else {
+        // Re-seed per round: the registry resets hit counters on arm, so
+        // an unchanged seed would replay round 0's exact failures and
+        // faulted resumes could never make progress.
+        runtime::FailpointPlan armed = plan;
+        armed.seed = mix(plan.seed ^ static_cast<std::uint64_t>(round));
+        runtime::arm_failpoints(std::move(armed));
+      }
+      std::vector<int> sink_counts(fixture.scenarios.size(), 0);
+      last = make_engine(fixture, bopt)
+                 ->run(fixture.scenarios,
+                       [&](const runtime::ScenarioResult& r) {
+                         if (r.scenario_index < sink_counts.size())
+                           ++sink_counts[r.scenario_index];
+                       });
+      // The registry resets its counters on arm, not on disarm: only
+      // armed rounds contribute fresh fires (the final round would
+      // re-count the previous round's total).
+      if (!final_round)
+        report.injected_fires += runtime::failpoint_total_fires();
+      runtime::disarm_failpoints();
+      report.retries += last.retries;
+      report.restored += last.checkpoint_restored;
+      report.cache_sheds += last.cache_sheds;
+      check_invariants(fixture, last,
+                       sink_counts, tag + " round " + std::to_string(round),
+                       report, options.log);
+      if (options.log)
+        *options.log << "fault-fuzz: " << tag << " round " << round << ": "
+                     << last.failures << " failed, " << last.retries
+                     << " retries, " << last.checkpoint_restored
+                     << " restored\n";
+      if (last.failures == 0 && last.cancelled == 0) break;
+    }
+
+    if (last.failures != 0 || last.cancelled != 0) {
+      violate(report, options.log,
+              tag + ": did not converge after disarmed resume (" +
+                  std::to_string(last.failures) + " failures, " +
+                  std::to_string(last.cancelled) + " cancelled)");
+      continue;
+    }
+    for (std::size_t si = 0; si < fixture.scenarios.size(); ++si)
+      if (!payload_identical(last.results[si], reference.results[si]))
+        violate(report, options.log,
+                tag + ": scenario " + std::to_string(si) + " ('" +
+                    fixture.scenarios[si].name +
+                    "') payload differs from the fault-free reference");
+  }
+
+  if (options.log)
+    *options.log << "fault-fuzz: " << report.plans << " plans x "
+                 << report.scenarios << " scenarios, "
+                 << report.injected_fires << " fires, " << report.retries
+                 << " retries, " << report.restored << " restored, "
+                 << report.violations << " violations\n";
+  return report;
+}
+
+}  // namespace matex::verify

@@ -1,0 +1,79 @@
+/// \file fault_fuzz.hpp
+/// \brief Randomized fault-injection campaigns over the batch runtime:
+///        seeded fault plans against seeded campaigns, asserting the
+///        fault-tolerance contract.
+///
+/// One fault-fuzz *plan* is a deterministic runtime::FailpointPlan (which
+/// sites misbehave, how, and how often) derived from (seed, plan index).
+/// The harness runs a seeded scenario campaign under each plan and checks
+/// the contract the fault-tolerant runtime promises:
+///
+///  - no crash and no deadlock (the campaign always returns);
+///  - no lost or duplicated result: every scenario produces exactly one
+///    ScenarioResult at its own index, delivered to the sink exactly once;
+///  - every failure is *classified*: a non-ok result carries a non-empty
+///    error message and a taxonomy kind (never an anonymous swallow);
+///  - transient faults are retried (attempts > 1 somewhere once the plan
+///    actually fired) and bad_alloc sheds cache memory instead of sinking
+///    the campaign;
+///  - checkpoint/resume converges: re-running the killed campaign against
+///    its journal -- faults still armed, then disarmed for the final
+///    round, each round a fresh engine standing in for a fresh process --
+///    ends with every scenario ok and the waveform payload *bitwise*
+///    identical to a fault-free run of the same campaign.
+///
+/// Everything is deterministic for a fixed seed: the decks, the scenario
+/// sweep, and each plan's fire pattern (the failpoint registry derives
+/// per-hit decisions from the plan seed, not from global randomness).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/failpoint.hpp"
+
+namespace matex::verify {
+
+/// Options of a fault-injection fuzz campaign.
+struct FaultFuzzOptions {
+  std::uint64_t seed = 20140601;
+  int plans = 3;               ///< randomized fault plans to run
+  int decks = 2;               ///< random PDN decks per campaign
+  int scenarios_per_deck = 4;  ///< methods x gamma x Vdd corners
+  int threads = 4;             ///< shared pool size
+  /// Faulted resume rounds before the final disarmed round (each round is
+  /// a fresh engine resuming from the journal, standing in for a process
+  /// restart after a crash).
+  int max_resume_rounds = 3;
+  /// Directory for the per-plan checkpoint journals (created if needed;
+  /// the harness removes each journal before its plan starts).
+  std::string checkpoint_dir = "fault_fuzz.tmp";
+  std::ostream* log = nullptr;  ///< progress/violation log (nullptr: off)
+};
+
+/// Campaign outcome. `violations` is the gate: zero means every plan
+/// upheld the whole contract.
+struct FaultFuzzReport {
+  int plans = 0;
+  int scenarios = 0;            ///< per-plan campaign width
+  int violations = 0;
+  long long injected_fires = 0; ///< failpoint fires across all plans
+  long long retries = 0;        ///< engine retries observed
+  long long restored = 0;       ///< checkpoint restores across resumes
+  long long cache_sheds = 0;    ///< bad_alloc-driven cache sheds
+  std::vector<std::string> violation_names;
+};
+
+/// Derives plan `index` of a campaign: 1-3 rules over the runtime's
+/// failpoint sites with seeded probabilistic / nth-hit triggers and a mix
+/// of throw / bad_alloc / delay actions. Exposed so a violation report
+/// ("seed S, plan K") is reproducible in isolation.
+runtime::FailpointPlan fault_plan_from_seed(std::uint64_t seed, int index);
+
+/// Runs the campaign (see file comment). Arms/disarms the global
+/// failpoint registry; the registry is left disarmed on return.
+FaultFuzzReport run_fault_fuzz(const FaultFuzzOptions& options);
+
+}  // namespace matex::verify
