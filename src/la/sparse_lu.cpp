@@ -1,13 +1,19 @@
 #include "la/sparse_lu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "la/dense_matrix.hpp"
 #include "la/error.hpp"
 #include "obs/trace.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace matex::la {
 namespace {
@@ -150,9 +156,14 @@ void SymbolicLU::build_supernode_plan(const CscMatrix& a,
   a_scatter_.clear();
   u_local_.clear();
   l_panel_.clear();
+  sn_a_ptr_.assign(1, 0);
+  dep_out_ptr_.clear();
+  dep_out_.clear();
   max_workspace_cells_ = 0;
+  max_panel_rows_ = 0;
   sn_stats_ = {};
   blocked_profitable_ = false;
+  parallel_profitable_ = false;
   if (n == 0) return;
 
   const auto l_col = [&](index_t c) {  // L rows incl. the leading diagonal
@@ -308,6 +319,7 @@ void SymbolicLU::build_supernode_plan(const CscMatrix& a,
     const index_t trash = ne + nr;
     max_workspace_cells_ =
         std::max(max_workspace_cells_, (ne + nr + 1) * w);
+    max_panel_rows_ = std::max(max_panel_rows_, nr);
     for (index_t ei = 0; ei < ne; ++ei)
       loc[static_cast<std::size_t>(e_rows[static_cast<std::size_t>(
           eb + ei)])] = ei;
@@ -376,6 +388,7 @@ void SymbolicLU::build_supernode_plan(const CscMatrix& a,
       }
     }
     task_ptr_.push_back(static_cast<index_t>(task_src_.size()));
+    sn_a_ptr_.push_back(static_cast<index_t>(a_scatter_.size()));
 
     for (index_t ei = 0; ei < ne; ++ei)
       loc[static_cast<std::size_t>(e_rows[static_cast<std::size_t>(
@@ -385,6 +398,28 @@ void SymbolicLU::build_supernode_plan(const CscMatrix& a,
           sn_rows_[static_cast<std::size_t>(rb + di)])] = -1;
   }
 
+  // Transpose of the task lists: for every source supernode, the ordered
+  // list of targets taking an external update from it. This is the edge
+  // set the parallel schedule walks when a panel retires (decrement each
+  // dependent's pending-source count; a count reaching zero fires that
+  // target's panel task).
+  dep_out_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
+  for (const index_t src : task_src_)
+    ++dep_out_ptr_[static_cast<std::size_t>(src) + 1];
+  for (index_t sn = 0; sn < ns; ++sn)
+    dep_out_ptr_[static_cast<std::size_t>(sn) + 1] +=
+        dep_out_ptr_[static_cast<std::size_t>(sn)];
+  dep_out_.resize(task_src_.size());
+  {
+    std::vector<index_t> fill(dep_out_ptr_.begin(), dep_out_ptr_.end() - 1);
+    for (index_t t = 0; t < ns; ++t)
+      for (index_t k = task_ptr_[static_cast<std::size_t>(t)];
+           k < task_ptr_[static_cast<std::size_t>(t) + 1]; ++k)
+        dep_out_[static_cast<std::size_t>(
+            fill[static_cast<std::size_t>(
+                task_src_[static_cast<std::size_t>(k)])]++)] = t;
+  }
+
   // kAuto engages the blocked kernel when the factor is both merged
   // enough for the panels to amortize their bookkeeping and large enough
   // that the scalar replay's scattered access stops being cache-resident
@@ -392,6 +427,13 @@ void SymbolicLU::build_supernode_plan(const CscMatrix& a,
   // below it the scalar replay wins on locality alone).
   blocked_profitable_ = sn_stats_.avg_width(n) >= 1.4 &&
                         sn_stats_.panel_entries >= 64 * 1024;
+  // The parallel crossover sits higher: scheduling a panel task costs a
+  // queue round-trip plus a workspace acquisition, so the pool only pays
+  // past ~4x the blocked cutoff (~2 MB of panel) and when there are
+  // enough supernodes for the elimination tree to expose real task
+  // parallelism. Small meshes stay serial under kAuto.
+  parallel_profitable_ = blocked_profitable_ && ns >= 256 &&
+                         sn_stats_.panel_entries >= 256 * 1024;
 }
 
 SparseLU::SparseLU(const CscMatrix& a, SparseLuOptions options) {
@@ -416,10 +458,21 @@ SparseLU::SparseLU(const CscMatrix& a,
       (options.supernodal == SupernodalMode::kAuto &&
        sym_->blocked_profitable_);
   if (blocked && sym_->num_supernodes() > 0) {
-    if (refactor_numeric_blocked(a, options)) {
+    // The pool engages past its own crossover under kAuto (scheduling
+    // overhead amortizes only on meshes with real task parallelism);
+    // kAlways schedules whenever a pool is supplied, which is what the
+    // thread-count identity tests pin down on small matrices.
+    const bool parallel =
+        options.pool != nullptr &&
+        (options.supernodal == SupernodalMode::kAlways ||
+         sym_->parallel_profitable_);
+    const bool ok = parallel ? refactor_numeric_blocked_parallel(a, options)
+                             : refactor_numeric_blocked(a, options);
+    if (ok) {
       refactored_ = true;
       supernodal_ = true;
-      span.arg("kernel", "blocked");
+      parallel_ = parallel;
+      span.arg("kernel", parallel ? "blocked-parallel" : "blocked");
       return;
     }
     // Pivot-tolerance trip in the blocked kernel: fall back to the
@@ -686,6 +739,125 @@ bool SparseLU::refactor_numeric(const CscMatrix& a,
   return true;
 }
 
+bool SparseLU::refill_supernode(const CscMatrix& a,
+                                const SparseLuOptions& options, index_t sn,
+                                double* wbuf, double* z, double* panels,
+                                double& min_pivot) {
+  const SymbolicLU& s = *sym_;
+  const index_t k0 = s.sn_ptr_[static_cast<std::size_t>(sn)];
+  const index_t w = s.sn_ptr_[static_cast<std::size_t>(sn) + 1] - k0;
+  const index_t nr = s.sn_rows_ptr_[static_cast<std::size_t>(sn) + 1] -
+                     s.sn_rows_ptr_[static_cast<std::size_t>(sn)];
+  const index_t ne = s.sn_ne_[static_cast<std::size_t>(sn)];
+  const index_t ldw = ne + nr + 1;
+  std::fill(wbuf, wbuf + static_cast<std::size_t>(ldw) *
+                             static_cast<std::size_t>(w),
+            0.0);
+
+  // Scatter the A columns into the workspace. a_scatter_ is laid out in
+  // the supernode-major walk order; sn_a_ptr_ locates this supernode's
+  // slice so a panel task scheduled out of sequence reads the same slots.
+  std::size_t a_cursor =
+      static_cast<std::size_t>(s.sn_a_ptr_[static_cast<std::size_t>(sn)]);
+  for (index_t t = 0; t < w; ++t) {
+    double* w_col = wbuf + static_cast<std::size_t>(t) *
+                               static_cast<std::size_t>(ldw);
+    const index_t col = s.q_[static_cast<std::size_t>(k0 + t)];
+    for (index_t pa = a.col_ptr()[col]; pa < a.col_ptr()[col + 1]; ++pa)
+      w_col[s.a_scatter_[a_cursor++]] = a.values()[pa];
+  }
+
+  // External updates, one source supernode at a time in ascending
+  // order (the canonical replay order).
+  const index_t task_begin = s.task_ptr_[static_cast<std::size_t>(sn)];
+  const index_t task_end = s.task_ptr_[static_cast<std::size_t>(sn) + 1];
+  for (index_t task = task_begin; task < task_end; ++task) {
+    const index_t src = s.task_src_[static_cast<std::size_t>(task)];
+    const index_t nrs =
+        s.sn_rows_ptr_[static_cast<std::size_t>(src) + 1] -
+        s.sn_rows_ptr_[static_cast<std::size_t>(src)];
+    const index_t r = s.sn_ptr_[static_cast<std::size_t>(src) + 1] -
+                      s.sn_ptr_[static_cast<std::size_t>(src)];
+    const double* panel =
+        panels + s.sn_panel_ptr_[static_cast<std::size_t>(src)];
+    const index_t* u0 =
+        s.task_u0_.data() + s.task_u0_ptr_[static_cast<std::size_t>(task)];
+    const index_t* dst =
+        s.task_dst_.data() +
+        s.task_dst_ptr_[static_cast<std::size_t>(task)];
+    for (index_t t = 0; t < w; ++t) {
+      const index_t start = u0[static_cast<std::size_t>(t)];
+      if (start >= r) continue;  // column takes nothing from this source
+      double* w_col = wbuf + static_cast<std::size_t>(t) *
+                                 static_cast<std::size_t>(ldw);
+      if (r <= 3) {
+        // Narrow source: the contiguous gather cannot amortize over so
+        // few columns, so apply the scaled columns directly.
+        for (index_t u = start; u < r; ++u) {
+          const double y = w_col[dst[u]];
+          if (y == 0.0) continue;
+          const double* pcol = panel + static_cast<std::size_t>(u) *
+                                           static_cast<std::size_t>(nrs);
+          for (index_t di = u + 1; di < nrs; ++di)
+            w_col[dst[di]] -= pcol[di] * y;
+        }
+        continue;
+      }
+      // Wide source: gather the destination window once, run the dense
+      // triangular-solve + trailing-update kernel, scatter back.
+      double* zc = z;
+      for (index_t di = start; di < nrs; ++di) zc[di] = w_col[dst[di]];
+      supernode_apply_updates(panel, static_cast<std::size_t>(nrs),
+                              static_cast<std::size_t>(r),
+                              static_cast<std::size_t>(start), zc);
+      for (index_t di = start; di < nrs; ++di) w_col[dst[di]] = zc[di];
+    }
+  }
+
+  // The panel rows sit contiguously under the E block, so the target
+  // panel gather is a straight copy; factorize it under the frozen
+  // pivot sequence and keep it pooled -- it is the dense source
+  // operand of every later supernode that reaches these columns.
+  double* panelT = panels + s.sn_panel_ptr_[static_cast<std::size_t>(sn)];
+  for (index_t t = 0; t < w; ++t) {
+    const double* w_col = wbuf + static_cast<std::size_t>(t) *
+                                     static_cast<std::size_t>(ldw);
+    std::copy(w_col + ne, w_col + ne + nr,
+              panelT + static_cast<std::size_t>(t) *
+                           static_cast<std::size_t>(nr));
+  }
+  if (!supernode_panel_factorize(panelT, static_cast<std::size_t>(nr),
+                                 static_cast<std::size_t>(w),
+                                 options.refactor_pivot_tol, min_pivot))
+    return false;
+
+  // Write the factor values along the exact patterns: external U
+  // entries from the workspace, intra entries and L from the panel.
+  for (index_t t = 0; t < w; ++t) {
+    const index_t c = k0 + t;
+    const double* w_col = wbuf + static_cast<std::size_t>(t) *
+                                     static_cast<std::size_t>(ldw);
+    const double* pcol = panelT + static_cast<std::size_t>(t) *
+                                      static_cast<std::size_t>(nr);
+    const index_t ub = s.u_colptr_[static_cast<std::size_t>(c)];
+    const index_t ud = s.u_colptr_[static_cast<std::size_t>(c) + 1] - 1;
+    for (index_t p = ub; p < ud; ++p) {
+      const index_t lv = s.u_local_[static_cast<std::size_t>(p)];
+      u_vals_[static_cast<std::size_t>(p)] =
+          lv < ne ? w_col[lv] : pcol[lv - ne];
+    }
+    u_vals_[static_cast<std::size_t>(ud)] = pcol[t];
+
+    const index_t lb = s.l_colptr_[static_cast<std::size_t>(c)];
+    const index_t le = s.l_colptr_[static_cast<std::size_t>(c) + 1];
+    l_vals_[static_cast<std::size_t>(lb)] = 1.0;
+    for (index_t p = lb + 1; p < le; ++p)
+      l_vals_[static_cast<std::size_t>(p)] =
+          pcol[s.l_panel_[static_cast<std::size_t>(p)]];
+  }
+  return true;
+}
+
 bool SparseLU::refactor_numeric_blocked(const CscMatrix& a,
                                         const SparseLuOptions& options) {
   MATEX_CHECK(options.refactor_pivot_tol > 0.0 &&
@@ -700,136 +872,158 @@ bool SparseLU::refactor_numeric_blocked(const CscMatrix& a,
   // outside the target structure land there carrying exact zeros). All
   // scatter indices were resolved at analysis time, so the numeric pass
   // only streams through precomputed index arrays.
-  std::vector<double> wbuf(
-      static_cast<std::size_t>(s.max_workspace_cells_), 0.0);
+  SupernodeWorkspace ws(static_cast<std::size_t>(s.max_workspace_cells_),
+                        static_cast<std::size_t>(s.max_panel_rows_));
   // Pooled scaled L panels, one trapezoid per supernode; cells without an
   // exact entry stay exactly zero, so their updates multiply by 0 and can
   // at most flip the sign of an exact zero (== - invisible).
   std::vector<double> panels(
       static_cast<std::size_t>(s.sn_panel_ptr_.back()), 0.0);
-  // Gather scratch for one source window: target columns run strictly
-  // sequentially, so one panel-height slice is all that is ever live.
-  index_t max_src_rows = 0;
-  for (index_t sn = 0; sn < ns; ++sn)
-    max_src_rows = std::max(
-        max_src_rows, s.sn_rows_ptr_[static_cast<std::size_t>(sn) + 1] -
-                          s.sn_rows_ptr_[static_cast<std::size_t>(sn)]);
-  std::vector<double> z(static_cast<std::size_t>(max_src_rows));
-  min_pivot_ = std::numeric_limits<double>::infinity();
+  double min_pivot = std::numeric_limits<double>::infinity();
 
-  std::size_t a_cursor = 0;  // a_scatter_ is laid out in this walk order
   for (index_t sn = 0; sn < ns; ++sn) {
-    const index_t k0 = s.sn_ptr_[static_cast<std::size_t>(sn)];
-    const index_t w = s.sn_ptr_[static_cast<std::size_t>(sn) + 1] - k0;
-    const index_t nr = s.sn_rows_ptr_[static_cast<std::size_t>(sn) + 1] -
-                       s.sn_rows_ptr_[static_cast<std::size_t>(sn)];
-    const index_t ne = s.sn_ne_[static_cast<std::size_t>(sn)];
-    const index_t ldw = ne + nr + 1;
-    std::fill(wbuf.begin(),
-              wbuf.begin() + static_cast<std::size_t>(ldw) *
-                                 static_cast<std::size_t>(w),
-              0.0);
-
-    // Scatter the A columns into the workspace.
-    for (index_t t = 0; t < w; ++t) {
-      double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
-                                        static_cast<std::size_t>(ldw);
-      const index_t col = s.q_[static_cast<std::size_t>(k0 + t)];
-      for (index_t pa = a.col_ptr()[col]; pa < a.col_ptr()[col + 1]; ++pa)
-        w_col[s.a_scatter_[a_cursor++]] = a.values()[pa];
-    }
-
-    // External updates, one source supernode at a time in ascending
-    // order (the canonical replay order).
-    const index_t task_begin = s.task_ptr_[static_cast<std::size_t>(sn)];
-    const index_t task_end = s.task_ptr_[static_cast<std::size_t>(sn) + 1];
-    for (index_t task = task_begin; task < task_end; ++task) {
-      const index_t src = s.task_src_[static_cast<std::size_t>(task)];
-      const index_t nrs =
-          s.sn_rows_ptr_[static_cast<std::size_t>(src) + 1] -
-          s.sn_rows_ptr_[static_cast<std::size_t>(src)];
-      const index_t r = s.sn_ptr_[static_cast<std::size_t>(src) + 1] -
-                        s.sn_ptr_[static_cast<std::size_t>(src)];
-      const double* panel =
-          panels.data() + s.sn_panel_ptr_[static_cast<std::size_t>(src)];
-      const index_t* u0 =
-          s.task_u0_.data() + s.task_u0_ptr_[static_cast<std::size_t>(task)];
-      const index_t* dst =
-          s.task_dst_.data() +
-          s.task_dst_ptr_[static_cast<std::size_t>(task)];
-      for (index_t t = 0; t < w; ++t) {
-        const index_t start = u0[static_cast<std::size_t>(t)];
-        if (start >= r) continue;  // column takes nothing from this source
-        double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
-                                          static_cast<std::size_t>(ldw);
-        if (r <= 3) {
-          // Narrow source: the contiguous gather cannot amortize over so
-          // few columns, so apply the scaled columns directly.
-          for (index_t u = start; u < r; ++u) {
-            const double y = w_col[dst[u]];
-            if (y == 0.0) continue;
-            const double* pcol = panel + static_cast<std::size_t>(u) *
-                                             static_cast<std::size_t>(nrs);
-            for (index_t di = u + 1; di < nrs; ++di)
-              w_col[dst[di]] -= pcol[di] * y;
-          }
-          continue;
-        }
-        // Wide source: gather the destination window once, run the dense
-        // triangular-solve + trailing-update kernel, scatter back.
-        double* zc = z.data();
-        for (index_t di = start; di < nrs; ++di) zc[di] = w_col[dst[di]];
-        supernode_apply_updates(panel, static_cast<std::size_t>(nrs),
-                                static_cast<std::size_t>(r),
-                                static_cast<std::size_t>(start), zc);
-        for (index_t di = start; di < nrs; ++di) w_col[dst[di]] = zc[di];
-      }
-    }
-
-    // The panel rows sit contiguously under the E block, so the target
-    // panel gather is a straight copy; factorize it under the frozen
-    // pivot sequence and keep it pooled -- it is the dense source
-    // operand of every later supernode that reaches these columns.
-    double* panelT =
-        panels.data() + s.sn_panel_ptr_[static_cast<std::size_t>(sn)];
-    for (index_t t = 0; t < w; ++t) {
-      const double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
-                                              static_cast<std::size_t>(ldw);
-      std::copy(w_col + ne, w_col + ne + nr,
-                panelT + static_cast<std::size_t>(t) *
-                             static_cast<std::size_t>(nr));
-    }
-    if (!supernode_panel_factorize(panelT, static_cast<std::size_t>(nr),
-                                   static_cast<std::size_t>(w),
-                                   options.refactor_pivot_tol, min_pivot_))
+    runtime::poll_cancel(options.cancel);
+    if (!refill_supernode(a, options, sn, ws.wbuf(), ws.z(), panels.data(),
+                          min_pivot))
       return false;
-
-    // Write the factor values along the exact patterns: external U
-    // entries from the workspace, intra entries and L from the panel.
-    for (index_t t = 0; t < w; ++t) {
-      const index_t c = k0 + t;
-      const double* w_col = wbuf.data() + static_cast<std::size_t>(t) *
-                                              static_cast<std::size_t>(ldw);
-      const double* pcol = panelT + static_cast<std::size_t>(t) *
-                                        static_cast<std::size_t>(nr);
-      const index_t ub = s.u_colptr_[static_cast<std::size_t>(c)];
-      const index_t ud = s.u_colptr_[static_cast<std::size_t>(c) + 1] - 1;
-      for (index_t p = ub; p < ud; ++p) {
-        const index_t lv = s.u_local_[static_cast<std::size_t>(p)];
-        u_vals_[static_cast<std::size_t>(p)] =
-            lv < ne ? w_col[lv] : pcol[lv - ne];
-      }
-      u_vals_[static_cast<std::size_t>(ud)] = pcol[t];
-
-      const index_t lb = s.l_colptr_[static_cast<std::size_t>(c)];
-      const index_t le = s.l_colptr_[static_cast<std::size_t>(c) + 1];
-      l_vals_[static_cast<std::size_t>(lb)] = 1.0;
-      for (index_t p = lb + 1; p < le; ++p)
-        l_vals_[static_cast<std::size_t>(p)] =
-            pcol[s.l_panel_[static_cast<std::size_t>(p)]];
-    }
   }
 
+  min_pivot_ = min_pivot;
+  fill_ratio_ = a.nnz() == 0
+                    ? 0.0
+                    : static_cast<double>(s.l_rows_.size() +
+                                          s.u_rows_.size()) /
+                          static_cast<double>(a.nnz());
+  return true;
+}
+
+bool SparseLU::refactor_numeric_blocked_parallel(
+    const CscMatrix& a, const SparseLuOptions& options) {
+  MATEX_CHECK(options.refactor_pivot_tol > 0.0 &&
+                  options.refactor_pivot_tol <= 1.0,
+              "refactor_pivot_tol must be in (0, 1]");
+  runtime::ThreadPool& pool = *options.pool;
+  const SymbolicLU& s = *sym_;
+  const index_t ns = s.num_supernodes();
+  l_vals_.assign(s.l_rows_.size(), 0.0);
+  u_vals_.assign(s.u_rows_.size(), 0.0);
+  std::vector<double> panels(
+      static_cast<std::size_t>(s.sn_panel_ptr_.back()), 0.0);
+
+  // Bottom-up schedule over the supernodal elimination tree. Every
+  // supernode is one panel task; its dependency count is its number of
+  // external update sources (task_ptr_ run length). A task runs the
+  // exact serial per-supernode kernel -- scatter A, apply all external
+  // updates in ascending source order, factorize, write out -- so the
+  // floating-point sequence per supernode is identical to the serial
+  // path regardless of thread count or completion order. When a panel
+  // retires it decrements each dependent's count (dep_out_ transpose);
+  // a count reaching zero means the dependent's last external update
+  // source is final, and its task fires. Writers never share cells:
+  // panels, l_vals_ and u_vals_ are sliced per supernode, and each task
+  // owns a private workspace leased from a freelist.
+  struct Shared {
+    std::vector<std::atomic<index_t>> deps;
+    std::atomic<long long> inflight{0};
+    std::atomic<bool> abort{false};
+    std::atomic<bool> pivot_trip{false};
+    std::mutex mutex;  // guards error, min_pivot, workspaces
+    std::exception_ptr error;
+    double min_pivot = std::numeric_limits<double>::infinity();
+    std::vector<std::unique_ptr<SupernodeWorkspace>> workspaces;
+  };
+  Shared st;
+  st.deps = std::vector<std::atomic<index_t>>(static_cast<std::size_t>(ns));
+  for (index_t sn = 0; sn < ns; ++sn)
+    st.deps[static_cast<std::size_t>(sn)].store(
+        s.task_ptr_[static_cast<std::size_t>(sn) + 1] -
+            s.task_ptr_[static_cast<std::size_t>(sn)],
+        std::memory_order_relaxed);
+
+  std::function<void(index_t)> panel_task;
+  const auto spawn = [&](index_t sn) {
+    st.inflight.fetch_add(1);
+    try {
+      pool.submit([&panel_task, sn] { panel_task(sn); });
+    } catch (...) {
+      st.inflight.fetch_sub(1);
+      throw;
+    }
+  };
+  panel_task = [&](index_t sn) {
+    try {
+      if (!st.abort.load()) {
+        MATEX_SPAN("panel", "sn", sn, "w",
+                   s.sn_ptr_[static_cast<std::size_t>(sn) + 1] -
+                       s.sn_ptr_[static_cast<std::size_t>(sn)]);
+        // Panel-task boundary: a fired token unwinds the whole refill
+        // (every task bails via `abort`) within one task's latency.
+        runtime::poll_cancel(options.cancel);
+        std::unique_ptr<SupernodeWorkspace> ws;
+        {
+          const std::lock_guard<std::mutex> lock(st.mutex);
+          if (!st.workspaces.empty()) {
+            ws = std::move(st.workspaces.back());
+            st.workspaces.pop_back();
+          }
+        }
+        if (!ws)
+          ws = std::make_unique<SupernodeWorkspace>(
+              static_cast<std::size_t>(s.max_workspace_cells_),
+              static_cast<std::size_t>(s.max_panel_rows_));
+        double local_min = std::numeric_limits<double>::infinity();
+        const bool ok = refill_supernode(a, options, sn, ws->wbuf(),
+                                         ws->z(), panels.data(), local_min);
+        {
+          const std::lock_guard<std::mutex> lock(st.mutex);
+          st.min_pivot = std::min(st.min_pivot, local_min);
+          st.workspaces.push_back(std::move(ws));
+        }
+        if (!ok) {
+          // Pivot-tolerance trip: abandon the refill. The caller falls
+          // back to the scalar replay, which sees the same values
+          // through the same operation sequence and trips on the same
+          // column.
+          st.pivot_trip.store(true);
+          st.abort.store(true);
+        } else {
+          for (index_t e = s.dep_out_ptr_[static_cast<std::size_t>(sn)];
+               e < s.dep_out_ptr_[static_cast<std::size_t>(sn) + 1]; ++e) {
+            const index_t t = s.dep_out_[static_cast<std::size_t>(e)];
+            if (st.deps[static_cast<std::size_t>(t)].fetch_sub(1) == 1)
+              spawn(t);
+          }
+        }
+      }
+    } catch (...) {
+      st.abort.store(true);
+      const std::lock_guard<std::mutex> lock(st.mutex);
+      if (!st.error) st.error = std::current_exception();
+    }
+    st.inflight.fetch_sub(1);
+  };
+
+  // Seed the leaves and help the pool until every spawned task has
+  // retired -- also on abort or error, so no task can outlive the shared
+  // state on this frame. Leaves are the *structurally* source-free
+  // supernodes: seeding off the live counters instead would double-spawn
+  // a target whose last source retires while this loop is still running
+  // (its own fetch_sub already fired the task).
+  try {
+    for (index_t sn = 0; sn < ns; ++sn)
+      if (s.task_ptr_[static_cast<std::size_t>(sn) + 1] ==
+          s.task_ptr_[static_cast<std::size_t>(sn)])
+        spawn(sn);
+  } catch (...) {
+    st.abort.store(true);
+    pool.help_until([&] { return st.inflight.load() == 0; });
+    throw;
+  }
+  pool.help_until([&] { return st.inflight.load() == 0; });
+
+  if (st.error) std::rethrow_exception(st.error);
+  if (st.pivot_trip.load()) return false;
+  min_pivot_ = st.min_pivot;
   fill_ratio_ = a.nnz() == 0
                     ? 0.0
                     : static_cast<double>(s.l_rows_.size() +

@@ -13,6 +13,7 @@ void write_transient_stats(solver::JsonWriter& w,
   w.key("factorizations").value(s.factorizations);
   w.key("refactorizations").value(s.refactorizations);
   w.key("supernodal_refactorizations").value(s.supernodal_refactorizations);
+  w.key("parallel_refactorizations").value(s.parallel_refactorizations);
   w.key("krylov_subspaces").value(s.krylov_subspaces);
   w.key("krylov_dim_avg").value(s.krylov_dim_avg());
   w.key("krylov_dim_peak").value(s.krylov_dim_peak);
@@ -28,6 +29,9 @@ void write_factor_cache_stats(solver::JsonWriter& w,
   w.key("symbolic_hits").value(s.symbolic_hits);
   w.key("refactor_fallbacks").value(s.refactor_fallbacks);
   w.key("supernodal_refactors").value(s.supernodal_refactors);
+  w.key("parallel_refactors").value(s.parallel_refactors);
+  w.key("factor_errors").value(s.factor_errors);
+  w.key("factor_cancellations").value(s.factor_cancellations);
   w.key("evictions").value(s.evictions);
   w.key("bytes_resident").value(s.bytes_resident);
   w.key("bytes_evicted").value(s.bytes_evicted);

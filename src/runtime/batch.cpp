@@ -97,7 +97,8 @@ const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
 }
 
 void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios,
-                                  const std::vector<char>& skip) {
+                                  const std::vector<char>& skip,
+                                  const CancelToken* cancel) {
   if (cache_.capacity() == 0) return;
   // Group the campaign's factorization requests by (deck, Vdd, LU
   // options): one pool task per group, operators within a group in
@@ -144,19 +145,37 @@ void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios,
   }
   std::vector<std::future<void>> tasks;
   tasks.reserve(groups.size());
+  std::atomic<bool> prewarm_cancelled{false};
   for (const auto& [key, requests] : groups) {
-    tasks.push_back(pool_->submit([this, key = key, requests = requests] {
+    tasks.push_back(pool_->submit([this, cancel, &prewarm_cancelled,
+                                   key = key, requests = requests] {
+      if (prewarm_cancelled.load()) return;
       try {
         MATEX_SPAN("cache.prewarm", "deck", key.deck_index, "operators",
                    requests.size());
+        poll_cancel(cancel);
         const circuit::MnaSystem& mna = variant_mna(
             key.deck_index, std::bit_cast<double>(key.vdd_bits));
         const std::uint64_t fp_g = fingerprint(mna.g());
         const std::uint64_t fp_c = fingerprint(mna.c());
-        cache_.g_factors(fp_g, mna.g(), key.lu);
+        // Thread the shared pool and the campaign token into the
+        // factorization itself: a refill past the parallel crossover
+        // schedules its panel tasks across this same pool, and a token
+        // fired mid-refill unwinds at the next panel-task boundary.
+        la::SparseLuOptions lu = key.lu;
+        lu.pool = pool_;
+        lu.cancel = cancel;
+        cache_.g_factors(fp_g, mna.g(), lu);
         for (const auto& [kind, gamma] : requests)
           cache_.operator_factors(fp_c, fp_g, mna.c(), mna.g(), kind,
-                                  gamma, key.lu);
+                                  gamma, lu);
+      } catch (const CancelledError&) {
+        // A fired campaign token is cancellation, not a prewarm error:
+        // it must neither be swallowed into the error count nor keep
+        // the remaining groups factorizing. The fan-out below then
+        // reports every scenario as cancelled.
+        prewarm_cancelled.store(true);
+        obs::instant("cache.prewarm_cancelled", "deck", key.deck_index);
       } catch (...) {
         // The owning scenario reports the failure when it runs; prewarm
         // only loses the head start. Classified so the trace records
@@ -217,7 +236,7 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
     journal = std::make_unique<CheckpointWriter>(options_.checkpoint_path);
   }
 
-  if (options_.prewarm) prewarm_factors(scenarios, restored);
+  if (options_.prewarm) prewarm_factors(scenarios, restored, &campaign_cancel);
 
   std::mutex sink_mutex;
   std::atomic<int> failures{0};

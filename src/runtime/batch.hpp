@@ -170,11 +170,15 @@ class BatchEngine {
   /// Factorizes every distinct (variant, operator) combination the
   /// campaign will request, before any scenario starts (see
   /// BatchOptions::prewarm). `skip` (empty = none) masks scenarios whose
-  /// results were restored from a checkpoint. Errors are classified and
+  /// results were restored from a checkpoint. The shared pool and
+  /// `cancel` are threaded into each factorization (parallel blocked
+  /// refills; panel-granular cancellation). Errors are classified and
   /// traced, then swallowed: a broken scenario reports its own failure
-  /// when it runs.
+  /// when it runs. A fired `cancel` stops the prewarm instead of being
+  /// counted as an error.
   void prewarm_factors(std::span<const ScenarioSpec> scenarios,
-                       const std::vector<char>& skip);
+                       const std::vector<char>& skip,
+                       const CancelToken* cancel);
 
   BatchOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;

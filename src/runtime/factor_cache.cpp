@@ -111,6 +111,7 @@ std::shared_ptr<la::SparseLU> FactorCache::factorize_with_symbolic(
   if (lu->refactored()) {
     ++stats_.symbolic_hits;
     if (lu->refactored_supernodal()) ++stats_.supernodal_refactors;
+    if (lu->refactored_parallel()) ++stats_.parallel_refactors;
     return lu;
   }
   if (had_symbolic) ++stats_.refactor_fallbacks;
@@ -149,27 +150,40 @@ FactorCache::Entry FactorCache::get_or_factorize(
   }
 
   std::promise<std::shared_ptr<la::SparseLU>> promise;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
+  for (;;) {
+    std::shared_future<std::shared_ptr<la::SparseLU>> leader_future;
+    bool wait_for_leader = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = map_.find(key);
+      if (it == map_.end()) {
+        ++stats_.misses;
+        Slot slot;
+        slot.future = promise.get_future().share();
+        lru_.push_front(key);
+        slot.lru_it = lru_.begin();
+        map_.emplace(key, std::move(slot));
+        break;  // this caller leads the factorization below
+      }
       ++stats_.hits;
-      const bool wait_for_leader = !it->second.ready;
+      wait_for_leader = !it->second.ready;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      auto future = it->second.future;
-      lock.unlock();
-      obs::instant("cache.hit", "family", family_name(key.family),
-                   "in_flight", wait_for_leader ? 1 : 0);
-      // May wait for an in-flight leader; either way the factorization
-      // cost is paid once (a failed leader rethrows here too).
-      return {future.get(), true};
+      leader_future = it->second.future;
     }
-    ++stats_.misses;
-    Slot slot;
-    slot.future = promise.get_future().share();
-    lru_.push_front(key);
-    slot.lru_it = lru_.begin();
-    map_.emplace(key, std::move(slot));
+    obs::instant("cache.hit", "family", family_name(key.family),
+                 "in_flight", wait_for_leader ? 1 : 0);
+    // May wait for an in-flight leader; either way the factorization
+    // cost is paid once (a failed leader rethrows here too).
+    try {
+      return {leader_future.get(), true};
+    } catch (const CancelledError&) {
+      // The in-flight leader was cancelled -- *its* caller sees the
+      // CancelledError, but this caller was not cancelled and must not
+      // inherit it (a scenario would be miscounted as cancelled). The
+      // slot is erased before the exception is published, so retrying
+      // the lookup misses and this caller factorizes for itself.
+      continue;
+    }
   }
 
   solver::Stopwatch clock;
@@ -179,14 +193,33 @@ FactorCache::Entry FactorCache::get_or_factorize(
     MATEX_FAILPOINT("factor_cache.insert");
     factors = factorize();
   } catch (...) {
-    auto error = std::current_exception();
-    promise.set_exception(error);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      lru_.erase(it->second.lru_it);
-      map_.erase(it);
+    const auto error = std::current_exception();
+    // Classified, not anonymous: cancellations and real failures are
+    // counted apart, the traced error_kind is never empty, and the
+    // original exception always propagates (CancelledError included --
+    // a cancelled prewarm must unwind, not be swallowed into a miss).
+    const ClassifiedError classified = classify_exception(error);
+    obs::instant("cache.factor_error", "family", family_name(key.family),
+                 "kind",
+                 obs::trace_enabled() ? obs::intern(classified.kind)
+                                      : nullptr);
+    {
+      // Erase the slot *before* publishing the exception: a waiter woken
+      // by a cancelled leader retries its lookup, and the retry must
+      // miss (becoming the new leader) rather than find the failed slot
+      // again.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (classified.cls == ErrorClass::kCancelled)
+        ++stats_.factor_cancellations;
+      else
+        ++stats_.factor_errors;
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        lru_.erase(it->second.lru_it);
+        map_.erase(it);
+      }
     }
+    promise.set_exception(error);
     std::rethrow_exception(error);
   }
   promise.set_value(factors);

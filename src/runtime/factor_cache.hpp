@@ -80,6 +80,19 @@ struct FactorCacheStats {
   /// Symbolic hits whose refill ran the blocked supernodal kernel
   /// (subset of symbolic_hits; the rest replayed column-at-a-time).
   long long supernodal_refactors = 0;
+  /// Supernodal refills scheduled across a thread pool (subset of
+  /// supernodal_refactors; SparseLuOptions::pool was set and the plan
+  /// cleared the parallel crossover).
+  long long parallel_refactors = 0;
+  /// Leader factorizations that threw a non-cancellation error (the
+  /// classified kind is traced as cache.factor_error and the exception
+  /// rethrown; the slot is removed so a retry factorizes afresh).
+  long long factor_errors = 0;
+  /// Leader factorizations that were cancelled mid-flight. The
+  /// CancelledError propagates to the cancelled caller only; waiters on
+  /// the in-flight slot retry and factorize for themselves instead of
+  /// being miscounted as cancelled.
+  long long factor_cancellations = 0;
   /// Heap bytes currently held by resident factorizations (a level, not a
   /// monotonic counter; see SparseLU::memory_bytes() for what is counted).
   long long bytes_resident = 0;

@@ -39,6 +39,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(Task task, bool fifo) {
+  // Both counters rise before the task becomes poppable: a concurrent
+  // wait_idle() that reads inflight_ == 0 is guaranteed the task either
+  // has not been published yet (the submitter is still in enqueue) or has
+  // fully finished. Incrementing after the push would let a worker pop
+  // and even complete the task while wait_idle() still sees zero.
+  inflight_.fetch_add(1);
+  pending_.fetch_add(1);
   if (!fifo && tl_pool == this) {
     Worker& w = *queues_[tl_index];
     const std::lock_guard<std::mutex> lock(w.mutex);
@@ -47,7 +54,6 @@ void ThreadPool::enqueue(Task task, bool fifo) {
     const std::lock_guard<std::mutex> lock(inject_mutex_);
     inject_.push_back(std::move(task));
   }
-  pending_.fetch_add(1);
   wake_.notify_one();
 }
 
@@ -101,9 +107,6 @@ bool ThreadPool::try_pop(Task& out, std::size_t self_index, bool is_worker,
 }
 
 void ThreadPool::execute(Task& task, bool helped) {
-  // executing_ rises before pending_ falls so wait_idle() can never
-  // observe both at zero while a popped task has yet to run.
-  executing_.fetch_add(1);
   pending_.fetch_sub(1);
   solver::Stopwatch clock;
   {
@@ -111,7 +114,11 @@ void ThreadPool::execute(Task& task, bool helped) {
     task.fn();
   }
   const double seconds = clock.seconds();
-  executing_.fetch_sub(1);
+  // The inflight_ decrement is the task's retirement point: it is
+  // sequenced after the body, so a wait_idle() that observes zero
+  // synchronizes with every retired task's side effects (each seq_cst
+  // fetch_sub is a release the idle load acquires).
+  inflight_.fetch_sub(1);
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.tasks_executed;
@@ -168,8 +175,7 @@ void ThreadPool::help_until(const std::function<bool()>& done) {
 }
 
 void ThreadPool::wait_idle() {
-  help_until(
-      [this] { return pending_.load() == 0 && executing_.load() == 0; });
+  help_until([this] { return inflight_.load() == 0; });
 }
 
 ThreadPoolStats ThreadPool::stats() const {

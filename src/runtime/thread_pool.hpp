@@ -162,8 +162,13 @@ class ThreadPool {
 
   std::mutex wake_mutex_;
   std::condition_variable wake_;
-  std::atomic<long long> pending_{0};    // queued, not yet started
-  std::atomic<long long> executing_{0};  // started, not yet finished
+  std::atomic<long long> pending_{0};   // queued, not yet started
+  // Tasks submitted but not yet finished (queued or executing). A single
+  // counter, incremented before the task becomes poppable and decremented
+  // only after its body ran: the idle predicate is one atomic load, with
+  // no window where a task has left `pending_` but not yet entered an
+  // `executing_` count (the two-counter race wait_idle() used to have).
+  std::atomic<long long> inflight_{0};
   std::atomic<bool> stop_{false};
 
   mutable std::mutex stats_mutex_;

@@ -103,6 +103,7 @@ TransientStats run_adaptive_trapezoidal(const circuit::MnaSystem& mna,
       if (lu->refactored()) {
         ++stats.refactorizations;
         if (lu->refactored_supernodal()) ++stats.supernodal_refactorizations;
+        if (lu->refactored_parallel()) ++stats.parallel_refactorizations;
       }
     } else {
       lu = std::make_unique<la::SparseLU>(sys, options.lu_options);

@@ -313,6 +313,36 @@ TEST(Cancellation, DeadlineStopsALongRunWithinASolverStep) {
   EXPECT_LT(sw.seconds(), 10.0);
 }
 
+TEST(Cancellation, DeadlineStopsAParallelRefactorRunWithinAStep) {
+  // The within-one-step deadline contract with the parallel blocked
+  // refill in the loop: lu_options carry the shared pool and the same
+  // token, so the deadline is honored both at step boundaries and at
+  // panel-task boundaries inside a refactorization.
+  const Netlist n = make_pdn();
+  const MnaSystem mna(n);
+  const auto dc = solver::dc_operating_point(mna);
+  ThreadPool pool(2);
+  CancelToken token;
+  token.set_deadline_after(0.05);
+
+  solver::FixedStepOptions opt;
+  opt.t_end = 1000.0;
+  opt.h = 1e-4;
+  opt.cancel = &token;
+  opt.lu_options.supernodal = la::SupernodalMode::kAlways;
+  opt.lu_options.pool = &pool;
+  opt.lu_options.cancel = &token;
+  const solver::Stopwatch sw;
+  EXPECT_THROW(run_fixed_step(mna, dc.x, solver::StepMethod::kTrapezoidal,
+                              opt, solver::Observer()),
+               CancelledError);
+  EXPECT_LT(sw.seconds(), 10.0);
+  // The pool is idle and reusable after the unwind.
+  pool.wait_idle();
+  auto ok = pool.submit([] { return 1; });
+  EXPECT_EQ(pool.await(ok), 1);
+}
+
 TEST(Cancellation, CrossThreadCancelUnblocksScheduler) {
   const Netlist n = make_pdn();
   const MnaSystem mna(n);
@@ -377,6 +407,75 @@ TEST(ThreadPoolFaults, CancellationUnderNestedAwaitUnwindsCleanly) {
   auto ok = pool.submit([] { return 1; });
   EXPECT_EQ(pool.await(ok), 1);
   EXPECT_GT(finished.load(), 0);
+}
+
+// ------------------------------------------------- factor cache under faults
+
+TEST(FactorCacheFaults, InsertFailpointPropagatesAndRetrySucceeds) {
+  // Regression for the old anonymous `catch (...)` at the leader's
+  // factorization: a failure is classified (never an empty kind), counted
+  // as a factor error, and the slot is erased -- not poisoned -- so the
+  // next request factorizes afresh and the key caches normally.
+  FailpointPlan plan;
+  plan.rules.push_back(
+      rule("factor_cache.insert", FailpointAction::kThrow, 1));
+  ScopedFailpoints armed(std::move(plan));
+  FactorCache cache;
+  const auto g = testing::grid_laplacian(6, 6);
+  const la::SparseLuOptions opt;
+  EXPECT_THROW(cache.g_factors(g, opt), NumericalError);
+  const auto after_error = cache.stats();
+  EXPECT_EQ(after_error.factor_errors, 1);
+  EXPECT_EQ(after_error.factor_cancellations, 0);
+  EXPECT_EQ(cache.size(), 0);
+  const auto entry = cache.g_factors(g, opt);
+  EXPECT_FALSE(entry.hit);
+  ASSERT_NE(entry.factors, nullptr);
+  const auto again = cache.g_factors(g, opt);
+  EXPECT_TRUE(again.hit);
+  EXPECT_EQ(again.factors.get(), entry.factors.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.factor_errors, 1);
+}
+
+TEST(FactorCacheFaults, CancelledLeaderWaiterRetriesAndIsNotMiscounted) {
+  // A cancelled leader unwinds with CancelledError -- but only *its*
+  // caller was cancelled. A waiter joined on the in-flight slot must not
+  // inherit the cancellation: the slot is erased before the exception is
+  // published, so the waiter retries, misses, and factorizes for itself.
+  FactorCache cache;
+  const auto g = testing::grid_laplacian(6, 7);
+  FactorKey key;
+  key.fp_b = fingerprint(g);
+  key.family = FactorKey::Family::kG;
+  std::atomic<bool> leader_started{false};
+  auto leader = std::async(std::launch::async, [&] {
+    return cache.get_or_factorize(
+        key, [&]() -> std::shared_ptr<la::SparseLU> {
+          leader_started.store(true);
+          // Hold until the waiter's lookup joined the in-flight slot
+          // (counted as a hit before it blocks on the future).
+          while (cache.stats().hits == 0) std::this_thread::yield();
+          throw CancelledError("leader cancelled");
+        });
+  });
+  while (!leader_started.load()) std::this_thread::yield();
+  auto waiter = std::async(std::launch::async, [&] {
+    return cache.get_or_factorize(
+        key, [&] { return std::make_shared<la::SparseLU>(g); });
+  });
+  EXPECT_THROW(leader.get(), CancelledError);
+  const auto entry = waiter.get();  // must NOT throw CancelledError
+  ASSERT_NE(entry.factors, nullptr);
+  EXPECT_FALSE(entry.hit);  // served by its own retry factorization
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.factor_cancellations, 1);
+  EXPECT_EQ(stats.factor_errors, 0);
+  EXPECT_EQ(stats.misses, 2);  // leader + the waiter's retry
+  EXPECT_EQ(stats.hits, 1);    // the waiter's first lookup
+  EXPECT_EQ(cache.size(), 1);  // the waiter's factors are resident
 }
 
 // ------------------------------------------------------- cache byte budget
@@ -635,6 +734,37 @@ TEST(BatchEngineFaults, CancelledCampaignReportsCancelledNotFailed) {
     EXPECT_EQ(r.error_kind, "Cancelled");
     EXPECT_EQ(r.attempts, 1);
   }
+  // The cancelled prewarm bailed cleanly: not swallowed into the error
+  // count, not miscounted as a factorization cancellation (it polls the
+  // token before asking the cache for anything).
+  const auto cache_stats = engine.factor_cache().stats();
+  EXPECT_EQ(cache_stats.factor_errors, 0);
+  EXPECT_EQ(cache_stats.factor_cancellations, 0);
+}
+
+TEST(BatchEngineFaults, CampaignSurvivesCacheInsertAndStepFaults) {
+  // Both PR-8 failpoints armed at once on a multi-scenario campaign: the
+  // cache-insert fault hits the prewarm (classified and absorbed -- the
+  // head start is lost, nothing fails), and the step fault fails one
+  // scenario transiently, which retries to success.
+  FailpointPlan plan;
+  plan.rules.push_back(
+      rule("factor_cache.insert", FailpointAction::kThrow, 1));
+  plan.rules.push_back(rule("solver.step", FailpointAction::kThrow, 3));
+  ScopedFailpoints armed(std::move(plan));
+
+  BatchEngine engine{BatchOptions{}};
+  engine.add_deck("pdn", make_pdn());
+  const std::vector<ScenarioSpec> scenarios = {pdn_spec("a"), pdn_spec("b"),
+                                               pdn_spec("c")};
+  const auto report = engine.run(scenarios);
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_EQ(report.cancelled, 0);
+  EXPECT_GE(report.retries, 1);
+  for (const auto& r : report.results) EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GE(failpoint_fire_count("factor_cache.insert"), 1);
+  EXPECT_GE(failpoint_fire_count("solver.step"), 1);
+  EXPECT_GE(engine.factor_cache().stats().factor_errors, 1);
 }
 
 TEST(BatchEngineFaults, CampaignDeadlineCancelsWithoutPoisoningResults) {

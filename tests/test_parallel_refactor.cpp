@@ -1,0 +1,224 @@
+/// \file test_parallel_refactor.cpp
+/// \brief Parallel supernodal refactorization: bitwise identity against
+///        the serial blocked kernel at every thread count, the pivot-trip
+///        fallback chain, the kAuto crossover, panel-boundary
+///        cancellation, and the cache-side parallel counters.
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "la/sparse_lu.hpp"
+#include "la/vector_ops.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/factor_cache.hpp"
+#include "runtime/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace matex::la {
+namespace {
+
+/// Returns a copy of `a` with every stored value replaced (same pattern).
+CscMatrix with_scaled_values(const CscMatrix& a, double factor,
+                             double diag_boost) {
+  TripletMatrix t(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+      const index_t i = a.row_idx()[p];
+      t.add(i, j, a.values()[p] * factor + (i == j ? diag_boost : 0.0));
+    }
+  return t.to_csc();
+}
+
+std::vector<double> residual(const CscMatrix& a, std::span<const double> x,
+                             std::span<const double> b) {
+  std::vector<double> r(b.begin(), b.end());
+  a.multiply_add(-1.0, x, r);
+  return r;
+}
+
+/// Thread counts the identity tests pin down: serial-equivalent, minimal
+/// contention, and whatever the machine actually has.
+std::vector<int> identity_thread_counts() {
+  std::vector<int> counts{1, 2};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+TEST(ParallelRefactor, BitwiseIdenticalToSerialAcrossThreadCounts) {
+  testing::Rng rng(51);
+  std::vector<CscMatrix> cases;
+  cases.push_back(testing::grid_laplacian(10, 12));
+  cases.push_back(testing::random_sparse_spd_like(70, 0.12, rng));
+  cases.push_back(testing::random_sparse_spd_like(40, 0.3, rng));
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const CscMatrix& a = cases[ci];
+    const SparseLU fresh(a);
+    const auto a2 = with_scaled_values(a, 2.25, 0.75);
+    SparseLuOptions serial_opt;
+    serial_opt.supernodal = SupernodalMode::kAlways;
+    const SparseLU serial(a2, fresh.symbolic(), serial_opt);
+    ASSERT_TRUE(serial.refactored()) << "case " << ci;
+    EXPECT_FALSE(serial.refactored_parallel()) << "case " << ci;
+    const auto b = testing::random_vector(
+        static_cast<std::size_t>(a.rows()), rng);
+    const auto xs = serial.solve(b);
+    const auto ts = serial.solve_transpose(b);
+    for (const int threads : identity_thread_counts()) {
+      runtime::ThreadPool pool(threads);
+      SparseLuOptions par_opt = serial_opt;
+      par_opt.pool = &pool;
+      const SparseLU par(a2, fresh.symbolic(), par_opt);
+      ASSERT_TRUE(par.refactored()) << "case " << ci << " t " << threads;
+      EXPECT_TRUE(par.refactored_supernodal())
+          << "case " << ci << " t " << threads;
+      EXPECT_TRUE(par.refactored_parallel())
+          << "case " << ci << " t " << threads;
+      // min-abs-pivot merges commutatively, so it is exact too.
+      EXPECT_EQ(par.min_abs_pivot(), serial.min_abs_pivot())
+          << "case " << ci << " t " << threads;
+      const auto xp = par.solve(b);
+      const auto tp = par.solve_transpose(b);
+      for (std::size_t i = 0; i < xp.size(); ++i)
+        EXPECT_EQ(xp[i], xs[i])
+            << "case " << ci << " t " << threads << " i " << i;
+      for (std::size_t i = 0; i < tp.size(); ++i)
+        EXPECT_EQ(tp[i], ts[i])
+            << "case " << ci << " t " << threads << " i " << i;
+    }
+  }
+}
+
+TEST(ParallelRefactor, RepeatedParallelRefillsAreDeterministic) {
+  // Same values, many refills on a shared pool: completion order varies,
+  // results must not (every panel runs the exact serial kernel).
+  testing::Rng rng(52);
+  const auto a = testing::grid_laplacian(11, 9);
+  SparseLuOptions opt;
+  opt.supernodal = SupernodalMode::kAlways;
+  const SparseLU fresh(a, opt);
+  const auto b = testing::random_vector(
+      static_cast<std::size_t>(a.rows()), rng);
+  runtime::ThreadPool pool(2);
+  opt.pool = &pool;
+  const SparseLU first(a, fresh.symbolic(), opt);
+  ASSERT_TRUE(first.refactored_parallel());
+  const auto x0 = first.solve(b);
+  for (int r = 0; r < 8; ++r) {
+    const SparseLU refill(a, fresh.symbolic(), opt);
+    ASSERT_TRUE(refill.refactored_parallel()) << "refill " << r;
+    EXPECT_EQ(refill.min_abs_pivot(), first.min_abs_pivot())
+        << "refill " << r;
+    const auto x = refill.solve(b);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      EXPECT_EQ(x[i], x0[i]) << "refill " << r << " i " << i;
+  }
+}
+
+TEST(ParallelRefactor, PivotViolationFallsBackAndRecovers) {
+  // The blocked-kernel fallback test forced through the parallel
+  // scheduler: the frozen pivot trips inside a panel task, the refill
+  // aborts, and the constructor walks the same fallback chain as the
+  // serial kernel (blocked -> scalar replay -> full factorization).
+  TripletMatrix t1(2, 2);
+  t1.add(0, 0, 4.0);
+  t1.add(0, 1, 1.0);
+  t1.add(1, 0, 1.0);
+  t1.add(1, 1, 4.0);
+  TripletMatrix t2(2, 2);
+  t2.add(0, 0, 1e-13);
+  t2.add(0, 1, 1.0);
+  t2.add(1, 0, 1.0);
+  t2.add(1, 1, 1e-13);
+  runtime::ThreadPool pool(2);
+  SparseLuOptions opt;
+  opt.supernodal = SupernodalMode::kAlways;
+  opt.pool = &pool;
+  const SparseLU fresh(t1.to_csc(), opt);
+  const auto a2 = t2.to_csc();
+  const SparseLU fallback(a2, fresh.symbolic(), opt);
+  EXPECT_FALSE(fallback.refactored());
+  EXPECT_FALSE(fallback.refactored_supernodal());
+  EXPECT_FALSE(fallback.refactored_parallel());
+  std::vector<double> b{1.0, 2.0};
+  const auto x = fallback.solve(b);
+  EXPECT_LE(norm_inf(residual(a2, x, b)), 1e-12);
+}
+
+TEST(ParallelRefactor, AutoModeStaysSerialBelowTheCrossover) {
+  // A small mesh never clears the parallel crossover: under kAuto a
+  // supplied pool must be ignored (scheduling overhead would swamp the
+  // panels), and the result still matches the serial refill bitwise.
+  testing::Rng rng(53);
+  const auto a = testing::grid_laplacian(9, 11);
+  const SparseLU fresh(a);
+  ASSERT_FALSE(fresh.symbolic()->parallel_profitable());
+  const auto a2 = with_scaled_values(a, 1.5, 0.25);
+  SparseLuOptions serial_opt;  // kAuto default
+  const SparseLU serial(a2, fresh.symbolic(), serial_opt);
+  runtime::ThreadPool pool(2);
+  SparseLuOptions pooled_opt;
+  pooled_opt.pool = &pool;
+  const SparseLU pooled(a2, fresh.symbolic(), pooled_opt);
+  ASSERT_TRUE(pooled.refactored());
+  EXPECT_FALSE(pooled.refactored_parallel());
+  const auto b = testing::random_vector(
+      static_cast<std::size_t>(a.rows()), rng);
+  const auto x1 = serial.solve(b);
+  const auto x2 = pooled.solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+}
+
+TEST(ParallelRefactor, FiredTokenUnwindsTheRefillAndTheFactorsRecover) {
+  // Panel-task boundary cancellation: a fired token makes the parallel
+  // refill throw CancelledError instead of returning partial factors,
+  // and the same symbolic analysis factorizes fine once the token is
+  // out of the picture.
+  const auto a = testing::grid_laplacian(10, 10);
+  runtime::ThreadPool pool(2);
+  SparseLuOptions opt;
+  opt.supernodal = SupernodalMode::kAlways;
+  opt.pool = &pool;
+  const SparseLU fresh(a, opt);
+  runtime::CancelToken token;
+  token.cancel();
+  SparseLuOptions cancelled = opt;
+  cancelled.cancel = &token;
+  EXPECT_THROW(SparseLU(a, fresh.symbolic(), cancelled), CancelledError);
+  // The pool survives the unwind and the refill works without the token.
+  pool.wait_idle();
+  const SparseLU again(a, fresh.symbolic(), opt);
+  EXPECT_TRUE(again.refactored_parallel());
+  EXPECT_EQ(again.min_abs_pivot(), fresh.min_abs_pivot());
+}
+
+TEST(ParallelRefactor, FactorCacheCountsParallelRefills) {
+  // The cache threads SparseLuOptions through to the refill, so a
+  // same-pattern second request with a pool runs the parallel kernel and
+  // shows up in stats().parallel_refactors.
+  const auto a = testing::grid_laplacian(10, 12);
+  const auto a2 = with_scaled_values(a, 2.0, 0.5);
+  runtime::ThreadPool pool(2);
+  SparseLuOptions opt;
+  opt.supernodal = SupernodalMode::kAlways;
+  opt.pool = &pool;
+  runtime::FactorCache cache;
+  cache.g_factors(a, opt);   // miss: full factorization, caches symbolic
+  cache.g_factors(a2, opt);  // same pattern: parallel blocked refill
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.symbolic_hits, 1);
+  EXPECT_EQ(stats.supernodal_refactors, 1);
+  EXPECT_EQ(stats.parallel_refactors, 1);
+  EXPECT_EQ(stats.factor_errors, 0);
+  EXPECT_EQ(stats.factor_cancellations, 0);
+}
+
+}  // namespace
+}  // namespace matex::la

@@ -99,6 +99,26 @@ TEST(ThreadPool, WaitIdleDrainsAllTasks) {
   EXPECT_EQ(done.load(), 32);
 }
 
+TEST(ThreadPool, WaitIdleSubmitCycleStress) {
+  // Regression for the wait_idle() two-loads race: the old idle check
+  // read the queued and executing counters separately, so a task popped
+  // between the loads made wait_idle() return while the task still ran.
+  // Tight submit/wait_idle cycles with instant tasks maximize that
+  // window; with the single in-flight counter every cycle must observe
+  // all of its tasks finished. Runs in the TSan leg.
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  int expected = 0;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const int batch = 1 + cycle % 4;
+    for (int i = 0; i < batch; ++i)
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    expected += batch;
+    pool.wait_idle();
+    ASSERT_EQ(done.load(), expected) << "cycle " << cycle;
+  }
+}
+
 TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1);
