@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/thread_annotations.hpp"
 #include "la/error.hpp"
 #include "obs/trace.hpp"
 #include "runtime/factor_cache.hpp"
@@ -114,35 +115,24 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
   // frontier's own -- earlier-started -- node is still running: live
   // buffers are bounded by the number of executing threads, not by the
   // group count.
-  std::mutex merge_mutex;
-  std::map<std::size_t, std::vector<double>> staged;
-  std::size_t merge_next = 0;
-  double superposition_seconds = 0.0;
-  std::exception_ptr first_error;
-  std::atomic<bool> aborted{false};  // lock-free mirror of first_error
-
-  const auto drain_staged_locked = [&] {
-    while (!staged.empty() && staged.begin()->first == merge_next) {
-      MATEX_SPAN("superpose", "node", merge_next, "scenario",
-                 options.trace_label);
-      solver::Stopwatch sup_clock;
-      const std::vector<double>& buffer = staged.begin()->second;
-      for (std::size_t ti = 0; ti < t_count; ++ti) {
-        double* row = accum[ti].data();
-        const double* src = buffer.data() + ti * n;
-        for (std::size_t i = 0; i < n; ++i) row[i] += src[i];
-      }
-      superposition_seconds += sup_clock.seconds();
-      staged.erase(staged.begin());
-      ++merge_next;
-    }
-  };
+  struct MergeState {
+    core::Mutex mutex;
+    std::map<std::size_t, std::vector<double>> staged MATEX_GUARDED_BY(mutex);
+    std::size_t merge_next MATEX_GUARDED_BY(mutex) = 0;
+    double superposition_seconds MATEX_GUARDED_BY(mutex) = 0.0;
+    std::exception_ptr first_error MATEX_GUARDED_BY(mutex);
+    /// Lock-free mirror of first_error, a pre-lock short-circuit only.
+    std::atomic<bool> aborted{false};
+  } ms;
 
   // One emulated slave node: simulate group `gi` into a private buffer,
   // then hand it to the in-order superposition (the scheduler-side
   // write-back of Fig. 4).
   const auto run_node = [&](std::size_t gi) {
-    if (aborted.load()) return;  // a sibling failed; don't waste the work
+    // relaxed: purely a work-avoidance hint. The error itself travels
+    // under ms.mutex; a task that reads a stale false just simulates a
+    // group whose result is then discarded with everyone else's.
+    if (ms.aborted.load(std::memory_order_relaxed)) return;
     runtime::poll_cancel(options.cancel);
     MATEX_FAILPOINT("scheduler.node");
     const SourceGroup& group = decomp.groups[gi];
@@ -187,7 +177,7 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
         .arg("cache_hits", report.cache_hits);
     if (!options.share_factorizations) report.stats.total_seconds = node_total;
 
-    const std::lock_guard<std::mutex> lock(merge_mutex);
+    const core::MutexLock lock(ms.mutex);
     result.max_node_transient_seconds = std::max(
         result.max_node_transient_seconds, stats.transient_seconds);
     result.max_node_total_seconds =
@@ -195,8 +185,23 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
     result.factor_cache_hits += report.cache_hits;
     result.aggregate.merge(report.stats);
     result.nodes[gi] = std::move(report);
-    staged.emplace(gi, std::move(node_buffer));
-    drain_staged_locked();
+    ms.staged.emplace(gi, std::move(node_buffer));
+    // Drain every staged buffer that now sits at the merge frontier
+    // (this node's own, plus any successors parked behind it).
+    while (!ms.staged.empty() && ms.staged.begin()->first == ms.merge_next) {
+      MATEX_SPAN("superpose", "node", ms.merge_next, "scenario",
+                 options.trace_label);
+      solver::Stopwatch sup_clock;
+      const std::vector<double>& buffer = ms.staged.begin()->second;
+      for (std::size_t ti = 0; ti < t_count; ++ti) {
+        double* row = accum[ti].data();
+        const double* src = buffer.data() + ti * n;
+        for (std::size_t i = 0; i < n; ++i) row[i] += src[i];
+      }
+      ms.superposition_seconds += sup_clock.seconds();
+      ms.staged.erase(ms.staged.begin());
+      ++ms.merge_next;
+    }
   };
 
   if (pool) {
@@ -209,21 +214,32 @@ DistributedResult run_distributed_matex(const circuit::MnaSystem& mna,
         // finish before the locals it references go out of scope.
         try {
           run_node(gi);
+          // matex-lint: allow(catch-all): capture-and-rethrow -- the first
+          // exception is stored verbatim and rethrown unchanged after the
+          // fan-in barrier; classification belongs to the batch layer.
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(merge_mutex);
-          if (!first_error) first_error = std::current_exception();
-          aborted.store(true);
+          const core::MutexLock lock(ms.mutex);
+          if (!ms.first_error) ms.first_error = std::current_exception();
+          ms.aborted.store(true, std::memory_order_relaxed);
         }
       }));
     for (auto& f : futures) pool->await(f);
+    std::exception_ptr first_error;
+    {
+      const core::MutexLock lock(ms.mutex);
+      first_error = ms.first_error;
+    }
     if (first_error) std::rethrow_exception(first_error);
   } else {
     result.workers_used = 1;
     for (std::size_t gi = 0; gi < group_count; ++gi) run_node(gi);
   }
-  MATEX_CHECK(merge_next == group_count,
-              "superposition did not merge every node");
-  result.superposition_seconds = superposition_seconds;
+  {
+    const core::MutexLock lock(ms.mutex);
+    MATEX_CHECK(ms.merge_next == group_count,
+                "superposition did not merge every node");
+    result.superposition_seconds = ms.superposition_seconds;
+  }
 
   if (observer)
     for (std::size_t ti = 0; ti < t_count; ++ti)

@@ -1,0 +1,145 @@
+/// \file thread_annotations.hpp
+/// \brief Clang Thread Safety Analysis macros and an annotated mutex.
+///
+/// The runtime's concurrency contracts (which mutex guards which field,
+/// which helpers assume the lock is already held) used to live in
+/// comments; two PR-8 bugs showed that comments don't gate merges. These
+/// macros attach the contracts to the declarations so
+/// `clang -Wthread-safety -Werror` (the `static-analysis` CI job) rejects
+/// an unguarded access at compile time.
+///
+/// Under GCC -- the local toolchain -- every macro expands to nothing and
+/// `core::Mutex` is a plain `std::mutex` wrapper, so annotating a class
+/// costs nothing at runtime and nothing on non-clang builds.
+///
+/// Usage:
+///   core::Mutex mutex_;
+///   std::deque<Task> queue_ MATEX_GUARDED_BY(mutex_);
+///   void drain() MATEX_EXCLUDES(mutex_);          // takes the lock itself
+///   void drain_locked() MATEX_REQUIRES(mutex_);   // caller holds the lock
+///
+/// The attribute names follow the Clang documentation
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the macro
+/// spellings are ours so the expansion can be centrally gated.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MATEX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MATEX_THREAD_ANNOTATION
+#define MATEX_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// Marks a type as a capability (a lock). `x` is the capability kind
+/// shown in diagnostics, e.g. "mutex".
+#define MATEX_CAPABILITY(x) MATEX_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define MATEX_SCOPED_CAPABILITY MATEX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define MATEX_GUARDED_BY(x) MATEX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define MATEX_PT_GUARDED_BY(x) MATEX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held
+/// (the `_locked()` helper convention).
+#define MATEX_REQUIRES(...) \
+  MATEX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and holds them on
+/// return.
+#define MATEX_ACQUIRE(...) \
+  MATEX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define MATEX_RELEASE(...) \
+  MATEX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define MATEX_TRY_ACQUIRE(result, ...) \
+  MATEX_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function that must be called *without* the listed capabilities held
+/// (it takes them itself; calling with them held would deadlock).
+#define MATEX_EXCLUDES(...) MATEX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability that guards some
+/// data (accessor pattern).
+#define MATEX_RETURN_CAPABILITY(x) MATEX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment saying why the analysis cannot see the invariant.
+#define MATEX_NO_THREAD_SAFETY_ANALYSIS \
+  MATEX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace matex::core {
+
+/// `std::mutex` carrying the capability annotation. Drop-in for the
+/// repo's guarded state; pair with `MutexLock` (lock_guard equivalent)
+/// or `CvLock` (unique_lock equivalent, for condition variables).
+class MATEX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MATEX_ACQUIRE() { m_.lock(); }
+  void unlock() MATEX_RELEASE() { m_.unlock(); }
+  bool try_lock() MATEX_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped std::mutex, for APIs that need the standard type
+  /// (std::condition_variable::wait*). Prefer CvLock, which pairs the
+  /// native handle with the capability bookkeeping.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over `Mutex`, equivalent to std::lock_guard.
+class MATEX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) MATEX_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() MATEX_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// RAII lock over `Mutex` backed by std::unique_lock, so
+/// std::condition_variable can wait on it:
+///
+///   core::CvLock lock(wake_mutex_);
+///   cv.wait_for(lock.native_lock(), timeout, pred);
+///
+/// The analysis treats the scope as holding the capability throughout;
+/// the window where wait() drops the native lock is invisible to it,
+/// which is the standard (and sound) treatment: the predicate and the
+/// code after wait() run with the lock re-acquired.
+class MATEX_SCOPED_CAPABILITY CvLock {
+ public:
+  explicit CvLock(Mutex& m) MATEX_ACQUIRE(m) : lock_(m.native()) {}
+  ~CvLock() MATEX_RELEASE() {}
+
+  CvLock(const CvLock&) = delete;
+  CvLock& operator=(const CvLock&) = delete;
+
+  /// The underlying unique_lock, for condition_variable::wait*().
+  std::unique_lock<std::mutex>& native_lock() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace matex::core

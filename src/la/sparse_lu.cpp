@@ -9,6 +9,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/thread_annotations.hpp"
 #include "la/dense_matrix.hpp"
 #include "la/error.hpp"
 #include "obs/trace.hpp"
@@ -927,10 +928,12 @@ bool SparseLU::refactor_numeric_blocked_parallel(
     std::atomic<long long> inflight{0};
     std::atomic<bool> abort{false};
     std::atomic<bool> pivot_trip{false};
-    std::mutex mutex;  // guards error, min_pivot, workspaces
-    std::exception_ptr error;
-    double min_pivot = std::numeric_limits<double>::infinity();
-    std::vector<std::unique_ptr<SupernodeWorkspace>> workspaces;
+    core::Mutex mutex;
+    std::exception_ptr error MATEX_GUARDED_BY(mutex);
+    double min_pivot MATEX_GUARDED_BY(mutex) =
+        std::numeric_limits<double>::infinity();
+    std::vector<std::unique_ptr<SupernodeWorkspace>> workspaces
+        MATEX_GUARDED_BY(mutex);
   };
   Shared st;
   st.deps = std::vector<std::atomic<index_t>>(static_cast<std::size_t>(ns));
@@ -942,17 +945,25 @@ bool SparseLU::refactor_numeric_blocked_parallel(
 
   std::function<void(index_t)> panel_task;
   const auto spawn = [&](index_t sn) {
-    st.inflight.fetch_add(1);
+    // relaxed increment: the quiesce loop only needs to see it before the
+    // task can retire, and the pool's queue mutex publishes both together
+    // with the task itself.
+    st.inflight.fetch_add(1, std::memory_order_relaxed);
     try {
       pool.submit([&panel_task, sn] { panel_task(sn); });
+      // matex-lint: allow(catch-all): rollback-and-rethrow -- the
+      // increment above is undone so the quiesce loop cannot hang, then
+      // the submit failure propagates untouched to the seeding loop.
     } catch (...) {
-      st.inflight.fetch_sub(1);
+      st.inflight.fetch_sub(1, std::memory_order_release);
       throw;
     }
   };
   panel_task = [&](index_t sn) {
     try {
-      if (!st.abort.load()) {
+      // relaxed: a work-avoidance hint. The authoritative error/trip
+      // state travels under st.mutex and via the inflight quiesce below.
+      if (!st.abort.load(std::memory_order_relaxed)) {
         MATEX_SPAN("panel", "sn", sn, "w",
                    s.sn_ptr_[static_cast<std::size_t>(sn) + 1] -
                        s.sn_ptr_[static_cast<std::size_t>(sn)]);
@@ -961,7 +972,7 @@ bool SparseLU::refactor_numeric_blocked_parallel(
         runtime::poll_cancel(options.cancel);
         std::unique_ptr<SupernodeWorkspace> ws;
         {
-          const std::lock_guard<std::mutex> lock(st.mutex);
+          const core::MutexLock lock(st.mutex);
           if (!st.workspaces.empty()) {
             ws = std::move(st.workspaces.back());
             st.workspaces.pop_back();
@@ -975,7 +986,7 @@ bool SparseLU::refactor_numeric_blocked_parallel(
         const bool ok = refill_supernode(a, options, sn, ws->wbuf(),
                                          ws->z(), panels.data(), local_min);
         {
-          const std::lock_guard<std::mutex> lock(st.mutex);
+          const core::MutexLock lock(st.mutex);
           st.min_pivot = std::min(st.min_pivot, local_min);
           st.workspaces.push_back(std::move(ws));
         }
@@ -983,24 +994,36 @@ bool SparseLU::refactor_numeric_blocked_parallel(
           // Pivot-tolerance trip: abandon the refill. The caller falls
           // back to the scalar replay, which sees the same values
           // through the same operation sequence and trips on the same
-          // column.
-          st.pivot_trip.store(true);
-          st.abort.store(true);
+          // column. relaxed: the authoritative read of pivot_trip happens
+          // after the quiesce, whose release/acquire pair on inflight
+          // orders these stores before it.
+          st.pivot_trip.store(true, std::memory_order_relaxed);
+          st.abort.store(true, std::memory_order_relaxed);
         } else {
           for (index_t e = s.dep_out_ptr_[static_cast<std::size_t>(sn)];
                e < s.dep_out_ptr_[static_cast<std::size_t>(sn) + 1]; ++e) {
             const index_t t = s.dep_out_[static_cast<std::size_t>(e)];
-            if (st.deps[static_cast<std::size_t>(t)].fetch_sub(1) == 1)
+            // acq_rel: release publishes this panel's writes to whoever
+            // decrements last; acquire makes every earlier source's
+            // writes (released by their decrements of the same counter)
+            // visible to the task the final decrement fires.
+            if (st.deps[static_cast<std::size_t>(t)].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1)
               spawn(t);
           }
         }
       }
+      // matex-lint: allow(catch-all): capture-and-rethrow -- the first
+      // exception is stored verbatim under st.mutex and rethrown after
+      // the quiesce; classifying it belongs to the factor-cache funnel.
     } catch (...) {
-      st.abort.store(true);
-      const std::lock_guard<std::mutex> lock(st.mutex);
+      st.abort.store(true, std::memory_order_relaxed);
+      const core::MutexLock lock(st.mutex);
       if (!st.error) st.error = std::current_exception();
     }
-    st.inflight.fetch_sub(1);
+    // release: retirement point -- pairs with the quiesce loop's acquire
+    // load, so inflight == 0 implies every panel write has landed.
+    st.inflight.fetch_sub(1, std::memory_order_release);
   };
 
   // Seed the leaves and help the pool until every spawned task has
@@ -1014,16 +1037,31 @@ bool SparseLU::refactor_numeric_blocked_parallel(
       if (s.task_ptr_[static_cast<std::size_t>(sn) + 1] ==
           s.task_ptr_[static_cast<std::size_t>(sn)])
         spawn(sn);
+    // matex-lint: allow(catch-all): quiesce-and-rethrow -- in-flight
+    // tasks must retire before this frame's shared state unwinds; the
+    // seeding failure then propagates untouched.
   } catch (...) {
-    st.abort.store(true);
-    pool.help_until([&] { return st.inflight.load() == 0; });
+    st.abort.store(true, std::memory_order_relaxed);
+    pool.help_until(
+        [&] { return st.inflight.load(std::memory_order_acquire) == 0; });
     throw;
   }
-  pool.help_until([&] { return st.inflight.load() == 0; });
+  // acquire: pairs with each task's release retirement, so everything the
+  // tasks wrote (panels, error, trip flags) is visible past this line.
+  pool.help_until(
+      [&] { return st.inflight.load(std::memory_order_acquire) == 0; });
 
-  if (st.error) std::rethrow_exception(st.error);
-  if (st.pivot_trip.load()) return false;
-  min_pivot_ = st.min_pivot;
+  std::exception_ptr error;
+  double min_pivot = 0.0;
+  {
+    const core::MutexLock lock(st.mutex);
+    error = st.error;
+    min_pivot = st.min_pivot;
+  }
+  if (error) std::rethrow_exception(error);
+  // relaxed: ordered by the quiesce above.
+  if (st.pivot_trip.load(std::memory_order_relaxed)) return false;
+  min_pivot_ = min_pivot;
   fill_ratio_ = a.nnz() == 0
                     ? 0.0
                     : static_cast<double>(s.l_rows_.size() +

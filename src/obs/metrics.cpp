@@ -115,7 +115,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -124,7 +124,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -134,7 +134,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
                                       double hi) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -144,7 +144,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
 }
 
 void MetricsRegistry::write_json(solver::JsonWriter& w) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   w.begin_object();
   w.key("counters").begin_object();
   for (const auto& [name, c] : counters_) w.key(name).value(c->value());
@@ -182,7 +182,7 @@ void MetricsRegistry::write_json(solver::JsonWriter& w) const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();

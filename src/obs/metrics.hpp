@@ -22,6 +22,8 @@
 #include <string>
 #include <string_view>
 
+#include "core/thread_annotations.hpp"
+
 namespace matex::solver {
 class JsonWriter;
 }
@@ -112,25 +114,31 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& global();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) MATEX_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) MATEX_EXCLUDES(mutex_);
   /// First registration fixes the bucket range; later lookups with a
   /// different range return the existing instrument unchanged.
-  Histogram& histogram(std::string_view name, double lo, double hi);
+  Histogram& histogram(std::string_view name, double lo, double hi)
+      MATEX_EXCLUDES(mutex_);
 
   /// Serializes every instrument as one object value (counters, gauges,
   /// histograms keyed by name, sorted). Call with a pending key:
   ///   w.key("metrics"); registry.write_json(w);
-  void write_json(solver::JsonWriter& w) const;
+  void write_json(solver::JsonWriter& w) const MATEX_EXCLUDES(mutex_);
 
   /// Zeroes every instrument (references stay valid).
-  void reset();
+  void reset() MATEX_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The maps are guarded; the instruments they point to are lock-free and
+  // deliberately *not* (returned references outlive the lookup's lock).
+  mutable core::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MATEX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MATEX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MATEX_GUARDED_BY(mutex_);
 };
 
 }  // namespace matex::obs

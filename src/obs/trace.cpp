@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "solver/json_writer.hpp"
 
 namespace matex::obs {
@@ -39,12 +40,14 @@ struct ThreadBuffer {
 };
 
 struct TraceRegistry {
-  std::mutex mutex;  // guards buffers/interned/epoch and serializes flushes
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::unordered_set<std::string> interned;  // node-based: stable c_str()
-  std::size_t ring_capacity = TraceOptions{}.ring_capacity;
-  std::uint64_t epoch = 0;
-  int next_tid = 1;
+  core::Mutex mutex;  // also serializes flushes (drain_into)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers MATEX_GUARDED_BY(mutex);
+  /// Node-based: stable c_str().
+  std::unordered_set<std::string> interned MATEX_GUARDED_BY(mutex);
+  std::size_t ring_capacity MATEX_GUARDED_BY(mutex) =
+      TraceOptions{}.ring_capacity;
+  std::uint64_t epoch MATEX_GUARDED_BY(mutex) = 0;
+  int next_tid MATEX_GUARDED_BY(mutex) = 1;
 };
 
 /// Leaked singleton: emit() may run from detached worker threads during
@@ -60,7 +63,7 @@ thread_local const char* tl_pending_name = nullptr;
 ThreadBuffer* local_buffer() {
   if (!tl_buffer) {
     TraceRegistry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const core::MutexLock lock(r.mutex);
     auto buf = std::make_shared<ThreadBuffer>(r.ring_capacity);
     buf->tid = r.next_tid++;
     if (tl_pending_name)
@@ -107,7 +110,8 @@ void write_event_json(solver::JsonWriter& w, const TraceEvent& ev, int tid,
 /// Drains every buffer into `w` (which must have an open array) under the
 /// registry lock. Returns the total drop count.
 long long drain_into(solver::JsonWriter* w, TraceRegistry& r,
-                     std::uint64_t epoch, double us_per_tick) {
+                     std::uint64_t epoch, double us_per_tick)
+    MATEX_REQUIRES(r.mutex) {
   long long dropped_total = 0;
   for (const auto& buf : r.buffers) {
     const char* name = buf->name.load(std::memory_order_relaxed);
@@ -162,7 +166,7 @@ void emit(const TraceEvent& ev) {
 void start_tracing(const TraceOptions& options) {
   TraceRegistry& r = registry();
   {
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const core::MutexLock lock(r.mutex);
     r.ring_capacity = options.ring_capacity == 0 ? 1 : options.ring_capacity;
     r.epoch = detail::now_ticks();
     // Drop buffers of threads that have exited (only the registry holds
@@ -193,7 +197,7 @@ void disable_metrics() {
 
 const char* intern(std::string_view s) {
   TraceRegistry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   return r.interned.emplace(s).first->c_str();
 }
 
@@ -205,7 +209,7 @@ void set_thread_name(const char* stable_name) {
 
 long long dropped_event_count() {
   TraceRegistry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   long long total = 0;
   for (const auto& buf : r.buffers)
     total += buf->dropped.load(std::memory_order_relaxed);
@@ -214,7 +218,7 @@ long long dropped_event_count() {
 
 long long buffered_event_count() {
   TraceRegistry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   long long total = 0;
   for (const auto& buf : r.buffers)
     total += static_cast<long long>(
@@ -225,7 +229,7 @@ long long buffered_event_count() {
 
 void discard_trace() {
   TraceRegistry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   drain_into(nullptr, r, 0, 0.0);
 }
 
@@ -233,7 +237,7 @@ bool write_chrome_trace(std::ostream& out) {
   solver::JsonWriter w;
   {
     TraceRegistry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const core::MutexLock lock(r.mutex);
     w.begin_object();
     w.key("displayTimeUnit").value("ms");
     w.key("traceEvents").begin_array();

@@ -62,7 +62,7 @@ const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
     // wait on the leader's future (same discipline as the factor cache).
     std::shared_future<const Variant*> existing;
     {
-      const std::lock_guard<std::mutex> lock(variants_mutex_);
+      const core::MutexLock lock(variants_mutex_);
       const auto it = variants_.find(key);
       if (it != variants_.end()) {
         existing = it->second;
@@ -83,14 +83,17 @@ const circuit::MnaSystem& BatchEngine::variant_mna(std::size_t deck_index,
     }
     variant->mna = std::make_unique<circuit::MnaSystem>(
         *source, decks_[deck_index].mna_options);
-    const std::lock_guard<std::mutex> lock(variants_mutex_);
+    const core::MutexLock lock(variants_mutex_);
     variant_storage_.push_back(std::move(variant));
     promise.set_value(variant_storage_.back().get());
     return *variant_storage_.back()->mna;
+    // matex-lint: allow(catch-all): cleanup-and-rethrow -- the leader slot
+    // is retracted and the untouched exception propagates to this caller
+    // and every waiter; classifying here would add nothing.
   } catch (...) {
     auto error = std::current_exception();
     promise.set_exception(error);
-    const std::lock_guard<std::mutex> lock(variants_mutex_);
+    const core::MutexLock lock(variants_mutex_);
     variants_.erase(key);
     std::rethrow_exception(error);
   }
@@ -145,11 +148,14 @@ void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios,
   }
   std::vector<std::future<void>> tasks;
   tasks.reserve(groups.size());
+  // relaxed everywhere: the flag is a best-effort short-circuit. A group
+  // task that misses it merely starts a factorization whose own cancel
+  // poll unwinds it; correctness never depends on the flag's timing.
   std::atomic<bool> prewarm_cancelled{false};
   for (const auto& [key, requests] : groups) {
     tasks.push_back(pool_->submit([this, cancel, &prewarm_cancelled,
                                    key = key, requests = requests] {
-      if (prewarm_cancelled.load()) return;
+      if (prewarm_cancelled.load(std::memory_order_relaxed)) return;
       try {
         MATEX_SPAN("cache.prewarm", "deck", key.deck_index, "operators",
                    requests.size());
@@ -174,7 +180,7 @@ void BatchEngine::prewarm_factors(std::span<const ScenarioSpec> scenarios,
         // it must neither be swallowed into the error count nor keep
         // the remaining groups factorizing. The fan-out below then
         // reports every scenario as cancelled.
-        prewarm_cancelled.store(true);
+        prewarm_cancelled.store(true, std::memory_order_relaxed);
         obs::instant("cache.prewarm_cancelled", "deck", key.deck_index);
       } catch (...) {
         // The owning scenario reports the failure when it runs; prewarm
@@ -238,7 +244,10 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
 
   if (options_.prewarm) prewarm_factors(scenarios, restored, &campaign_cancel);
 
-  std::mutex sink_mutex;
+  core::Mutex sink_mutex;
+  // relaxed: pure aggregates. Every increment happens inside a scenario
+  // job whose future is awaited before the loads below; the await (future
+  // ready + the pool's queue mutexes) carries the ordering.
   std::atomic<int> failures{0};
   std::atomic<int> cancelled{0};
   std::atomic<int> retries{0};
@@ -328,9 +337,9 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
             const std::size_t target =
                 attempt == 1 ? static_cast<std::size_t>(resident / 2) : 0;
             cache_.shed(target);
-            cache_sheds.fetch_add(1);
+            cache_sheds.fetch_add(1, std::memory_order_relaxed);
           }
-          retries.fetch_add(1);
+          retries.fetch_add(1, std::memory_order_relaxed);
           if (options_.retry_backoff_seconds > 0.0) {
             const double factor =
                 static_cast<double>(1 << std::min(attempt - 1, 20));
@@ -340,22 +349,24 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
         }
       }
       if (out.cancelled) {
-        cancelled.fetch_add(1);
+        cancelled.fetch_add(1, std::memory_order_relaxed);
       } else if (!out.ok) {
-        failures.fetch_add(1);
+        failures.fetch_add(1, std::memory_order_relaxed);
       }
       out.wall_seconds = job_clock.seconds();
       if (journal && out.ok) {
         try {
           journal->append(fingerprints[si], out);
+          // matex-lint: allow(catch-all): a journal failure (disk full,
+          // injected fault) must not fail the scenario; the campaign
+          // merely stops being resumable past this record.
         } catch (...) {
-          // A journal failure (disk full, injected fault) must not fail
-          // the scenario; the campaign merely stops being resumable past
-          // this record.
+          obs::instant("checkpoint.append_error", "scenario",
+                       static_cast<double>(si));
         }
       }
       if (sink) {
-        const std::lock_guard<std::mutex> lock(sink_mutex);
+        const core::MutexLock lock(sink_mutex);
         sink(out);
       }
     }));
@@ -363,10 +374,10 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
   for (auto& f : futures) pool_->await(f);
 
   report.wall_seconds = campaign_clock.seconds();
-  report.failures = failures.load();
-  report.cancelled = cancelled.load();
-  report.retries = retries.load();
-  report.cache_sheds = cache_sheds.load();
+  report.failures = failures.load(std::memory_order_relaxed);
+  report.cancelled = cancelled.load(std::memory_order_relaxed);
+  report.retries = retries.load(std::memory_order_relaxed);
+  report.cache_sheds = cache_sheds.load(std::memory_order_relaxed);
   const FactorCacheStats cache_after = cache_.stats();
   report.cache.hits = cache_after.hits - cache_before.hits;
   report.cache.misses = cache_after.misses - cache_before.misses;

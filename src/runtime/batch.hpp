@@ -32,6 +32,7 @@
 
 #include "circuit/mna.hpp"
 #include "circuit/netlist.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/cancel.hpp"
 #include "runtime/factor_cache.hpp"
 #include "runtime/scenario.hpp"
@@ -165,7 +166,8 @@ class BatchEngine {
   };
 
   const circuit::MnaSystem& variant_mna(std::size_t deck_index,
-                                        double vdd_scale);
+                                        double vdd_scale)
+      MATEX_EXCLUDES(variants_mutex_);
 
   /// Factorizes every distinct (variant, operator) combination the
   /// campaign will request, before any scenario starts (see
@@ -186,12 +188,13 @@ class BatchEngine {
   FactorCache cache_;
   std::vector<Deck> decks_;
 
-  std::mutex variants_mutex_;
+  core::Mutex variants_mutex_;
   /// Keyed by (deck index, Vdd-scale bit pattern).
   std::map<std::pair<std::size_t, std::uint64_t>,
            std::shared_future<const Variant*>>
-      variants_;
-  std::vector<std::unique_ptr<Variant>> variant_storage_;
+      variants_ MATEX_GUARDED_BY(variants_mutex_);
+  std::vector<std::unique_ptr<Variant>> variant_storage_
+      MATEX_GUARDED_BY(variants_mutex_);
 };
 
 }  // namespace matex::runtime

@@ -144,6 +144,9 @@ CheckpointJournal load_checkpoint(const std::string& path) {
       for (const solver::JsonValue& wave : v.at("probes").array)
         r.probe_waveforms.push_back(wave.as_number_array());
       const std::string& fp_hex = v.at("fp").as_string();
+      // NOLINTNEXTLINE(cert-err34-c): the hex fingerprint was emitted by
+      // our own writer; a malformed line yields fp 0 and at worst fails
+      // the fingerprint match below, which is exactly the skip path.
       const std::uint64_t fp = std::strtoull(fp_hex.c_str(), nullptr, 16);
       journal.completed[fp] = std::move(r);
     } catch (const std::exception&) {
@@ -156,18 +159,21 @@ CheckpointJournal load_checkpoint(const std::string& path) {
 
 CheckpointWriter::CheckpointWriter(const std::string& path)
     : out_(path, std::ios::app) {
-  ok_ = static_cast<bool>(out_);
+  ok_.store(static_cast<bool>(out_), std::memory_order_relaxed);
 }
 
 void CheckpointWriter::append(std::uint64_t fingerprint,
                               const ScenarioResult& result) {
-  if (!ok_) return;
+  // relaxed: ok_ only moves open -> broken; a stale true costs one extra
+  // failed write under the lock, a stale false cannot happen before the
+  // constructor returned.
+  if (!ok_.load(std::memory_order_relaxed)) return;
   const std::string line = checkpoint_record(fingerprint, result);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   MATEX_FAILPOINT("checkpoint.append");
   out_ << line << '\n';
   out_.flush();
-  if (!out_) ok_ = false;
+  if (!out_) ok_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace matex::runtime

@@ -19,6 +19,7 @@
 /// them from scratch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <mutex>
@@ -26,6 +27,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/thread_annotations.hpp"
 #include "runtime/scenario.hpp"
 
 namespace matex::runtime {
@@ -67,14 +69,18 @@ class CheckpointWriter {
 
   /// False when the file could not be opened or a write failed; appends
   /// become no-ops (the campaign still runs, it just isn't resumable).
-  bool ok() const { return ok_; }
+  /// relaxed: monotonic open->broken flag, readable without the stream
+  /// lock (it used to be a plain bool read outside mutex_ -- a latent
+  /// race this PR's annotation sweep surfaced).
+  bool ok() const { return ok_.load(std::memory_order_relaxed); }
 
-  void append(std::uint64_t fingerprint, const ScenarioResult& result);
+  void append(std::uint64_t fingerprint, const ScenarioResult& result)
+      MATEX_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  std::ofstream out_;
-  bool ok_ = false;
+  core::Mutex mutex_;
+  std::ofstream out_ MATEX_GUARDED_BY(mutex_);
+  std::atomic<bool> ok_{false};
 };
 
 }  // namespace matex::runtime

@@ -91,7 +91,7 @@ std::shared_ptr<la::SparseLU> FactorCache::factorize_with_symbolic(
 
   std::shared_ptr<const la::SymbolicLU> sym;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     if (const auto it = symbolic_map_.find(key); it != symbolic_map_.end()) {
       symbolic_lru_.splice(symbolic_lru_.begin(), symbolic_lru_,
                            it->second.lru_it);
@@ -107,7 +107,7 @@ std::shared_ptr<la::SparseLU> FactorCache::factorize_with_symbolic(
   auto lu = sym ? std::make_shared<la::SparseLU>(m, std::move(sym), options)
                 : std::make_shared<la::SparseLU>(m, options);
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   if (lu->refactored()) {
     ++stats_.symbolic_hits;
     if (lu->refactored_supernodal()) ++stats_.supernodal_refactors;
@@ -143,7 +143,7 @@ FactorCache::Entry FactorCache::get_or_factorize(
     // meaningful for uncached-baseline comparisons.
     solver::Stopwatch clock;
     auto factors = factorize();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     ++stats_.misses;
     stats_.factor_seconds += clock.seconds();
     return {std::move(factors), false};
@@ -154,7 +154,7 @@ FactorCache::Entry FactorCache::get_or_factorize(
     std::shared_future<std::shared_ptr<la::SparseLU>> leader_future;
     bool wait_for_leader = false;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const core::MutexLock lock(mutex_);
       const auto it = map_.find(key);
       if (it == map_.end()) {
         ++stats_.misses;
@@ -208,7 +208,7 @@ FactorCache::Entry FactorCache::get_or_factorize(
       // by a cancelled leader retries its lookup, and the retry must
       // miss (becoming the new leader) rather than find the failed slot
       // again.
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const core::MutexLock lock(mutex_);
       if (classified.cls == ErrorClass::kCancelled)
         ++stats_.factor_cancellations;
       else
@@ -224,7 +224,7 @@ FactorCache::Entry FactorCache::get_or_factorize(
   }
   promise.set_value(factors);
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   stats_.factor_seconds += clock.seconds();
   if (const auto it = map_.find(key); it != map_.end()) {
     it->second.ready = true;
@@ -262,7 +262,7 @@ void FactorCache::evict_excess_locked() {
 }
 
 std::size_t FactorCache::shed(std::size_t target_bytes) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   std::size_t dropped = 0;
   auto it = lru_.end();
   while (stats_.bytes_resident > static_cast<long long>(target_bytes) &&
@@ -341,7 +341,7 @@ FactorCache::Entry FactorCache::operator_factors(
 }
 
 std::size_t FactorCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   std::size_t ready = 0;
   for (const auto& [key, slot] : map_)
     if (slot.ready) ++ready;
@@ -349,17 +349,17 @@ std::size_t FactorCache::size() const {
 }
 
 std::size_t FactorCache::symbolic_size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return symbolic_map_.size();
 }
 
 FactorCacheStats FactorCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return stats_;
 }
 
 void FactorCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   map_.clear();
   lru_.clear();
   symbolic_map_.clear();

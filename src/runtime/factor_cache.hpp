@@ -33,6 +33,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core/thread_annotations.hpp"
 #include "krylov/operator.hpp"
 #include "la/sparse_csc.hpp"
 #include "la/sparse_lu.hpp"
@@ -137,7 +138,8 @@ class FactorCache {
   /// not cached.
   Entry get_or_factorize(
       const FactorKey& key,
-      const std::function<std::shared_ptr<la::SparseLU>()>& factorize);
+      const std::function<std::shared_ptr<la::SparseLU>()>& factorize)
+      MATEX_EXCLUDES(mutex_);
 
   /// LU(G): the factorization DC analysis, the particular-solution terms,
   /// and the I-MATEX operator all share.
@@ -165,12 +167,12 @@ class FactorCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t max_resident_bytes() const { return max_resident_bytes_; }
   /// Number of resident (completed) factorizations.
-  std::size_t size() const;
+  std::size_t size() const MATEX_EXCLUDES(mutex_);
   /// Number of resident symbolic analyses (pattern-fingerprint keyed).
-  std::size_t symbolic_size() const;
-  FactorCacheStats stats() const;
+  std::size_t symbolic_size() const MATEX_EXCLUDES(mutex_);
+  FactorCacheStats stats() const MATEX_EXCLUDES(mutex_);
   /// Drops all entries and resets the counters.
-  void clear();
+  void clear() MATEX_EXCLUDES(mutex_);
 
   /// Memory-pressure degradation: drops ready entries in LRU order until
   /// at most `target_bytes` remain resident (in-flight leaders are
@@ -179,7 +181,7 @@ class FactorCache {
   /// degradation to uncached operation. Returns the number of
   /// factorizations dropped. BatchEngine calls this on `bad_alloc`
   /// before retrying a scenario.
-  std::size_t shed(std::size_t target_bytes);
+  std::size_t shed(std::size_t target_bytes) MATEX_EXCLUDES(mutex_);
 
  private:
   struct KeyHash {
@@ -208,24 +210,28 @@ class FactorCache {
     std::list<SymbolicKey>::iterator lru_it;
   };
 
-  void evict_excess_locked();
+  void evict_excess_locked() MATEX_REQUIRES(mutex_);
 
   /// Factorizes `m`, reusing a cached symbolic analysis of the same
   /// sparsity pattern when one exists (numeric-only refactorization with
   /// full-pivoting fallback on a pivot-tolerance violation). Stores the
-  /// resulting analysis for future same-pattern requests.
+  /// resulting analysis for future same-pattern requests. Runs the
+  /// factorization itself, so the cache lock must NOT be held (the
+  /// leader/waiter protocol keeps the critical sections to map updates).
   std::shared_ptr<la::SparseLU> factorize_with_symbolic(
-      const la::CscMatrix& m, const la::SparseLuOptions& options);
+      const la::CscMatrix& m, const la::SparseLuOptions& options)
+      MATEX_EXCLUDES(mutex_);
 
   std::size_t capacity_;
   std::size_t max_resident_bytes_;
-  mutable std::mutex mutex_;
-  std::unordered_map<FactorKey, Slot, KeyHash> map_;
-  std::list<FactorKey> lru_;  ///< most recently used at the front
+  mutable core::Mutex mutex_;
+  std::unordered_map<FactorKey, Slot, KeyHash> map_ MATEX_GUARDED_BY(mutex_);
+  /// Most recently used at the front.
+  std::list<FactorKey> lru_ MATEX_GUARDED_BY(mutex_);
   std::unordered_map<SymbolicKey, SymbolicSlot, SymbolicKeyHash>
-      symbolic_map_;
-  std::list<SymbolicKey> symbolic_lru_;
-  FactorCacheStats stats_;
+      symbolic_map_ MATEX_GUARDED_BY(mutex_);
+  std::list<SymbolicKey> symbolic_lru_ MATEX_GUARDED_BY(mutex_);
+  FactorCacheStats stats_ MATEX_GUARDED_BY(mutex_);
 };
 
 }  // namespace matex::runtime

@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/thread_annotations.hpp"
 #include "la/error.hpp"
 
 namespace matex::runtime {
@@ -41,10 +42,10 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mutex;
-  FailpointPlan plan;
-  std::unordered_map<std::string, SiteState> sites;
-  long long total_fires = 0;
+  core::Mutex mutex;
+  FailpointPlan plan MATEX_GUARDED_BY(mutex);
+  std::unordered_map<std::string, SiteState> sites MATEX_GUARDED_BY(mutex);
+  long long total_fires MATEX_GUARDED_BY(mutex) = 0;
 };
 
 Registry& registry() {
@@ -56,7 +57,7 @@ Registry& registry() {
 
 void arm_failpoints(FailpointPlan plan) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   r.plan = std::move(plan);
   r.sites.clear();
   r.total_fires = 0;
@@ -71,21 +72,21 @@ void disarm_failpoints() {
 
 long long failpoint_hit_count(std::string_view site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   const auto it = r.sites.find(std::string(site));
   return it == r.sites.end() ? 0 : it->second.hits;
 }
 
 long long failpoint_fire_count(std::string_view site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   const auto it = r.sites.find(std::string(site));
   return it == r.sites.end() ? 0 : it->second.fires;
 }
 
 long long failpoint_total_fires() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   return r.total_fires;
 }
 
@@ -99,7 +100,7 @@ void failpoint_hit(const char* site) {
   const FailpointRule* firing = nullptr;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    const core::MutexLock lock(r.mutex);
     if (!g_failpoints_armed.load(std::memory_order_relaxed)) return;
     SiteState& s = r.sites[site];
     const long long hit = ++s.hits;

@@ -28,11 +28,14 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  stop_.store(true);
+  // relaxed: every stop_ load happens while wake_mutex_ is held, and the
+  // empty lock scope below orders this store before any such load that
+  // follows it -- the mutex, not the atomic, carries the ordering.
+  stop_.store(true, std::memory_order_relaxed);
   {
     // Pair the notify with the wake mutex so a worker between its empty
     // re-check and its wait cannot miss the stop signal.
-    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    const core::MutexLock lock(wake_mutex_);
   }
   wake_.notify_all();
   for (std::thread& t : workers_) t.join();
@@ -44,14 +47,18 @@ void ThreadPool::enqueue(Task task, bool fifo) {
   // has not been published yet (the submitter is still in enqueue) or has
   // fully finished. Incrementing after the push would let a worker pop
   // and even complete the task while wait_idle() still sees zero.
-  inflight_.fetch_add(1);
-  pending_.fetch_add(1);
+  //
+  // relaxed: publication of the task (and of these increments, to the
+  // worker that pops it) rides the queue mutex below; pending_ is only a
+  // wake hint whose misses are bounded by the workers' timed wait.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_relaxed);
   if (!fifo && tl_pool == this) {
     Worker& w = *queues_[tl_index];
-    const std::lock_guard<std::mutex> lock(w.mutex);
+    const core::MutexLock lock(w.mutex);
     w.queue.push_back(std::move(task));
   } else {
-    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    const core::MutexLock lock(inject_mutex_);
     inject_.push_back(std::move(task));
   }
   wake_.notify_one();
@@ -82,12 +89,12 @@ bool ThreadPool::try_pop(Task& out, std::size_t self_index, bool is_worker,
   // Own deque first, newest first: nested submissions stay cache-warm.
   if (is_worker) {
     Worker& w = *queues_[self_index];
-    const std::lock_guard<std::mutex> lock(w.mutex);
+    const core::MutexLock lock(w.mutex);
     if (take(w.queue, /*from_back=*/true)) return true;
   }
   // External submissions, oldest first.
   {
-    const std::lock_guard<std::mutex> lock(inject_mutex_);
+    const core::MutexLock lock(inject_mutex_);
     if (take(inject_, /*from_back=*/false)) return true;
   }
   // Steal from the other workers, oldest first (the opposite end of the
@@ -96,9 +103,9 @@ bool ThreadPool::try_pop(Task& out, std::size_t self_index, bool is_worker,
     const std::size_t victim = (self_index + k) % queues_.size();
     if (is_worker && victim == self_index) continue;
     Worker& w = *queues_[victim];
-    const std::lock_guard<std::mutex> lock(w.mutex);
+    const core::MutexLock lock(w.mutex);
     if (take(w.queue, /*from_back=*/false)) {
-      const std::lock_guard<std::mutex> slock(stats_mutex_);
+      const core::MutexLock slock(stats_mutex_);
       ++stats_.tasks_stolen;
       return true;
     }
@@ -107,7 +114,9 @@ bool ThreadPool::try_pop(Task& out, std::size_t self_index, bool is_worker,
 }
 
 void ThreadPool::execute(Task& task, bool helped) {
-  pending_.fetch_sub(1);
+  // relaxed: pending_ only steers wakeups; popping the task off its queue
+  // already ordered this thread against the submitter via the queue mutex.
+  pending_.fetch_sub(1, std::memory_order_relaxed);
   solver::Stopwatch clock;
   {
     MATEX_SPAN("task", "helped", helped ? 1 : 0);
@@ -116,11 +125,11 @@ void ThreadPool::execute(Task& task, bool helped) {
   const double seconds = clock.seconds();
   // The inflight_ decrement is the task's retirement point: it is
   // sequenced after the body, so a wait_idle() that observes zero
-  // synchronizes with every retired task's side effects (each seq_cst
-  // fetch_sub is a release the idle load acquires).
-  inflight_.fetch_sub(1);
+  // synchronizes with every retired task's side effects (each release
+  // fetch_sub is what the idle load's acquire pairs with).
+  inflight_.fetch_sub(1, std::memory_order_release);
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const core::MutexLock lock(stats_mutex_);
     ++stats_.tasks_executed;
     if (helped) ++stats_.tasks_helped;
     stats_.busy_seconds += seconds;
@@ -144,12 +153,20 @@ void ThreadPool::worker_loop(std::size_t index) {
       task = {};
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    if (stop_.load() && pending_.load() == 0) return;
-    wake_.wait_for(lock, std::chrono::milliseconds(50), [this] {
-      return stop_.load() || pending_.load() > 0;
+    core::CvLock lock(wake_mutex_);
+    // relaxed loads: stop_ is ordered by wake_mutex_ (see ~ThreadPool);
+    // pending_ is a hint -- a stale zero only delays the pop by one
+    // 50ms timed-wait round, never loses the task.
+    const auto should_exit = [this] {
+      return stop_.load(std::memory_order_relaxed) &&
+             pending_.load(std::memory_order_relaxed) == 0;
+    };
+    if (should_exit()) return;
+    wake_.wait_for(lock.native_lock(), std::chrono::milliseconds(50), [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
     });
-    if (stop_.load() && pending_.load() == 0) return;
+    if (should_exit()) return;
   }
 }
 
@@ -168,18 +185,23 @@ void ThreadPool::help_until(const std::function<bool()>& done) {
     if (run_one()) continue;
     // Nothing runnable: the awaited work is executing elsewhere. Back off
     // briefly instead of spinning.
-    std::unique_lock<std::mutex> lock(wake_mutex_);
+    core::CvLock lock(wake_mutex_);
     if (done()) return;
-    wake_.wait_for(lock, std::chrono::microseconds(200));
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): the outer
+    // while re-checks done(); a spurious wake costs one extra poll.
+    wake_.wait_for(lock.native_lock(), std::chrono::microseconds(200));
   }
 }
 
 void ThreadPool::wait_idle() {
-  help_until([this] { return inflight_.load() == 0; });
+  // acquire: pairs with the release fetch_sub in execute(), so observing
+  // zero in-flight tasks also observes their side effects.
+  help_until(
+      [this] { return inflight_.load(std::memory_order_acquire) == 0; });
 }
 
 ThreadPoolStats ThreadPool::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  const core::MutexLock lock(stats_mutex_);
   return stats_;
 }
 

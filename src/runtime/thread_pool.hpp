@@ -37,6 +37,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace matex::runtime {
 
 /// Aggregate execution counters of a pool (monotonic since construction).
@@ -126,7 +128,7 @@ class ThreadPool {
   void wait_idle();
 
   /// Snapshot of the execution counters.
-  ThreadPoolStats stats() const;
+  ThreadPoolStats stats() const MATEX_EXCLUDES(stats_mutex_);
 
  private:
   struct Task {
@@ -135,8 +137,8 @@ class ThreadPool {
   };
 
   struct Worker {
-    std::mutex mutex;
-    std::deque<Task> queue;
+    core::Mutex mutex;
+    std::deque<Task> queue MATEX_GUARDED_BY(mutex);
   };
 
   template <class F>
@@ -157,10 +159,13 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex inject_mutex_;
-  std::deque<Task> inject_;
+  core::Mutex inject_mutex_;
+  std::deque<Task> inject_ MATEX_GUARDED_BY(inject_mutex_);
 
-  std::mutex wake_mutex_;
+  // wake_mutex_ guards no data; it exists to pair the condition variable
+  // with the stop_/pending_ checks so notifies cannot be missed between
+  // a re-check and the wait.
+  core::Mutex wake_mutex_;
   std::condition_variable wake_;
   std::atomic<long long> pending_{0};   // queued, not yet started
   // Tasks submitted but not yet finished (queued or executing). A single
@@ -171,8 +176,8 @@ class ThreadPool {
   std::atomic<long long> inflight_{0};
   std::atomic<bool> stop_{false};
 
-  mutable std::mutex stats_mutex_;
-  ThreadPoolStats stats_;
+  mutable core::Mutex stats_mutex_;
+  ThreadPoolStats stats_ MATEX_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace matex::runtime

@@ -91,6 +91,8 @@ GoldenCheck compare_golden(const GoldenWaveform& golden,
     return check;
   }
   if (run.times.size() != ref.times.size()) {
+    // matex-lint: allow(float-format): integer sample counts in a
+    // diagnostic message, not waveform values.
     check.detail = "sample count differs from the golden (" +
                    std::to_string(run.times.size()) + " vs " +
                    std::to_string(ref.times.size()) + ")";
@@ -99,6 +101,8 @@ GoldenCheck compare_golden(const GoldenWaveform& golden,
   for (std::size_t i = 0; i < ref.times.size(); ++i)
     if (std::abs(run.times[i] - ref.times[i]) >
         1e-12 * (1.0 + std::abs(ref.times[i]))) {
+      // matex-lint: allow(float-format): integer sample index in a
+      // diagnostic message, not a waveform value.
       check.detail = "time axis differs from the golden at sample " +
                      std::to_string(i);
       return check;
@@ -108,6 +112,8 @@ GoldenCheck compare_golden(const GoldenWaveform& golden,
       const double err = std::abs(run.columns[p][i] - ref.columns[p][i]);
       if (!(err <= golden.tolerance) && check.detail.empty()) {
         std::ostringstream msg;
+        // matex-lint: allow(float-format): failure diagnostic printed at
+        // full precision; never parsed back or compared.
         msg.precision(17);
         msg << "probe " << ref.names[p] << " sample " << i << ": |"
             << run.columns[p][i] << " - " << ref.columns[p][i] << "| = "

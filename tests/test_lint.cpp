@@ -1,0 +1,207 @@
+// matex-lint behavior tests: every fixture violation is flagged with the
+// right rule on the right line, the clean counterparts pass, and the
+// live tree self-checks green (so the lint gate in CI can never rot
+// silently).
+//
+// Fixtures carry their own oracle: a line that must be flagged ends with
+// an `EXPECT-LINT(<rule>)` comment annotation. The test fails on both
+// missed violations and unexpected findings, so false positives break it
+// as loudly as false negatives.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+using matex::lint::Finding;
+using matex::lint::LintConfig;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string testdata(const std::string& name) {
+  return std::string(MATEX_LINT_TESTDATA_DIR) + "/" + name;
+}
+
+using LineRule = std::pair<int, std::string>;
+
+/// Parses the `EXPECT-LINT(rule)` oracle annotations out of a fixture.
+std::set<LineRule> expected_findings(const std::string& content) {
+  std::set<LineRule> expected;
+  std::istringstream in(content);
+  std::string line;
+  int line_no = 0;
+  static const std::string kTag = "EXPECT-LINT(";
+  while (std::getline(in, line)) {
+    ++line_no;
+    for (std::size_t p = line.find(kTag); p != std::string::npos;
+         p = line.find(kTag, p + kTag.size())) {
+      const std::size_t close = line.find(')', p);
+      if (close == std::string::npos) {
+        ADD_FAILURE() << "unclosed EXPECT-LINT on line " << line_no;
+        break;
+      }
+      expected.emplace(
+          line_no, line.substr(p + kTag.size(), close - p - kTag.size()));
+    }
+  }
+  return expected;
+}
+
+std::set<LineRule> actual_findings(const std::vector<Finding>& findings) {
+  std::set<LineRule> actual;
+  for (const Finding& f : findings) actual.emplace(f.line, f.rule);
+  return actual;
+}
+
+void expect_fixture_matches(const std::string& name,
+                            const std::set<LineRule>& expected,
+                            const std::vector<Finding>& findings) {
+  const std::set<LineRule> actual = actual_findings(findings);
+  for (const LineRule& e : expected)
+    EXPECT_TRUE(actual.count(e) > 0)
+        << name << ": expected a '" << e.second << "' finding on line "
+        << e.first << " but the linter missed it";
+  for (const Finding& f : findings)
+    EXPECT_TRUE(expected.count({f.line, f.rule}) > 0)
+        << name << ": unexpected finding " << f.str();
+}
+
+/// Lints one fixture with every rule forced in scope and compares the
+/// finding set against the fixture's own EXPECT-LINT annotations.
+void run_fixture(const std::string& name) {
+  SCOPED_TRACE(name);
+  const std::string content = read_file(testdata(name));
+  LintConfig config;
+  config.force_all_scopes = true;
+  expect_fixture_matches(
+      name, expected_findings(content),
+      matex::lint::lint_file(name, content, config));
+}
+
+TEST(MatexLint, CatchAllFixtures) {
+  run_fixture("catch_all_violation.cpp");
+  run_fixture("catch_all_clean.cpp");
+}
+
+TEST(MatexLint, AtomicOrderFixtures) {
+  run_fixture("atomic_order_violation.cpp");
+  run_fixture("atomic_order_clean.cpp");
+}
+
+TEST(MatexLint, DeterminismFixtures) {
+  run_fixture("determinism_violation.cpp");
+  run_fixture("determinism_clean.cpp");
+}
+
+TEST(MatexLint, FloatFormatFixtures) {
+  run_fixture("float_format_violation.cpp");
+  run_fixture("float_format_clean.cpp");
+}
+
+TEST(MatexLint, NolintReasonFixtures) {
+  run_fixture("nolint_violation.cpp");
+  run_fixture("nolint_clean.cpp");
+}
+
+// The two bugs PR 8 shipped and later fixed, rebuilt as fixtures: the
+// linter must refuse both shapes so they cannot come back.
+TEST(MatexLint, Pr8RegressionShapes) {
+  run_fixture("pr8_cache_catch.cpp");
+  run_fixture("pr8_two_loads.cpp");
+}
+
+TEST(MatexLint, SiteStringFixtures) {
+  LintConfig config;
+  config.readme = read_file(testdata("README_sites.md"));
+
+  const std::string clean = read_file(testdata("site_strings_clean.cpp"));
+  EXPECT_TRUE(matex::lint::check_sites(
+                  matex::lint::collect_sites("site_strings_clean.cpp",
+                                             clean),
+                  config)
+                  .empty());
+
+  const std::string bad =
+      read_file(testdata("site_strings_violation.cpp"));
+  expect_fixture_matches(
+      "site_strings_violation.cpp", expected_findings(bad),
+      matex::lint::check_sites(
+          matex::lint::collect_sites("site_strings_violation.cpp", bad),
+          config));
+}
+
+TEST(MatexLint, CollectSitesFindsLiteralFormsOnly) {
+  const std::string src =
+      "void f() {\n"
+      "  MATEX_FAILPOINT(\"a.site\");\n"
+      "  MATEX_SPAN(\"b.span\", \"n\", 1);\n"
+      "  obs::instant(\"c.instant\");\n"
+      "  obs::Span guard(\"d.span\", \"k\", 2);\n"
+      "  MATEX_FAILPOINT(forwarded_name);  // not a literal: skipped\n"
+      "}\n";
+  const auto sites = matex::lint::collect_sites("x.cpp", src);
+  ASSERT_EQ(sites.size(), 4u);
+  EXPECT_EQ(sites[0].name, "a.site");
+  EXPECT_TRUE(sites[0].failpoint);
+  EXPECT_EQ(sites[0].line, 2);
+  EXPECT_EQ(sites[1].name, "b.span");
+  EXPECT_FALSE(sites[1].failpoint);
+  EXPECT_EQ(sites[2].name, "c.instant");
+  EXPECT_EQ(sites[3].name, "d.span");
+  EXPECT_EQ(sites[3].line, 5);
+}
+
+TEST(MatexLint, AllowMarkerCoversMultiLineStatement) {
+  const std::string src =
+      "#include <string>\n"
+      "std::string f(std::size_t a, std::size_t b) {\n"
+      "  // matex-lint: allow(float-format): integer counts in a\n"
+      "  // diagnostic; never byte-compared.\n"
+      "  return std::to_string(a) + \" vs \" +\n"
+      "         std::to_string(b);\n"
+      "}\n";
+  LintConfig config;
+  config.force_all_scopes = true;
+  EXPECT_TRUE(matex::lint::lint_file("x.cpp", src, config).empty())
+      << "marker must cover every line of the following statement";
+}
+
+// A .cpp learns its atomic members from the sibling header: writes in
+// the implementation file are flagged even though the declaration lives
+// in the .hpp.
+TEST(MatexLint, SiblingHeaderSuppliesAtomicDecls) {
+  const std::string header =
+      "#include <atomic>\n"
+      "struct S { std::atomic<int> pending_{0}; void go(); };\n";
+  const std::string impl = "void S::go() { pending_ = 7; }\n";
+  LintConfig config;
+  config.force_all_scopes = true;
+  const auto findings =
+      matex::lint::lint_file("s.cpp", impl, config, header);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomic-order");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+// The gate CI relies on: the live tree is clean. Any convention
+// violation added to src/ or tools/ fails here (and in the standalone
+// `matex_lint` ctest) with the exact file:line.
+TEST(MatexLint, RepositorySelfCheckIsClean) {
+  const auto findings = matex::lint::lint_tree(MATEX_LINT_REPO_ROOT);
+  for (const Finding& f : findings) ADD_FAILURE() << f.str();
+}
+
+}  // namespace

@@ -1,0 +1,788 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+namespace matex::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool space_char(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Comment/string-aware view of one source file. `code` mirrors the input
+/// byte for byte with comment text and literal *contents* blanked to
+/// spaces (quotes kept, newlines kept), so offsets and line numbers match
+/// the original. `comments[i]` is the comment text on 0-based line i;
+/// `literals` maps an opening-quote offset to the literal's contents.
+struct Scrub {
+  std::string code;
+  std::vector<std::string> comments;
+  std::vector<std::size_t> line_start;
+  std::map<std::size_t, std::string> literals;
+
+  int line_of(std::size_t pos) const {
+    const auto it =
+        std::upper_bound(line_start.begin(), line_start.end(), pos);
+    return static_cast<int>(it - line_start.begin());
+  }
+};
+
+Scrub scrub(const std::string& text) {
+  Scrub s;
+  s.code = text;
+  s.line_start.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') s.line_start.push_back(i + 1);
+  s.comments.assign(s.line_start.size(), std::string());
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State st = State::kCode;
+  std::size_t lit_start = 0;
+  std::string raw_delim;  // )delim" terminator for raw strings
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLine;
+          s.code[i] = s.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::kBlock;
+          s.code[i] = s.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // R"delim( raw string? The R must directly precede the quote.
+          if (i > 0 && text[i - 1] == 'R' &&
+              (i < 2 || !ident_char(text[i - 2]))) {
+            std::size_t p = i + 1;
+            while (p < text.size() && text[p] != '(') ++p;
+            raw_delim = ")" + text.substr(i + 1, p - i - 1) + "\"";
+            lit_start = i;
+            st = State::kRaw;
+            i = p;  // contents blanked from here on
+          } else {
+            st = State::kString;
+            lit_start = i;
+          }
+        } else if (c == '\'') {
+          st = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          st = State::kCode;
+        } else {
+          s.comments[static_cast<std::size_t>(s.line_of(i)) - 1] += c;
+          s.code[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          st = State::kCode;
+          s.code[i] = s.code[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          s.comments[static_cast<std::size_t>(s.line_of(i)) - 1] += c;
+          s.code[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          s.code[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            s.code[i + 1] = ' ';
+            s.literals[lit_start] += text.substr(i, 2);
+            ++i;
+          }
+        } else if (c == '"') {
+          st = State::kCode;
+        } else {
+          s.literals[lit_start] += c;
+          if (c != '\n') s.code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          s.code[i] = ' ';
+          if (next != '\0') {
+            s.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          st = State::kCode;
+        } else {
+          s.code[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = State::kCode;
+        } else {
+          s.literals[lit_start] += c;
+          if (c != '\n') s.code[i] = ' ';
+        }
+        break;
+    }
+  }
+  return s;
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t p) {
+  while (p < code.size() && space_char(code[p])) ++p;
+  return p;
+}
+
+/// Last non-whitespace character before `p`, or '\0' at start of file.
+char prev_char(const std::string& code, std::size_t p) {
+  while (p > 0) {
+    --p;
+    if (!space_char(code[p])) return code[p];
+  }
+  return '\0';
+}
+
+/// Offset of the matching `close` for the `open` at `p`, or npos.
+std::size_t match_paren(const std::string& code, std::size_t p, char open,
+                        char close) {
+  int depth = 0;
+  for (; p < code.size(); ++p) {
+    if (code[p] == open) ++depth;
+    if (code[p] == close && --depth == 0) return p;
+  }
+  return std::string::npos;
+}
+
+bool word_at(const std::string& code, std::size_t p,
+             std::string_view word) {
+  if (code.compare(p, word.size(), word) != 0) return false;
+  if (p > 0 && ident_char(code[p - 1])) return false;
+  const std::size_t e = p + word.size();
+  return e >= code.size() || !ident_char(code[e]);
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kRules = {
+      "catch-all",   "atomic-order", "site-strings",
+      "determinism", "float-format", "nolint-reason"};
+  return kRules;
+}
+
+/// Per-rule sets of 1-based lines covered by an allow marker. A marker
+/// covers its own line plus the statement that follows it: subsequent
+/// lines up to and including the first whose code contains ';', '{' or
+/// '}' (blank/comment-only lines in between are covered too).
+struct Allowed {
+  std::map<std::string, std::set<int>> lines;
+
+  bool covers(const std::string& rule, int line) const {
+    const auto it = lines.find(rule);
+    return it != lines.end() && it->second.count(line) > 0;
+  }
+};
+
+Allowed scan_markers(const Scrub& s, std::vector<Finding>* findings,
+                     const std::string& path) {
+  Allowed allowed;
+  // Prose may mention the tool name; only 'matex-lint: allow(' starts a
+  // suppression marker.
+  static constexpr std::string_view kTag = "matex-lint: allow(";
+  for (std::size_t li = 0; li < s.comments.size(); ++li) {
+    const std::string& c = s.comments[li];
+    const std::size_t tag = c.find(kTag);
+    if (tag == std::string::npos) continue;
+    const int line = static_cast<int>(li) + 1;
+    const std::size_t p = tag + kTag.size() - 6;  // points at "allow("
+    const std::size_t close = c.find(')', p);
+    if (close == std::string::npos) continue;
+    const std::string rule = c.substr(p + 6, close - (p + 6));
+    if (std::find(rule_names().begin(), rule_names().end(), rule) ==
+        rule_names().end()) {
+      findings->push_back({path, line, "nolint-reason",
+                           "matex-lint marker names unknown rule '" + rule +
+                               "'"});
+      continue;
+    }
+    std::size_t r = skip_ws(c, close + 1);
+    if (r >= c.size() || c[r] != ':' ||
+        skip_ws(c, r + 1) >= c.size()) {
+      findings->push_back({path, line, "nolint-reason",
+                           "matex-lint allow(" + rule +
+                               ") marker has no reason; write 'allow(" +
+                               rule + "): <why this site is exempt>'"});
+      continue;
+    }
+    std::set<int>& cover = allowed.lines[rule];
+    cover.insert(line);
+    for (std::size_t j = li + 1;
+         j < s.line_start.size() && j < li + 16; ++j) {
+      cover.insert(static_cast<int>(j) + 1);
+      const std::size_t b = s.line_start[j];
+      const std::size_t e = j + 1 < s.line_start.size()
+                                ? s.line_start[j + 1]
+                                : s.code.size();
+      const std::string_view text(s.code.data() + b, e - b);
+      if (text.find_first_not_of(" \t\r\n") == std::string_view::npos)
+        continue;  // blank / comment-only line: keep walking
+      if (text.find_first_of(";{}") != std::string_view::npos) break;
+    }
+  }
+  return allowed;
+}
+
+// --------------------------------------------------------------- catch-all
+
+void rule_catch_all(const std::string& path, const Scrub& s,
+                    const Allowed& allowed,
+                    std::vector<Finding>* findings) {
+  const std::string& code = s.code;
+  for (std::size_t p = code.find("catch"); p != std::string::npos;
+       p = code.find("catch", p + 5)) {
+    if (!word_at(code, p, "catch")) continue;
+    std::size_t q = skip_ws(code, p + 5);
+    if (q >= code.size() || code[q] != '(') continue;
+    q = skip_ws(code, q + 1);
+    if (code.compare(q, 3, "...") != 0) continue;
+    const int line = s.line_of(p);
+    if (allowed.covers("catch-all", line)) continue;
+    // The funnel itself: a body that immediately classifies is fine.
+    const std::size_t brace = code.find('{', q);
+    if (brace != std::string::npos) {
+      const std::size_t end = match_paren(code, brace, '{', '}');
+      if (end != std::string::npos &&
+          code.find("classify_exception", brace) < end)
+        continue;
+    }
+    findings->push_back(
+        {path, line, "catch-all",
+         "raw `catch (...)` outside the classify_exception funnel; route "
+         "the exception through la/error.hpp or annotate the site with "
+         "'matex-lint: allow(catch-all): <reason>'"});
+  }
+}
+
+// ------------------------------------------------------------ atomic-order
+
+const std::vector<std::string>& atomic_methods() {
+  // .clear() is deliberately absent: containers use it everywhere and
+  // std::atomic_flag does not appear in this codebase.
+  static const std::vector<std::string> kMethods = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong",
+      "test_and_set"};
+  return kMethods;
+}
+
+/// Declared std::atomic member/variable names in `code`, with the offset
+/// of each declaration's name token (so uses can skip the declaration).
+/// A name maps to `true` when the atomic sits inside a container
+/// (`std::vector<std::atomic<T>> x`, `std::array<std::atomic<T>, N> x`):
+/// such names are atomic only through `[]`, and unsubscripted operations
+/// (e.g. assigning the whole vector) are ordinary container code.
+void collect_atomic_decls(const std::string& code,
+                          std::map<std::string, bool>* names,
+                          std::set<std::size_t>* decl_pos) {
+  static constexpr std::string_view kAtomic = "std::atomic";
+  for (std::size_t p = code.find(kAtomic.data()); p != std::string::npos;
+       p = code.find(kAtomic.data(), p + kAtomic.size())) {
+    std::size_t q = p + kAtomic.size();
+    if (q >= code.size() || code[q] != '<') continue;  // atomic_thread_fence &c.
+    const char ctx = prev_char(code, p);
+    const bool container = ctx == '<' || ctx == ',';
+    q = match_paren(code, q, '<', '>');
+    if (q == std::string::npos) continue;
+    // Scan ahead to the declaration terminator; the declared name is the
+    // last identifier directly before it. A '*' on the way means the
+    // declared entity is a pointer-to-atomic, not an atomic: skip it.
+    ++q;
+    std::size_t name_begin = std::string::npos, name_end = 0;
+    bool pointer = false;
+    for (std::size_t r = q; r < code.size() && r < q + 200; ++r) {
+      const char c = code[r];
+      if (c == ';' || c == '{' || c == '=' || c == '(' || c == ')') break;
+      if (c == '*') pointer = true;
+      if (ident_char(c)) {
+        if (r == 0 || !ident_char(code[r - 1])) name_begin = r;
+        name_end = r + 1;
+      }
+    }
+    if (pointer || name_begin == std::string::npos) continue;
+    const std::string name = code.substr(name_begin, name_end - name_begin);
+    if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])))
+      continue;
+    const auto [it, inserted] = names->emplace(name, container);
+    if (!inserted && !container) it->second = false;  // plain decl wins
+    if (decl_pos != nullptr) decl_pos->insert(name_begin);
+  }
+}
+
+void rule_atomic_order(const std::string& path, const Scrub& s,
+                       const Allowed& allowed,
+                       const std::string& extra_decl_source,
+                       std::vector<Finding>* findings) {
+  const std::string& code = s.code;
+  const auto note = [&](std::size_t pos, const std::string& msg) {
+    const int line = s.line_of(pos);
+    if (!allowed.covers("atomic-order", line))
+      findings->push_back({path, line, "atomic-order", msg});
+  };
+
+  // Member calls: every atomic method invocation must spell its order.
+  for (const std::string& m : atomic_methods()) {
+    for (std::size_t p = code.find(m); p != std::string::npos;
+         p = code.find(m, p + m.size())) {
+      if (!word_at(code, p, m)) continue;
+      const char before = p > 0 ? code[p - 1] : '\0';
+      const bool member =
+          before == '.' || (before == '>' && p > 1 && code[p - 2] == '-');
+      if (!member) continue;
+      const std::size_t open = skip_ws(code, p + m.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = match_paren(code, open, '(', ')');
+      if (close == std::string::npos) continue;
+      if (code.find("memory_order", open) < close) continue;
+      note(p, "std::atomic::" + m +
+                  " without an explicit std::memory_order argument "
+                  "(implicit seq_cst; spell out the intended order)");
+    }
+  }
+
+  // Writes through operators on declared atomic names. Reads-by-implicit-
+  // conversion are deliberately not flagged (indistinguishable from reads
+  // of a shadowing local at token level); all repo code uses .load().
+  std::map<std::string, bool> names;
+  std::set<std::size_t> decl_pos;
+  collect_atomic_decls(code, &names, &decl_pos);
+  if (!extra_decl_source.empty()) {
+    const Scrub extra = scrub(extra_decl_source);
+    collect_atomic_decls(extra.code, &names, nullptr);
+  }
+  for (const auto& [name, container] : names) {
+    for (std::size_t p = code.find(name); p != std::string::npos;
+         p = code.find(name, p + name.size())) {
+      if (!word_at(code, p, name)) continue;
+      if (decl_pos.count(p) > 0) continue;
+      const char before = prev_char(code, p);
+      // Qualified / address-of / pointer / a type declaring a same-named
+      // local ("char* name = ..."): not an atomic access. Member accesses
+      // ("report.failures = ...") are also skipped: plain structs reuse
+      // counter names, and qualified atomic accesses all go through the
+      // method scan above.
+      if (before == ':' || before == '&' || before == '*' ||
+          before == '.' || before == '>' || ident_char(before))
+        continue;
+      std::size_t q = p + name.size();
+      q = skip_ws(code, q);
+      const bool subscripted = q < code.size() && code[q] == '[';
+      if (container && !subscripted)
+        continue;  // whole-container op (resize, assign): not atomic
+      if (subscripted) {
+        const std::size_t close = match_paren(code, q, '[', ']');
+        if (close == std::string::npos) continue;
+        q = skip_ws(code, close + 1);
+      }
+      if (q >= code.size()) continue;
+      const char c0 = code[q];
+      const char c1 = q + 1 < code.size() ? code[q + 1] : '\0';
+      if (p >= 2 && ((code[p - 1] == '+' && code[p - 2] == '+') ||
+                     (code[p - 1] == '-' && code[p - 2] == '-'))) {
+        note(p, "increment of std::atomic '" + name +
+                    "' (implicit seq_cst RMW); use fetch_add/fetch_sub "
+                    "with an explicit std::memory_order");
+        continue;
+      }
+      if ((c0 == '+' && c1 == '+') || (c0 == '-' && c1 == '-')) {
+        note(p, "increment of std::atomic '" + name +
+                    "' (implicit seq_cst RMW); use fetch_add/fetch_sub "
+                    "with an explicit std::memory_order");
+        continue;
+      }
+      if ((c0 == '+' || c0 == '-' || c0 == '&' || c0 == '|' ||
+           c0 == '^') &&
+          c1 == '=') {
+        note(p, "compound assignment to std::atomic '" + name +
+                    "' (implicit seq_cst RMW); use the matching fetch_* "
+                    "with an explicit std::memory_order");
+        continue;
+      }
+      if (c0 == '=' && c1 != '=') {
+        note(p, "plain assignment to std::atomic '" + name +
+                    "' (implicit seq_cst store); use .store(..., "
+                    "std::memory_order_*)");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ determinism
+
+void rule_determinism(const std::string& path, const Scrub& s,
+                      const Allowed& allowed,
+                      std::vector<Finding>* findings) {
+  struct Banned {
+    std::string_view token;
+    bool call_only;  // only when directly followed by '('
+    std::string_view hint;
+  };
+  static constexpr Banned kBanned[] = {
+      {"rand", true, "use a seeded std::mt19937 or splitmix64"},
+      {"srand", true, "use a seeded std::mt19937 or splitmix64"},
+      {"drand48", true, "use a seeded std::mt19937 or splitmix64"},
+      {"lrand48", true, "use a seeded std::mt19937 or splitmix64"},
+      {"random_device", false, "seed explicitly so runs replay"},
+      {"system_clock", false, "use std::chrono::steady_clock"},
+      {"high_resolution_clock", false, "use std::chrono::steady_clock"},
+      {"gettimeofday", true, "use std::chrono::steady_clock"},
+      {"localtime", true, "wall-clock formatting is nondeterministic"},
+      {"gmtime", true, "wall-clock formatting is nondeterministic"},
+      {"time", true, "use std::chrono::steady_clock"},
+      {"clock", true, "use std::chrono::steady_clock"},
+  };
+  const std::string& code = s.code;
+  for (const Banned& b : kBanned) {
+    for (std::size_t p = code.find(b.token.data()); p != std::string::npos;
+         p = code.find(b.token.data(), p + b.token.size())) {
+      if (!word_at(code, p, b.token)) continue;
+      if (b.call_only) {
+        const std::size_t q = skip_ws(code, p + b.token.size());
+        if (q >= code.size() || code[q] != '(') continue;
+      }
+      const int line = s.line_of(p);
+      if (allowed.covers("determinism", line)) continue;
+      std::string msg = "'";
+      msg += b.token;
+      msg += "' in waveform-determining code; ";
+      msg += b.hint;
+      findings->push_back({path, line, "determinism", std::move(msg)});
+    }
+  }
+}
+
+// ------------------------------------------------------------ float-format
+
+void rule_float_format(const std::string& path, const Scrub& s,
+                       const Allowed& allowed,
+                       std::vector<Finding>* findings) {
+  const std::string& code = s.code;
+  const auto note = [&](std::size_t pos, const std::string& msg) {
+    const int line = s.line_of(pos);
+    if (!allowed.covers("float-format", line))
+      findings->push_back({path, line, "float-format", msg});
+  };
+  static constexpr std::string_view kCalls[] = {"to_string",
+                                                "setprecision",
+                                                "precision"};
+  for (const std::string_view tok : kCalls) {
+    for (std::size_t p = code.find(tok.data()); p != std::string::npos;
+         p = code.find(tok.data(), p + tok.size())) {
+      if (!word_at(code, p, tok)) continue;
+      const std::size_t q = skip_ws(code, p + tok.size());
+      if (q >= code.size() || code[q] != '(') continue;
+      if (tok == "precision" && (p == 0 || code[p - 1] != '.')) continue;
+      std::string msg = "'";
+      msg += tok;
+      msg +=
+          "' on a checkpoint/golden path; these bytes are round-tripped "
+          "and compared -- use JsonWriter::value_exact";
+      note(p, msg);
+    }
+  }
+  // printf-family float conversions inside string literals.
+  for (const auto& [pos, lit] : s.literals) {
+    for (std::size_t p = lit.find('%'); p != std::string::npos;
+         p = lit.find('%', p + 1)) {
+      std::size_t q = p + 1;
+      if (q < lit.size() && lit[q] == '%') {  // literal %%
+        ++p;
+        continue;
+      }
+      while (q < lit.size() &&
+             (std::string_view("-+ #0123456789.*'").find(lit[q]) !=
+              std::string_view::npos))
+        ++q;
+      while (q < lit.size() &&
+             (std::string_view("hlLqjzt").find(lit[q]) !=
+              std::string_view::npos))
+        ++q;
+      if (q < lit.size() &&
+          std::string_view("eEfFgGaA").find(lit[q]) !=
+              std::string_view::npos) {
+        std::string msg = "printf float conversion '%";
+        msg += lit.substr(p + 1, q - p);
+        msg +=
+            "' on a checkpoint/golden path; use JsonWriter::value_exact";
+        note(pos, msg);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- nolint-reason
+
+void rule_nolint_reason(const std::string& path, const Scrub& s,
+                        std::vector<Finding>* findings) {
+  for (std::size_t li = 0; li < s.comments.size(); ++li) {
+    const std::string& c = s.comments[li];
+    const int line = static_cast<int>(li) + 1;
+    for (std::size_t p = c.find("NOLINT"); p != std::string::npos;
+         p = c.find("NOLINT", p + 6)) {
+      if (p > 0 && ident_char(c[p - 1])) continue;  // e.g. EXPECT-LINT
+      std::size_t q = p + 6;
+      if (c.compare(q, 5, "BEGIN") == 0 || c.compare(q, 3, "END") == 0) {
+        findings->push_back(
+            {path, line, "nolint-reason",
+             "NOLINTBEGIN/NOLINTEND block suppressions are banned; "
+             "suppress single lines with NOLINT(<check>): <reason>"});
+        continue;
+      }
+      if (c.compare(q, 8, "NEXTLINE") == 0) q += 8;
+      if (q >= c.size() || c[q] != '(') {
+        findings->push_back(
+            {path, line, "nolint-reason",
+             "bare NOLINT; name the check and the reason: "
+             "NOLINT(<check>): <reason>"});
+        continue;
+      }
+      const std::size_t close = c.find(')', q);
+      if (close == std::string::npos || close == q + 1) {
+        findings->push_back({path, line, "nolint-reason",
+                             "NOLINT with empty check list; name the "
+                             "check being suppressed"});
+        continue;
+      }
+      const std::size_t r = skip_ws(c, close + 1);
+      if (r >= c.size() || c[r] != ':' || skip_ws(c, r + 1) >= c.size()) {
+        findings->push_back(
+            {path, line, "nolint-reason",
+             "NOLINT(" + c.substr(q + 1, close - q - 1) +
+                 ") without a reason; append ': <why this suppression "
+                 "is sound>'"});
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- file scope
+
+bool path_has(const std::string& path, std::string_view piece) {
+  return path.find(piece.data()) != std::string::npos;
+}
+
+bool ends_with(const std::string& path, std::string_view tail) {
+  return path.size() >= tail.size() &&
+         path.compare(path.size() - tail.size(), tail.size(),
+                      tail.data()) == 0;
+}
+
+bool in_atomic_scope(const std::string& path) {
+  return path_has(path, "src/runtime/") || path_has(path, "src/obs/") ||
+         path_has(path, "src/la/") || path_has(path, "src/core/");
+}
+
+bool in_float_scope(const std::string& path) {
+  return ends_with(path, "runtime/checkpoint.cpp") ||
+         ends_with(path, "runtime/checkpoint.hpp") ||
+         ends_with(path, "verify/golden.cpp") ||
+         ends_with(path, "verify/golden.hpp");
+}
+
+}  // namespace
+
+std::string Finding::str() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << rule << ": " << message;
+  return os.str();
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content,
+                               const LintConfig& config,
+                               const std::string& extra_decl_source) {
+  std::vector<Finding> findings;
+  const Scrub s = scrub(content);
+  const Allowed allowed = scan_markers(s, &findings, path);
+  const bool all = config.force_all_scopes;
+
+  if (all || !ends_with(path, "la/error.hpp"))
+    rule_catch_all(path, s, allowed, &findings);
+  if (all || in_atomic_scope(path))
+    rule_atomic_order(path, s, allowed, extra_decl_source, &findings);
+  if (all || path_has(path, "src/"))
+    rule_determinism(path, s, allowed, &findings);
+  if (all || in_float_scope(path))
+    rule_float_format(path, s, allowed, &findings);
+  rule_nolint_reason(path, s, &findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Site> collect_sites(const std::string& path,
+                                const std::string& content) {
+  std::vector<Site> sites;
+  const Scrub s = scrub(content);
+  const std::string& code = s.code;
+
+  // Returns the literal opening at or right after `p` (skipping
+  // whitespace), or nullptr when the first argument is not a literal
+  // (macro definitions, forwarding helpers).
+  const auto literal_at = [&](std::size_t p) -> const std::string* {
+    p = skip_ws(code, p);
+    if (p >= code.size() || code[p] != '"') return nullptr;
+    const auto it = s.literals.find(p);
+    return it == s.literals.end() ? nullptr : &it->second;
+  };
+  const auto add = [&](std::size_t pos, const std::string& name,
+                       bool failpoint) {
+    sites.push_back({name, path, s.line_of(pos), failpoint});
+  };
+
+  struct Macro {
+    std::string_view token;
+    bool failpoint;
+  };
+  static constexpr Macro kMacros[] = {{"MATEX_FAILPOINT", true},
+                                      {"MATEX_SPAN", false},
+                                      {"instant", false}};
+  for (const Macro& m : kMacros) {
+    for (std::size_t p = code.find(m.token.data()); p != std::string::npos;
+         p = code.find(m.token.data(), p + m.token.size())) {
+      if (!word_at(code, p, m.token)) continue;
+      const std::size_t open = skip_ws(code, p + m.token.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      if (const std::string* lit = literal_at(open + 1))
+        add(p, *lit, m.failpoint);
+    }
+  }
+  // obs::Span <ident>("name", ...) -- the spelled-out RAII form.
+  for (std::size_t p = code.find("Span"); p != std::string::npos;
+       p = code.find("Span", p + 4)) {
+    if (!word_at(code, p, "Span")) continue;
+    std::size_t q = skip_ws(code, p + 4);
+    const std::size_t id = q;
+    while (q < code.size() && ident_char(code[q])) ++q;
+    if (q == id) continue;  // no variable name: not a declaration
+    q = skip_ws(code, q);
+    if (q >= code.size() || code[q] != '(') continue;
+    if (const std::string* lit = literal_at(q + 1)) add(p, *lit, false);
+  }
+  return sites;
+}
+
+std::vector<Finding> check_sites(const std::vector<Site>& sites,
+                                 const LintConfig& config) {
+  std::vector<Finding> findings;
+  std::map<std::string, const Site*> failpoints;
+  for (const Site& site : sites) {
+    if (site.failpoint) {
+      const auto [it, inserted] = failpoints.emplace(site.name, &site);
+      if (!inserted) {
+        findings.push_back(
+            {site.file, site.line, "site-strings",
+             "duplicate failpoint site '" + site.name + "' (first at " +
+                 it->second->file + ":" +
+                 std::to_string(it->second->line) +
+                 "); failpoint names are unique repo-wide so fault plans "
+                 "address exactly one site"});
+      }
+    }
+    if (!config.readme.empty() &&
+        config.readme.find("`" + site.name + "`") == std::string::npos) {
+      findings.push_back(
+          {site.file, site.line, "site-strings",
+           std::string(site.failpoint ? "failpoint" : "trace") +
+               " site '" + site.name +
+               "' is not registered in the README site tables; add it as "
+               "`" + site.name + "`"});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.message) <
+                     std::tie(b.file, b.line, b.message);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  LintConfig config;
+  {
+    std::ifstream readme(root + "/README.md");
+    std::ostringstream buf;
+    buf << readme.rdbuf();
+    config.readme = buf.str();
+  }
+
+  std::vector<std::string> files;
+  for (const char* sub : {"/src", "/tools"}) {
+    const fs::path dir = root + sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string p = entry.path().generic_string();
+      if (p.find("testdata") != std::string::npos) continue;
+      if (ends_with(p, ".cpp") || ends_with(p, ".hpp"))
+        files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Site> sites;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+
+    std::string sibling;
+    if (ends_with(file, ".cpp")) {
+      const std::string header =
+          file.substr(0, file.size() - 4) + ".hpp";
+      std::ifstream hin(header);
+      if (hin) {
+        std::ostringstream hbuf;
+        hbuf << hin.rdbuf();
+        sibling = hbuf.str();
+      }
+    }
+
+    auto file_findings = lint_file(file, content, config, sibling);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+    if (file.find("/src/") != std::string::npos) {
+      auto file_sites = collect_sites(file, content);
+      sites.insert(sites.end(), file_sites.begin(), file_sites.end());
+    }
+  }
+  auto site_findings = check_sites(sites, config);
+  findings.insert(findings.end(), site_findings.begin(),
+                  site_findings.end());
+  return findings;
+}
+
+}  // namespace matex::lint

@@ -1,0 +1,94 @@
+/// \file lint.hpp
+/// \brief matex-lint: repo-specific invariant checks as a tiny C++ library.
+///
+/// The linter enforces conventions that generic tooling cannot know about:
+///
+///   catch-all      raw `catch (...)` is only legal inside the
+///                  classify_exception funnel (la/error.hpp) or under an
+///                  explicit `matex-lint: allow(catch-all): <reason>`
+///                  comment.
+///   atomic-order   every std::atomic mutation or member call must name an
+///                  explicit std::memory_order (implicit seq_cst hides
+///                  intent and cost; PR 8's idle-check race shipped behind
+///                  a bare `.load()`).
+///   site-strings   MATEX_FAILPOINT site names are unique repo-wide, and
+///                  every failpoint / span / instant name is registered in
+///                  the README tables (backtick-quoted).
+///   determinism    no wall-clock or nondeterministic randomness in
+///                  waveform-determining code (steady_clock and seeded
+///                  generators are fine).
+///   float-format   no ad-hoc float formatting on the checkpoint/golden
+///                  paths; those bytes are round-tripped and compared, so
+///                  only JsonWriter::value_exact is allowed.
+///   nolint-reason  every clang-tidy nolint suppression and every
+///                  matex-lint allow marker must carry a
+///                  machine-checkable `: <reason>`.
+///
+/// Suppression: a violation is allowed by writing, on the preceding
+/// comment line(s) or at the end of the offending line,
+///   // matex-lint: allow(catch-all): why this site is exempt
+/// The marker covers the statement that follows it (up to the first line
+/// whose code contains `;`, `{` or `}`). Reasonless markers are themselves
+/// findings.
+///
+/// The scanner is token-level (comment- and string-literal-aware) on
+/// purpose: it has zero dependencies, builds in well under a second, and
+/// runs as an ordinary ctest so CI and `git grep`-driven refactors cannot
+/// drift away from the conventions the runtime relies on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace matex::lint {
+
+/// One rule violation. `line` is 1-based.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  std::string str() const;
+};
+
+struct LintConfig {
+  /// README text used by the site-strings registration check; when empty
+  /// the registration check is skipped (uniqueness is still enforced).
+  std::string readme;
+  /// Apply every rule to every file regardless of path (fixture tests).
+  bool force_all_scopes = false;
+};
+
+/// Runs the per-file rules over one translation unit. `extra_decl_source`
+/// is scanned for std::atomic declarations only (pass the sibling header
+/// so a .cpp knows which of its members are atomic).
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content,
+                               const LintConfig& config,
+                               const std::string& extra_decl_source = "");
+
+/// A trace/failpoint site literal found in source.
+struct Site {
+  std::string name;
+  std::string file;
+  int line = 0;
+  /// MATEX_FAILPOINT (unique repo-wide) vs span/instant (reusable).
+  bool failpoint = false;
+};
+
+/// Extracts every MATEX_FAILPOINT / MATEX_SPAN / obs::Span / obs::instant
+/// site whose name is a string literal.
+std::vector<Site> collect_sites(const std::string& path,
+                                const std::string& content);
+
+/// Repo-level site checks: failpoint uniqueness plus README registration.
+std::vector<Finding> check_sites(const std::vector<Site>& sites,
+                                 const LintConfig& config);
+
+/// Walks `root`/src and `root`/tools (skipping any path containing
+/// "testdata"), lints every .hpp/.cpp, and cross-checks the collected
+/// sites against `root`/README.md.
+std::vector<Finding> lint_tree(const std::string& root);
+
+}  // namespace matex::lint

@@ -1,0 +1,37 @@
+/// \file main.cpp
+/// \brief matex-lint driver: walks a repo tree and prints findings.
+///
+/// Usage: matex-lint [--root <path>]
+///
+/// Exit status 0 when the tree is clean, 1 when any rule fired, 2 on
+/// usage errors. Output is one `file:line: rule: message` per finding so
+/// editors and CI annotate it like a compiler diagnostic.
+#include <cstdio>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: matex-lint [--root <repo-root>]");
+      return 0;
+    } else {
+      std::fprintf(stderr, "matex-lint: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  const auto findings = matex::lint::lint_tree(root);
+  for (const auto& f : findings)
+    std::fprintf(stderr, "%s\n", f.str().c_str());
+  if (!findings.empty()) {
+    std::fprintf(stderr, "matex-lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

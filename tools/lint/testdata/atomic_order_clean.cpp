@@ -1,0 +1,44 @@
+// Fixture: compliant atomic usage plus the shapes that must NOT be
+// flagged -- container-level ops on vectors of atomics, shadowing
+// locals, captures by reference, and declaration initializers.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+std::atomic<int> hits{0};
+std::atomic<bool> stop_flag{false};
+std::vector<std::atomic<std::uint32_t>> deps;
+std::atomic<const char*> name{nullptr};
+
+int observe() { return hits.load(std::memory_order_acquire); }
+
+void reset_counters() {
+  hits.store(0, std::memory_order_relaxed);
+  stop_flag.store(false, std::memory_order_release);
+}
+
+void bump() { hits.fetch_add(1, std::memory_order_relaxed); }
+
+void rebuild(std::size_t n) {
+  // Whole-container assignment: the vector is not the atomic.
+  deps = std::vector<std::atomic<std::uint32_t>>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    deps[i].store(0, std::memory_order_relaxed);
+}
+
+std::uint32_t retire(std::size_t i) {
+  return deps[i].fetch_sub(1, std::memory_order_acq_rel);
+}
+
+const char* shadowing() {
+  // A local that shares the atomic's name; reads of it are ordinary.
+  const char* name = "local";
+  return name != nullptr ? name : "";
+}
+
+int capture() {
+  auto probe = [&hits_ref = hits] {
+    return hits_ref.load(std::memory_order_relaxed);
+  };
+  return probe();
+}

@@ -1,0 +1,21 @@
+// Fixture: every flavor of implicit-seq_cst atomic access the rule
+// catches -- bare method calls, operator writes, increments.
+#include <atomic>
+
+std::atomic<int> hits{0};
+std::atomic<bool> stop_flag{false};
+
+int observe() {
+  return hits.load();  // EXPECT-LINT(atomic-order)
+}
+
+void reset_counters() {
+  hits = 0;  // EXPECT-LINT(atomic-order)
+  stop_flag.store(true);  // EXPECT-LINT(atomic-order)
+}
+
+void bump() {
+  hits.fetch_add(1);  // EXPECT-LINT(atomic-order)
+  ++hits;  // EXPECT-LINT(atomic-order)
+  hits += 2;  // EXPECT-LINT(atomic-order)
+}

@@ -1,0 +1,40 @@
+// Fixture: every legal form of catch in one file -- the classify funnel,
+// an annotated capture-and-rethrow, and a typed catch.
+#include <exception>
+#include <stdexcept>
+
+struct ErrorInfo {
+  int kind;
+};
+ErrorInfo classify_exception(std::exception_ptr e);
+int risky();
+
+int funnelled() {
+  try {
+    return risky();
+  } catch (...) {
+    const ErrorInfo err = classify_exception(std::current_exception());
+    return err.kind;
+  }
+}
+
+int annotated() {
+  std::exception_ptr first;
+  try {
+    return risky();
+    // matex-lint: allow(catch-all): capture-and-rethrow -- the exception
+    // crosses a thread boundary untouched; classification happens at the
+    // fan-in point.
+  } catch (...) {
+    first = std::current_exception();
+  }
+  std::rethrow_exception(first);
+}
+
+int typed() {
+  try {
+    return risky();
+  } catch (const std::runtime_error&) {
+    return -2;
+  }
+}

@@ -1,0 +1,13 @@
+// Fixture: raw catch (...) with neither the classify_exception funnel
+// nor an allow marker. Mirrors the anonymous-swallow anti-pattern.
+#include <exception>
+
+int risky();
+
+int swallow_everything() {
+  try {
+    return risky();
+  } catch (...) {  // EXPECT-LINT(catch-all)
+    return -1;
+  }
+}

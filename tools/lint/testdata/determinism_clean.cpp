@@ -1,0 +1,28 @@
+// Fixture: deterministic counterparts -- steady_clock for durations,
+// seeded generators for randomness, and one annotated exemption.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+double elapsed_seconds(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+double replayable_noise(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+// Identifiers merely containing banned words are fine.
+struct Runtime {
+  int timer = 0;
+  int randomized_cases = 0;
+};
+
+std::time_t banner_stamp() {
+  // matex-lint: allow(determinism): log banner only; the value never
+  // reaches a waveform, checkpoint or golden file.
+  return time(nullptr);
+}

@@ -1,0 +1,30 @@
+// Fixture: nondeterminism sources in waveform-determining code.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int jitter() {
+  return std::rand();  // EXPECT-LINT(determinism)
+}
+
+unsigned entropy_seed() {
+  std::random_device rd;  // EXPECT-LINT(determinism)
+  return rd();
+}
+
+long long wall_clock_ns() {
+  return std::chrono::system_clock::now()  // EXPECT-LINT(determinism)
+      .time_since_epoch()
+      .count();
+}
+
+long long hires_ns() {
+  return std::chrono::high_resolution_clock::now()  // EXPECT-LINT(determinism)
+      .time_since_epoch()
+      .count();
+}
+
+std::time_t stamp() {
+  return time(nullptr);  // EXPECT-LINT(determinism)
+}

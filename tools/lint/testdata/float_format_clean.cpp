@@ -1,0 +1,23 @@
+// Fixture: the allowed formatting shapes on checkpoint/golden paths --
+// integer conversions, the exact serializer, and an annotated
+// diagnostic.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+struct JsonWriter {
+  JsonWriter& value_exact(double v);  // %.17g round-trip serializer
+};
+
+void fingerprint_hex(char* buf, std::uint64_t fp) {
+  std::snprintf(buf, 32, "%016llx",
+                static_cast<unsigned long long>(fp));
+}
+
+void exact_value(JsonWriter& w, double v) { w.value_exact(v); }
+
+std::string diagnostic(std::size_t n) {
+  // matex-lint: allow(float-format): integer sample count in an error
+  // message; never parsed back or byte-compared.
+  return "expected " + std::to_string(n) + " samples";
+}

@@ -1,0 +1,25 @@
+// Fixture: ad-hoc float formatting on a byte-compared path.
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <string>
+
+std::string lossy_value(double v) {
+  return std::to_string(v);  // EXPECT-LINT(float-format)
+}
+
+void lossy_printf(char* buf, double v) {
+  std::snprintf(buf, 32, "%.12g", v);  // EXPECT-LINT(float-format)
+}
+
+void lossy_fixed(char* buf, double v) {
+  std::snprintf(buf, 32, "t=%8.3f\n", v);  // EXPECT-LINT(float-format)
+}
+
+void lossy_stream(std::ostream& os, double v) {
+  os << std::setprecision(6) << v;  // EXPECT-LINT(float-format)
+}
+
+void lossy_stream_method(std::ostream& os) {
+  os.precision(9);  // EXPECT-LINT(float-format)
+}

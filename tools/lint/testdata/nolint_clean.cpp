@@ -1,0 +1,11 @@
+// Fixture: well-formed suppressions -- check named, reason attached.
+
+// NOLINTNEXTLINE(cert-err34-c): fixture input is machine-generated hex;
+// a parse failure yields 0 and takes the skip path.
+long parse_fp(const char* s);
+
+int wake_up();  // NOLINT(bugprone-spuriously-wake-up-functions): the outer loop re-checks the predicate.
+
+// matex-lint: allow(catch-all): demonstration marker; carries a reason,
+// names a real rule.
+void annotated_site();

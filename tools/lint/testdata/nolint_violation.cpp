@@ -1,0 +1,21 @@
+// Fixture: suppressions that do not justify themselves.
+
+// A bare suppression word silences everything and explains nothing:
+// NOLINT .. EXPECT-LINT(nolint-reason)
+void bare();
+
+// NOLINTNEXTLINE(bugprone-branch-clone) .. EXPECT-LINT(nolint-reason)
+void check_named_but_reasonless();
+
+// NOLINTBEGIN(performance-*) .. EXPECT-LINT(nolint-reason)
+void blanket_start();
+// NOLINTEND(performance-*) .. EXPECT-LINT(nolint-reason)
+
+// NOLINT() .. EXPECT-LINT(nolint-reason)
+void empty_check_list();
+
+// matex-lint: allow(atomic-order) .. EXPECT-LINT(nolint-reason)
+void marker_without_reason();
+
+// matex-lint: allow(not-a-rule): a reason does not rescue a typo .. EXPECT-LINT(nolint-reason)
+void marker_with_unknown_rule();

@@ -1,0 +1,16 @@
+// Regression fixture: PR 8's first real bug, reconstructed. A factor
+// cache helper swallowed every exception anonymously, so factorization
+// failures surfaced as silent cache misses instead of classified
+// errors. The catch-all rule now refuses this shape outright.
+#include <memory>
+
+struct Factors;
+std::shared_ptr<Factors> factorize_uncached(int key);
+
+std::shared_ptr<Factors> get_or_factorize(int key) {
+  try {
+    return factorize_uncached(key);
+  } catch (...) {  // EXPECT-LINT(catch-all)
+    return nullptr;
+  }
+}

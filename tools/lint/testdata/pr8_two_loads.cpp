@@ -1,0 +1,17 @@
+// Regression fixture: PR 8's second real bug, reconstructed. The pool's
+// idle check read two counters with separate bare loads; a task could
+// retire between them and the pool reported idle while work was still
+// in flight. The bare .load() calls (implicit seq_cst, unstated intent)
+// are what the atomic-order rule refuses; the fix paired an acquire
+// load with a release decrement at the retirement point.
+#include <atomic>
+
+struct Pool {
+  std::atomic<int> pending_{0};
+  std::atomic<int> inflight_{0};
+
+  bool idle() const {
+    return pending_.load() == 0 &&  // EXPECT-LINT(atomic-order)
+           inflight_.load() == 0;   // EXPECT-LINT(atomic-order)
+  }
+};

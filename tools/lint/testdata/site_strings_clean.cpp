@@ -1,0 +1,22 @@
+// Fixture: compliant sites -- unique failpoints, every name registered
+// in README_sites.md, spans in both macro and spelled-out RAII form.
+void body();
+
+void unique_failpoint() {
+  MATEX_FAILPOINT("fixture.known");
+  body();
+}
+
+void registered_span() {
+  MATEX_SPAN("fixture.span", "n", 3);
+  body();
+}
+
+void raii_span() {
+  obs::Span span("fixture.span", "n", 4);  // reuse across sites is fine
+  body();
+}
+
+void registered_instant() {
+  obs::instant("fixture.instant", "k", 1.0);
+}

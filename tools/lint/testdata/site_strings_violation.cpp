@@ -1,0 +1,27 @@
+// Fixture: site-string violations -- a duplicated failpoint name and
+// trace sites missing from the README tables (README_sites.md).
+void body();
+
+void first_site() {
+  MATEX_FAILPOINT("fixture.dup");
+  body();
+}
+
+void second_site() {
+  MATEX_FAILPOINT("fixture.dup");  // EXPECT-LINT(site-strings)
+  body();
+}
+
+void unregistered_span() {
+  MATEX_SPAN("fixture.unregistered");  // EXPECT-LINT(site-strings)
+  body();
+}
+
+void unregistered_instant() {
+  obs::instant("fixture.also_missing");  // EXPECT-LINT(site-strings)
+}
+
+void registered_site() {
+  MATEX_FAILPOINT("fixture.known");
+  body();
+}
