@@ -23,13 +23,26 @@ trap 'rm -f "$tmp_json"' EXIT
 
 "$build_dir"/bench_hotpath --json "$tmp_json" >&2
 
+# Multi-process campaign throughput (sharded coordinator at 1/2/4
+# workers, byte-identical stores asserted by the bench). Needs matex_cli
+# next to the bench; when it is absent the point simply omits the
+# campaign metric and check_trend skips it.
+campaign_json="$(mktemp)"
+trap 'rm -f "$tmp_json" "$campaign_json"' EXIT
+if ! "$build_dir"/bench_table3_distributed --campaign-only \
+      --json "$campaign_json" >&2; then
+  echo "append_trend: campaign leg failed; not appending" >&2
+  exit 1
+fi
+
 # Gate the fresh measurement against the last committed point BEFORE
 # appending (>2x regression on the machine-independent ratios fails and
 # nothing is written): the dashboard is also the signal, and a regressed
 # point must never become the next comparison baseline.
 bench/check_trend.sh --candidate "$tmp_json"
 
-jq -c --arg pr "$pr_label" --arg date "$(date -u +%Y-%m-%d)" '{
+jq -c --arg pr "$pr_label" --arg date "$(date -u +%Y-%m-%d)" \
+      --slurpfile camp "$campaign_json" '{
   pr: $pr,
   date: $date,
   n: .mesh.n,
@@ -50,7 +63,11 @@ jq -c --arg pr "$pr_label" --arg date "$(date -u +%Y-%m-%d)" '{
   span_disabled_ns: .obs.span_disabled_ns,
   span_disabled_allocs: .obs.span_disabled_allocs,
   span_enabled_allocs: .obs.span_enabled_allocs,
-  traced_tr_overhead_ratio: .obs.traced_tr_overhead_ratio
+  traced_tr_overhead_ratio: .obs.traced_tr_overhead_ratio,
+  campaign_scenarios_per_second:
+    ($camp[0].campaign.campaign_scenarios_per_second // null),
+  campaign_scenarios: ($camp[0].campaign.scenarios // null),
+  campaign_workers: ($camp[0].campaign.workers // null)
 }' "$tmp_json" >> "$out"
 
 tail -1 "$out" >&2

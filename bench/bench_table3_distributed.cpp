@@ -11,8 +11,21 @@
 ///
 /// Expected shape (paper): ~13X transient speedup, ~7X total, max error
 /// ~1e-4 V, group counts bounded by the distinct bump shapes.
+///
+/// A second leg measures the *multi-process* distribution one level up:
+/// the sharded-campaign coordinator (matex_cli --shards, see
+/// docs/ARCHITECTURE.md) runs the built-in demo campaign at 1, 2 and 4
+/// worker processes, the merged binary stores are checked byte-identical,
+/// and the end-to-end throughput is reported as
+/// campaign_scenarios_per_second (journal + store writes included).
+/// `--json FILE` exports the metrics; `--campaign-only` skips the Table 3
+/// sweep so bench/append_trend.sh can record the campaign point cheaply.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "circuit/mna.hpp"
@@ -20,11 +33,156 @@
 #include "pgbench/pg_generator.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
+#include "solver/json_writer.hpp"
 #include "solver/observer.hpp"
 
-int main() {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// The coordinator binary: $MATEX_CLI, or matex_cli next to this bench.
+std::string find_cli(const char* argv0) {
+  if (const char* env = std::getenv("MATEX_CLI")) return env;
+  std::string dir(argv0);
+  const std::size_t slash = dir.rfind('/');
+  dir = slash == std::string::npos ? std::string(".") : dir.substr(0, slash);
+  const std::string candidate = dir + "/matex_cli";
+  return std::ifstream(candidate).good() ? candidate : std::string();
+}
+
+struct CampaignMetrics {
+  bool ran = false;
+  bool stores_identical = false;
+  long long scenarios = 0;
+  double seconds[3] = {0, 0, 0};  // 1, 2, 4 workers
+  double scenarios_per_second = 0.0;
+};
+
+void remove_campaign_artifacts(const std::string& tag) {
+  for (int k = -1; k < 4; ++k)
+    std::remove((k < 0 ? tag + ".jsonl"
+                       : tag + ".jsonl.shard" + std::to_string(k))
+                    .c_str());
+  std::remove((tag + ".store").c_str());
+  std::remove((tag + ".perf.json").c_str());
+  std::remove((tag + ".log").c_str());
+}
+
+/// Times the demo campaign through the sharded coordinator at 1/2/4
+/// workers and proves the binary stores byte-identical. Artifacts live
+/// in the working directory and are removed afterwards (a stale journal
+/// would turn a run into a pure restore and fake the throughput; the
+/// failing run's log is kept for diagnosis).
+CampaignMetrics run_campaign_leg(const std::string& cli) {
+  CampaignMetrics m;
+  const int worker_counts[3] = {1, 2, 4};
+  std::string stores[3];
+  for (int i = 0; i < 3; ++i) {
+    const std::string tag = "bench_t3_w" + std::to_string(worker_counts[i]);
+    const std::string journal = tag + ".jsonl";
+    const std::string store = tag + ".store";
+    remove_campaign_artifacts(tag);
+    std::string cmd = cli + " --batch --threads 2 --checkpoint " + journal +
+                      " --store " + store + " --perf-json " + tag +
+                      ".perf.json > /dev/null 2> " + tag + ".log";
+    if (worker_counts[i] > 1)
+      cmd = cli + " --batch --threads 2 --shards " +
+            std::to_string(worker_counts[i]) + " --checkpoint " + journal +
+            " --store " + store + " --perf-json " + tag +
+            ".perf.json > /dev/null 2> " + tag + ".log";
+    const auto t0 = std::chrono::steady_clock::now();
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "campaign leg: '%s' failed (see %s.log)\n",
+                   cmd.c_str(), tag.c_str());
+      return m;
+    }
+    m.seconds[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stores[i] = slurp(store);
+    if (i == 0) {
+      const auto perf = matex::solver::parse_json_file(tag + ".perf.json");
+      m.scenarios =
+          static_cast<long long>(perf.at("per_scenario").array.size());
+    }
+  }
+  m.ran = true;
+  m.stores_identical = !stores[0].empty() && stores[1] == stores[0] &&
+                       stores[2] == stores[0];
+  double best = m.seconds[0];
+  for (const double s : m.seconds)
+    if (s < best) best = s;
+  m.scenarios_per_second = best > 0 ? m.scenarios / best : 0.0;
+  if (m.stores_identical)
+    for (const int w : worker_counts)
+      remove_campaign_artifacts("bench_t3_w" + std::to_string(w));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace matex;
   const double scale = bench::env_scale();
+
+  std::string json_path;
+  bool campaign_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc)
+      json_path = argv[++i];
+    else if (arg == "--campaign-only")
+      campaign_only = true;
+  }
+
+  if (campaign_only) {
+    const std::string cli = find_cli(argv[0]);
+    CampaignMetrics m;
+    if (cli.empty())
+      std::fprintf(stderr,
+                   "campaign leg skipped: no matex_cli next to the bench "
+                   "and $MATEX_CLI unset\n");
+    else
+      m = run_campaign_leg(cli);
+    if (m.ran) {
+      std::printf(
+          "sharded campaign: %lld scenarios; %.3fs / %.3fs / %.3fs at "
+          "1/2/4 workers; stores %s; %.1f scenarios/s\n",
+          m.scenarios, m.seconds[0], m.seconds[1], m.seconds[2],
+          m.stores_identical ? "IDENTICAL" : "DIVERGED",
+          m.scenarios_per_second);
+      if (!m.stores_identical) return 1;
+    }
+    if (!json_path.empty()) {
+      solver::JsonWriter w;
+      w.begin_object();
+      w.key("campaign").begin_object();
+      w.key("ran").value(m.ran);
+      if (m.ran) {
+        w.key("scenarios").value(m.scenarios);
+        w.key("workers").value(4);
+        w.key("stores_identical").value(m.stores_identical);
+        w.key("seconds_w1").value(m.seconds[0]);
+        w.key("seconds_w2").value(m.seconds[1]);
+        w.key("seconds_w4").value(m.seconds[2]);
+        w.key("campaign_scenarios_per_second")
+            .value(m.scenarios_per_second);
+      }
+      w.end_object();
+      w.end_object();
+      std::ofstream out(json_path);
+      out << w.str() << '\n';
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   std::printf(
       "Table 3: distributed MATEX (R-MATEX) vs TR (h=10ps, 1000 steps)\n\n");

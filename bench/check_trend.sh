@@ -24,6 +24,11 @@
 #   span_disabled_allocs, span_enabled_allocs        -- may not grow by >1
 #   traced_tr_overhead_ratio                         -- absolute cap 1.05x
 #     (tracing a run may never cost more than 5%, regardless of history)
+#   campaign_scenarios_per_second                    -- may not halve
+#     (sharded-coordinator end-to-end throughput from
+#     bench_table3_distributed --campaign-only; absent on points recorded
+#     before the sharding PR and on --candidate hotpath artifacts, and
+#     skipped like every other missing metric)
 set -euo pipefail
 
 trend="bench/trend.jsonl"
@@ -59,7 +64,9 @@ if [[ -n "$candidate_json" ]]; then
     tr_allocs_per_step: .transient.tr_allocs_per_step,
     span_disabled_allocs: .obs.span_disabled_allocs,
     span_enabled_allocs: .obs.span_enabled_allocs,
-    traced_tr_overhead_ratio: .obs.traced_tr_overhead_ratio
+    traced_tr_overhead_ratio: .obs.traced_tr_overhead_ratio,
+    campaign_scenarios_per_second:
+      (.campaign.campaign_scenarios_per_second // null)
   }' "$candidate_json")"
   label="candidate $candidate_json vs last committed point"
 else
@@ -109,6 +116,7 @@ jq -n -e --argjson prev "$prev" --argjson cur "$current" \
        else [] end);
   ( gate_min("refactor_speedup")
   + gate_min("blocked_vs_scalar_speedup")
+  + gate_min("campaign_scenarios_per_second")
   + gate_parallel
   + gate_max("sparse_rhs_vs_dense_ratio")
   + gate_allocs("allocs_per_step")

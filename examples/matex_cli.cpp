@@ -11,6 +11,8 @@
 ///   matex_cli --verify [--update-goldens] [--goldens DIR]
 ///   matex_cli --fuzz N | --fuzz-vsource N
 ///             [--fuzz-seed S] [--artifacts DIR]
+///   matex_cli --store-dump FILE [--out FILE]
+///   matex_cli --help
 ///
 /// Defaults: method=rmatex, .tran card from the deck (or 10ps/10ns),
 /// gamma=tstep*10, probes = first few nodes, out = stdout table.
@@ -63,6 +65,19 @@
 /// and sweep, restores them instead of re-running (bitwise-identical
 /// waveforms; see README, Fault tolerance).
 ///
+/// Sharded campaigns (this PR): --shards N splits a --batch campaign
+/// across N worker *processes*. The coordinator respawns itself N times
+/// with --batch-worker K; each worker independently runs the scenarios
+/// whose fingerprint maps to its shard (runtime/shard.hpp) and journals
+/// them to CHECKPOINT.shardK. The coordinator merges the shard journals
+/// into --checkpoint FILE and replays the campaign through the normal
+/// restore path -- which also re-runs anything a killed worker never
+/// finished -- so the merged report and --store bytes are identical to a
+/// single-process run. A worker that dies is respawned (bounded) and
+/// resumes from its shard journal. --store FILE writes the campaign
+/// waveforms as the compact binary store (solver/waveform_store.hpp);
+/// --store-dump FILE converts a store back to plain-text tables.
+///
 /// Exit codes: 0 success; 1 simulation/verify/fuzz failures or artifact
 /// write errors; 2 bad invocation; 3 cancelled (SIGINT or --deadline).
 #include <cerrno>
@@ -86,12 +101,15 @@
 #include "obs/trace.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/cancel.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/shard.hpp"
 #include "solver/dc.hpp"
 #include "solver/fixed_step.hpp"
 #include "solver/json_writer.hpp"
 #include "solver/observer.hpp"
 #include "solver/tr_adaptive.hpp"
 #include "solver/waveform_io.hpp"
+#include "solver/waveform_store.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/golden.hpp"
 
@@ -151,6 +169,10 @@ struct CliOptions {
   int threads = -1;  ///< -1 = not given; 0 = hardware concurrency
   double deadline = 0.0;        ///< wall-clock budget in s; 0 = none
   std::string checkpoint_path;  ///< batch journal; empty = disabled
+  int shards = 1;               ///< > 1 = multi-process campaign
+  int batch_worker = -1;        ///< >= 0 = this process is shard K
+  std::string store_path;       ///< binary waveform store output
+  std::string store_dump_path;  ///< store -> text conversion mode
   bool batch = false;
   bool keep_vsources = false;
   bool verify = false;
@@ -203,27 +225,45 @@ bool dump_trace(const CliOptions& cli) {
   return true;
 }
 
-[[noreturn]] void usage_and_exit() {
+/// The --help text. docs/CLI.md documents exactly this flag set between
+/// its flags:begin/flags:end markers, and tests/test_docs.cpp diffs the
+/// two -- a flag added here without a docs row (or vice versa) fails CI.
+void print_usage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: matex_cli DECK.sp [--method rmatex|imatex|mexp|tr|be|tradpt|"
       "dist]\n"
       "                 [--tstep S] [--tstop S] [--gamma S] [--tol EPS]\n"
       "                 [--threads N] [--batch] [--keep-vsources]\n"
       "                 [--deadline S] [--checkpoint FILE]\n"
+      "                 [--shards N] [--batch-worker K] [--store FILE]\n"
       "                 [--probe NODE]... [--out FILE] [--perf-json FILE]\n"
       "                 [--trace FILE]\n"
       "       matex_cli --verify [--update-goldens] [--goldens DIR]\n"
       "       matex_cli --fuzz N | --fuzz-vsource N\n"
       "                 [--fuzz-seed S] [--artifacts DIR]\n"
+      "       matex_cli --store-dump FILE [--out FILE]\n"
+      "       matex_cli --help\n"
       "\n"
       "--deadline S cancels the run after S seconds of wall time;\n"
       "--checkpoint FILE journals completed batch scenarios and resumes\n"
       "a re-run from them. Ctrl-C cancels cleanly (artifacts flush);\n"
       "a second Ctrl-C force-kills.\n"
+      "--shards N fans a --batch campaign out over N worker processes\n"
+      "(requires --checkpoint; shard journals merge into it and the\n"
+      "merged report is bitwise-identical to a single-process run).\n"
+      "--batch-worker K runs shard K of --shards N in-process (spawned\n"
+      "by the coordinator; useful manually for offline fan-out).\n"
+      "--store FILE writes campaign waveforms as a binary store\n"
+      "(docs/FORMATS.md); --store-dump FILE prints one back as text.\n"
       "exit codes: 0 success; 1 simulation/verify/fuzz failures or\n"
       "artifact write errors; 2 bad invocation; 3 cancelled (SIGINT or\n"
-      "--deadline).\n");
+      "--deadline).\n"
+      "full reference: docs/CLI.md\n");
+}
+
+[[noreturn]] void usage_and_exit() {
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -258,6 +298,26 @@ CliOptions parse_args(int argc, char** argv) {
       if (opt.deadline <= 0.0) usage_and_exit();
     } else if (arg == "--checkpoint") {
       opt.checkpoint_path = next();
+    } else if (arg == "--shards" || arg == "--batch-worker") {
+      const std::string value = next();
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 512)
+        usage_and_exit();
+      if (arg == "--shards") {
+        if (parsed < 1) usage_and_exit();
+        opt.shards = static_cast<int>(parsed);
+      } else {
+        opt.batch_worker = static_cast<int>(parsed);
+        opt.batch = true;  // a worker is always a campaign run
+      }
+    } else if (arg == "--store") {
+      opt.store_path = next();
+    } else if (arg == "--store-dump") {
+      opt.store_dump_path = next();
+    } else if (arg == "--help") {
+      print_usage(stdout);
+      std::exit(0);
     } else if (arg == "--batch") {
       opt.batch = true;
     } else if (arg == "--keep-vsources") {
@@ -341,6 +401,39 @@ int main(int argc, char** argv) try {
                  report.checks, report.failures, report.max_err_ratio);
     return report.failures == 0 ? 0 : 1;
   }
+  if (!cli.store_dump_path.empty()) {
+    // Binary store -> plain text bridge: every chunk becomes one waveform
+    // table, on stdout or under --out FILE.<scenario> like batch mode.
+    const solver::WaveformStoreReader reader(cli.store_dump_path);
+    for (const auto& chunk : reader.chunks()) {
+      const solver::WaveformTable table = chunk.to_table();
+      if (cli.out_path.empty()) {
+        std::printf("# scenario %u %s fingerprint %016llx\n",
+                    chunk.scenario_index, chunk.name.c_str(),
+                    static_cast<unsigned long long>(chunk.fingerprint));
+        std::ostringstream buf;
+        solver::write_waveform_table(table, buf);
+        std::fputs(buf.str().c_str(), stdout);
+      } else {
+        std::string suffix = chunk.name;
+        for (char& ch : suffix)
+          if (ch == '/' || ch == ' ') ch = '_';
+        solver::write_waveform_table_file(table,
+                                          cli.out_path + "." + suffix);
+      }
+    }
+    if (reader.recovered_by_scan())
+      std::fprintf(stderr,
+                   "matex_cli: store footer missing/corrupt; %zu chunks "
+                   "recovered by scan\n",
+                   reader.chunks().size());
+    if (reader.corrupt_chunks_skipped() > 0)
+      std::fprintf(stderr, "matex_cli: %lld corrupt chunks skipped\n",
+                   reader.corrupt_chunks_skipped());
+    std::fprintf(stderr, "dumped %zu scenario chunks from %s\n",
+                 reader.chunks().size(), cli.store_dump_path.c_str());
+    return reader.corrupt_chunks_skipped() == 0 ? 0 : 1;
+  }
 
   // Observability switches before any simulation work: tracing from deck
   // parse onward (so the "stamp" span is captured), metrics instruments
@@ -405,6 +498,83 @@ int main(int argc, char** argv) try {
       std::fprintf(stderr,
                    "matex_cli: note: --batch assembles decks itself; "
                    "--keep-vsources only affects single-method runs\n");
+    if (cli.shards > 1 && cli.checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "matex_cli: --shards requires --checkpoint FILE (the "
+                   "shard journals merge into it)\n");
+      return 2;
+    }
+    if (cli.batch_worker >= 0 && cli.batch_worker >= cli.shards) {
+      std::fprintf(stderr,
+                   "matex_cli: --batch-worker K needs K < --shards N\n");
+      return 2;
+    }
+
+    // Coordinator: fan the campaign out over worker processes *before*
+    // constructing the engine (fork with the pool's threads live would be
+    // fragile), merge the shard journals into --checkpoint, then fall
+    // through to a normal run that restores everything the workers
+    // finished and computes whatever they did not.
+    std::vector<runtime::WorkerOutcome> fleet;
+    if (cli.shards > 1 && cli.batch_worker < 0) {
+      std::vector<std::string> base_argv;
+      base_argv.push_back(runtime::self_executable_path(argv[0]));
+      for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        // Outputs stay coordinator-owned; sharding flags are re-issued
+        // per worker. Everything else passes through verbatim so workers
+        // expand the identical campaign.
+        if (a == "--out" || a == "--perf-json" || a == "--trace" ||
+            a == "--store" || a == "--shards" || a == "--checkpoint") {
+          ++i;
+          continue;
+        }
+        base_argv.push_back(a);
+      }
+      std::vector<runtime::WorkerLaunch> launches(
+          static_cast<std::size_t>(cli.shards));
+      for (int k = 0; k < cli.shards; ++k) {
+        runtime::WorkerLaunch& launch = launches[static_cast<std::size_t>(k)];
+        launch.shard_index = k;
+        launch.argv = base_argv;
+        launch.argv.insert(launch.argv.end(),
+                           {"--shards", std::to_string(cli.shards),
+                            "--batch-worker", std::to_string(k),
+                            "--checkpoint",
+                            cli.checkpoint_path + ".shard" +
+                                std::to_string(k)});
+      }
+      std::fprintf(stderr, "batch: coordinating %d worker processes\n",
+                   cli.shards);
+      fleet = runtime::run_worker_fleet(launches, /*max_respawns=*/2,
+                                        &g_sigint_cancel);
+      std::ofstream merged(cli.checkpoint_path,
+                           std::ios::app | std::ios::binary);
+      for (const runtime::WorkerOutcome& o : fleet) {
+        std::fprintf(stderr, "worker %d: exit %d after %d spawn%s\n",
+                     o.shard_index, o.exit_code, o.spawns,
+                     o.spawns == 1 ? "" : "s");
+        std::ifstream shard_journal(cli.checkpoint_path + ".shard" +
+                                        std::to_string(o.shard_index),
+                                    std::ios::binary);
+        // Byte copy, not operator<<(streambuf*): the latter fails the
+        // *output* stream on an empty source, and a shard that owned
+        // zero scenarios legitimately leaves an empty journal.
+        const std::string bytes(
+            (std::istreambuf_iterator<char>(shard_journal)),
+            std::istreambuf_iterator<char>());
+        merged.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+      }
+      if (!merged) {
+        std::fprintf(stderr, "matex_cli: cannot merge shard journals "
+                             "into %s\n",
+                     cli.checkpoint_path.c_str());
+        return 1;
+      }
+      merged.close();
+    }
+
     // Campaign mode: sweep the deck over methods x gamma x tolerance on
     // the shared pool + factorization cache, streaming per-job stats.
     runtime::BatchOptions bopt;
@@ -412,6 +582,10 @@ int main(int argc, char** argv) try {
     bopt.cancel = &g_sigint_cancel;
     bopt.campaign_deadline_seconds = cli.deadline;
     bopt.checkpoint_path = cli.checkpoint_path;
+    if (cli.batch_worker >= 0) {
+      bopt.shard_count = cli.shards;
+      bopt.shard_index = cli.batch_worker;
+    }
     runtime::BatchEngine engine(bopt);
     const std::string label =
         cli.deck_path.empty() ? std::string("demo") : cli.deck_path;
@@ -449,6 +623,16 @@ int main(int argc, char** argv) try {
                  scenarios.size(), engine.pool().size());
     std::fprintf(stderr, "%-40s %6s %8s %8s %9s  %s\n", "scenario", "grp",
                  "steps", "solves", "wall(s)", "status");
+    // Deterministic worker-kill for the sharded fault tests: a worker
+    // _Exits as if SIGKILLed after journaling N *fresh* scenarios
+    // (restored ones excluded, so a respawned worker makes progress).
+    // Safe because the engine journals before it sinks -- the scenario
+    // this fires on is already durable in the shard journal.
+    long long exit_after = 0;
+    if (cli.batch_worker >= 0)
+      if (const char* e = std::getenv("MATEX_WORKER_EXIT_AFTER"))
+        exit_after = std::strtoll(e, nullptr, 10);
+    long long fresh_done = 0;  // sink calls are serialized
     const auto report = engine.run(
         scenarios, [&](const runtime::ScenarioResult& r) {
           std::fprintf(stderr, "%-40s %6zu %8lld %8lld %9.4f  %s\n",
@@ -459,6 +643,9 @@ int main(int argc, char** argv) try {
                                                        : "ok")
                        : r.cancelled ? "cancelled"
                                      : r.error.c_str());
+          if (exit_after > 0 && r.ok && r.attempts > 0 &&
+              ++fresh_done >= exit_after)
+            std::_Exit(137);  // the same shape as an external kill -9
         });
     std::fprintf(stderr,
                  "batch done in %.4f s: %zu scenarios, %d failed, "
@@ -472,7 +659,26 @@ int main(int argc, char** argv) try {
       std::fprintf(stderr, "checkpoint: %lld scenarios restored from %s\n",
                    report.checkpoint_restored,
                    cli.checkpoint_path.c_str());
+    if (cli.batch_worker >= 0)
+      std::fprintf(stderr,
+                   "worker %d/%d: %lld foreign-shard scenarios skipped\n",
+                   cli.batch_worker, cli.shards, report.sharded_out);
 
+    if (!cli.store_path.empty()) {
+      // Binary campaign output, written in campaign order from the merged
+      // report so the bytes never depend on completion order or sharding.
+      solver::WaveformStoreWriter store(cli.store_path);
+      for (std::size_t si = 0; si < report.results.size(); ++si) {
+        const runtime::ScenarioResult& r = report.results[si];
+        if (!r.ok) continue;
+        store.append(static_cast<std::uint32_t>(si),
+                     runtime::scenario_fingerprint(scenarios[si], label),
+                     r.name, probe_names, r.times, r.probe_waveforms);
+      }
+      store.close();
+      std::fprintf(stderr, "wrote %zu waveform chunks to %s\n",
+                   store.chunks_written(), cli.store_path.c_str());
+    }
     if (!cli.out_path.empty()) {
       for (const auto& r : report.results) {
         if (!r.ok) continue;
@@ -501,6 +707,22 @@ int main(int argc, char** argv) try {
       w.key("retries").value(report.retries);
       w.key("cache_sheds").value(report.cache_sheds);
       w.key("checkpoint_restored").value(report.checkpoint_restored);
+      w.key("sharded_out").value(report.sharded_out);
+      if (!fleet.empty()) {
+        // Per-worker process outcomes: the merged perf artifact is the
+        // one place the whole fleet is visible at once.
+        w.key("shards").value(static_cast<long long>(cli.shards));
+        w.key("workers").begin_array();
+        for (const runtime::WorkerOutcome& o : fleet) {
+          w.begin_object();
+          w.key("shard").value(static_cast<long long>(o.shard_index));
+          w.key("spawns").value(static_cast<long long>(o.spawns));
+          w.key("exit_code").value(static_cast<long long>(o.exit_code));
+          w.key("ok").value(o.ok);
+          w.end_object();
+        }
+        w.end_array();
+      }
       w.key("threads").value(engine.pool().size());
       w.key("wall_seconds").value(report.wall_seconds);
       w.key("factor_cache").begin_object();

@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/failpoint.hpp"
+#include "runtime/shard.hpp"
 #include "solver/observer.hpp"
 #include "solver/stats.hpp"
 
@@ -212,16 +213,23 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
   if (options_.campaign_deadline_seconds > 0.0)
     campaign_cancel.set_deadline_after(options_.campaign_deadline_seconds);
 
+  // Sharding: membership is a pure function of the spec fingerprint, so
+  // this worker decides its share without any coordination (shard.hpp).
+  // Foreign-shard scenarios are invisible to this run: not restored, not
+  // prewarmed, not run, not sunk.
+  const bool sharded = options_.shard_count > 1;
+  MATEX_CHECK(!sharded || (options_.shard_index >= 0 &&
+                           options_.shard_index < options_.shard_count),
+              "shard_index out of range");
+
   // Checkpoint/resume: restore completed scenarios by spec fingerprint,
   // then journal every newly completed one.
   std::vector<std::uint64_t> fingerprints;
-  std::vector<char> restored;
+  std::vector<char> skip;  // restored or foreign-shard
   std::unique_ptr<CheckpointWriter> journal;
-  if (!options_.checkpoint_path.empty()) {
+  if (sharded || !options_.checkpoint_path.empty()) {
     fingerprints.resize(scenarios.size(), 0);
-    restored.assign(scenarios.size(), 0);
-    CheckpointJournal loaded = load_checkpoint(options_.checkpoint_path);
-    report.checkpoint_skipped_lines = loaded.skipped_lines;
+    skip.assign(scenarios.size(), 0);
     for (std::size_t si = 0; si < scenarios.size(); ++si) {
       const ScenarioSpec& spec = scenarios[si];
       const std::string_view label =
@@ -229,20 +237,39 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
               ? std::string_view(decks_[spec.deck_index].label)
               : std::string_view();
       fingerprints[si] = scenario_fingerprint(spec, label);
+      if (sharded && shard_of(fingerprints[si], options_.shard_count) !=
+                         options_.shard_index) {
+        skip[si] = 1;
+        ++report.sharded_out;
+        // Identifiable not-run marker: attempts == 0 && !ok is the
+        // foreign-shard signature (restored results are 0 && ok).
+        ScenarioResult& out = report.results[si];
+        out.name = spec.name;
+        out.deck_index = spec.deck_index;
+        out.scenario_index = si;
+        out.attempts = 0;
+      }
+    }
+  }
+  if (!options_.checkpoint_path.empty()) {
+    CheckpointJournal loaded = load_checkpoint(options_.checkpoint_path);
+    report.checkpoint_skipped_lines = loaded.skipped_lines;
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+      if (skip[si]) continue;  // foreign shard
       const auto it = loaded.completed.find(fingerprints[si]);
       if (it == loaded.completed.end() || !it->second.ok) continue;
       ScenarioResult& out = report.results[si];
       out = it->second;
       out.scenario_index = si;
       out.attempts = 0;  // restored, not run
-      restored[si] = 1;
+      skip[si] = 1;
       ++report.checkpoint_restored;
       if (sink) sink(out);  // before the fan-out: no lock needed
     }
     journal = std::make_unique<CheckpointWriter>(options_.checkpoint_path);
   }
 
-  if (options_.prewarm) prewarm_factors(scenarios, restored, &campaign_cancel);
+  if (options_.prewarm) prewarm_factors(scenarios, skip, &campaign_cancel);
 
   core::Mutex sink_mutex;
   // relaxed: pure aggregates. Every increment happens inside a scenario
@@ -256,7 +283,7 @@ BatchReport BatchEngine::run(std::span<const ScenarioSpec> scenarios,
   std::vector<std::future<void>> futures;
   futures.reserve(scenarios.size());
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
-    if (!restored.empty() && restored[si]) continue;
+    if (!skip.empty() && skip[si]) continue;
     // submit_job: scenario jobs fan out node subtasks and block on them;
     // only idle workers may start one, so in-flight jobs (and their
     // accumulator memory) stay bounded by the pool size while awaiting

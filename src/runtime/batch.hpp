@@ -92,6 +92,15 @@ struct BatchOptions {
   /// fingerprints without re-running them and journals each newly
   /// completed one (see runtime/checkpoint.hpp).
   std::string checkpoint_path;
+  /// Multi-process sharding (see runtime/shard.hpp): with shard_count > 1
+  /// the engine runs only scenarios whose fingerprint maps to
+  /// shard_index via shard_of(); the rest are neither run, restored, nor
+  /// sunk (counted in BatchReport::sharded_out; their result slots carry
+  /// only identity, with attempts == 0 && !ok as the not-run signature).
+  /// Placement is a pure function of the spec, so N workers with
+  /// disjoint shard_index cover a campaign exactly once.
+  int shard_count = 1;
+  int shard_index = 0;
 };
 
 /// Campaign outcome: per-scenario results in campaign order plus the
@@ -110,6 +119,8 @@ struct BatchReport {
   long long checkpoint_restored = 0;
   /// Unparseable journal lines skipped on load (e.g. crash-truncated).
   long long checkpoint_skipped_lines = 0;
+  /// Scenarios belonging to other shards (shard_count > 1), skipped here.
+  long long sharded_out = 0;
   FactorCacheStats cache;          ///< hits/misses/evictions this run
   /// Pool counters for this run (deltas; max_task_seconds is the pool's
   /// high-water mark, which with a fresh engine is also this run's).
@@ -171,8 +182,8 @@ class BatchEngine {
 
   /// Factorizes every distinct (variant, operator) combination the
   /// campaign will request, before any scenario starts (see
-  /// BatchOptions::prewarm). `skip` (empty = none) masks scenarios whose
-  /// results were restored from a checkpoint. The shared pool and
+  /// BatchOptions::prewarm). `skip` (empty = none) masks scenarios this
+  /// run will not execute (checkpoint-restored or foreign-shard). The shared pool and
   /// `cancel` are threaded into each factorization (parallel blocked
   /// refills; panel-granular cancellation). Errors are classified and
   /// traced, then swallowed: a broken scenario reports its own failure

@@ -1,0 +1,128 @@
+#include "runtime/shard.hpp"
+
+#include <map>
+
+#include "la/error.hpp"
+#include "obs/trace.hpp"
+
+#ifdef __unix__
+#include <cerrno>
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace matex::runtime {
+
+int shard_of(std::uint64_t fingerprint, int shard_count) {
+  MATEX_CHECK(shard_count > 0, "shard_count must be positive");
+  if (shard_count == 1) return 0;
+  // splitmix64 finalizer: FNV output is well-mixed in the high bits but
+  // campaigns differing only in one swept double can correlate low bits;
+  // the finalizer makes the modulo reduction insensitive to that.
+  std::uint64_t z = fingerprint + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(shard_count));
+}
+
+std::string self_executable_path(const std::string& argv0) {
+#ifdef __linux__
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+#endif
+  return argv0;
+}
+
+#ifdef __unix__
+namespace {
+
+/// fork+exec one launch; returns the child pid. The child calls nothing
+/// but execv (async-signal-safe) so forking from a threaded coordinator
+/// is well-defined.
+pid_t spawn(const WorkerLaunch& launch) {
+  std::vector<char*> argv;
+  argv.reserve(launch.argv.size() + 1);
+  for (const std::string& a : launch.argv)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw Error("worker fleet: fork failed for shard " +
+                std::to_string(launch.shard_index));
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; the parent sees it as an abnormal exit
+  }
+  obs::instant("worker.spawn", "shard", launch.shard_index);
+  return pid;
+}
+
+int decode_status(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+std::vector<WorkerOutcome> run_worker_fleet(
+    std::span<const WorkerLaunch> launches, int max_respawns,
+    const CancelToken* cancel) {
+  std::vector<WorkerOutcome> outcomes(launches.size());
+  std::map<pid_t, std::size_t> running;  // pid -> launch slot
+  std::vector<int> respawns_left(launches.size(), max_respawns);
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    outcomes[i].shard_index = launches[i].shard_index;
+    running.emplace(spawn(launches[i]), i);
+    outcomes[i].spawns = 1;
+  }
+  bool terminated = false;
+  while (!running.empty()) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;  // ECHILD: nothing left to reap (shouldn't happen)
+    }
+    const auto it = running.find(pid);
+    if (it == running.end()) continue;  // not ours
+    const std::size_t slot = it->second;
+    running.erase(it);
+    WorkerOutcome& out = outcomes[slot];
+    out.exit_code = decode_status(status);
+    out.ok = out.exit_code == 0;
+    obs::instant("worker.exit", "shard", out.shard_index, "code",
+                 static_cast<double>(out.exit_code));
+    const bool cancelled = cancel && cancel->cancelled();
+    if (cancelled && !terminated) {
+      // Stop the rest of the fleet once: children also see the terminal's
+      // SIGINT, but a programmatic cancel must reach them explicitly.
+      terminated = true;
+      for (const auto& [other_pid, other_slot] : running) {
+        (void)other_slot;
+        ::kill(other_pid, SIGTERM);
+      }
+    }
+    if (!out.ok && !cancelled && respawns_left[slot] > 0) {
+      --respawns_left[slot];
+      obs::instant("worker.respawn", "shard", out.shard_index);
+      running.emplace(spawn(launches[slot]), slot);
+      ++out.spawns;
+    }
+  }
+  return outcomes;
+}
+
+#else  // !__unix__
+
+std::vector<WorkerOutcome> run_worker_fleet(std::span<const WorkerLaunch>,
+                                            int, const CancelToken*) {
+  throw Error("worker fleet: sharded campaigns require a POSIX host");
+}
+
+#endif
+
+}  // namespace matex::runtime

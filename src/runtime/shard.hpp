@@ -1,0 +1,74 @@
+/// \file shard.hpp
+/// \brief Deterministic scenario sharding + the multi-process worker fleet.
+///
+/// MATEX is a distributed framework; this is the piece that takes a
+/// campaign beyond one process. The contract mirrors the in-process
+/// scheduler's: *placement* is the only thing sharding decides. A
+/// scenario's shard is a pure function of its spec fingerprint (the same
+/// FNV-1a fingerprint the checkpoint journal keys on), so
+///
+///  - every worker computes its own shard membership independently --
+///    there is no work queue to coordinate, and
+///  - the merged campaign is bitwise-identical regardless of worker
+///    count, completion order, or how many times a worker was killed and
+///    respawned, because *which* scenarios run is deterministic and each
+///    result's bytes never depend on where it ran.
+///
+/// The fleet runner is deliberately dumb: spawn one child per shard
+/// (`matex_cli --batch-worker K`), reap, respawn abnormal exits a bounded
+/// number of times. Durability lives in the checkpoint journal each
+/// worker appends to -- a respawned worker resumes its shard instead of
+/// restarting it, and the coordinator merges shard journals and replays
+/// them through BatchEngine's normal restore path (runtime/checkpoint.hpp),
+/// which also runs any scenario a crashed worker never finished. There is
+/// no partial-result protocol to get wrong.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/cancel.hpp"
+
+namespace matex::runtime {
+
+/// Shard owning `fingerprint` among `shard_count` shards, in
+/// [0, shard_count). Pure and stable: this is the on-disk/off-machine
+/// placement contract, not a load balancer. The fingerprint bits are
+/// remixed (splitmix64 finalizer) before reduction so campaigns whose
+/// fingerprints share low-bit structure still spread evenly.
+int shard_of(std::uint64_t fingerprint, int shard_count);
+
+/// Absolute path of the running executable (/proc/self/exe on Linux),
+/// used by the coordinator to respawn itself as workers. Falls back to
+/// `argv0` when the platform cannot say.
+std::string self_executable_path(const std::string& argv0);
+
+/// One worker process to run: its shard index plus the full argv
+/// (argv[0] = executable path).
+struct WorkerLaunch {
+  int shard_index = 0;
+  std::vector<std::string> argv;
+};
+
+/// Fleet outcome for one shard.
+struct WorkerOutcome {
+  int shard_index = 0;
+  int spawns = 0;      ///< processes launched for this shard (1 + respawns)
+  int exit_code = -1;  ///< last exit code (128+N when signalled)
+  bool ok = false;     ///< last process exited 0
+};
+
+/// Spawns every launch, reaps, and respawns a shard whose process ended
+/// abnormally (nonzero exit or signal) up to `max_respawns` times --
+/// each respawn resumes from the shard's journal. Returns outcomes in
+/// `launches` order. A fired `cancel` stops respawning, TERMs the
+/// remaining children, and reaps them (their own SIGINT/SIGTERM handling
+/// reports exit code 3). Throws matex::Error on platforms without
+/// fork/exec or when a spawn itself fails.
+std::vector<WorkerOutcome> run_worker_fleet(
+    std::span<const WorkerLaunch> launches, int max_respawns,
+    const CancelToken* cancel = nullptr);
+
+}  // namespace matex::runtime

@@ -1,0 +1,141 @@
+/// \file waveform_store.hpp
+/// \brief Durable binary waveform store: the campaign output path.
+///
+/// JSON goldens are ~430 lines per scenario -- fine for humans and for
+/// the golden gate, hopeless as the output channel of a sharded campaign
+/// producing thousands of waveforms. This store is the binary
+/// counterpart: an append-only sequence of checksummed chunks (one per
+/// scenario) behind a fixed header, closed by a footer index so a reader
+/// can locate any scenario without scanning. The byte layout is specified
+/// in docs/FORMATS.md precisely enough for a third-party reader; the
+/// invariants that matter here:
+///
+///  - **Append-only.** A chunk is written and flushed in one piece; a
+///    crash can at worst truncate the final chunk and lose the footer.
+///  - **Self-checking.** Every chunk carries an FNV-1a checksum over its
+///    payload; the footer index carries its own. A reader skips corrupt
+///    chunks and falls back to a sequential scan when the footer is
+///    missing or bad -- corruption costs the damaged chunk, not the file.
+///  - **mmap-able.** Chunk headers and all f64 payloads are 8-byte
+///    aligned in the file, so the reader maps the file once and hands out
+///    `std::span<const double>` views straight into the mapping: reading
+///    N scenarios is O(index), not O(bytes).
+///  - **Deterministic bytes.** Writing the same chunks in the same order
+///    produces the identical file. The batch coordinator writes chunks in
+///    campaign order from the merged report, so the store is
+///    bitwise-identical regardless of worker count or completion order
+///    (the sharded-campaign acceptance gate diffs the files).
+///
+/// `matex_cli --store FILE` writes one on campaign runs and
+/// `matex_cli --store-dump FILE` converts it back to the plain-text
+/// waveform tables (solver/waveform_io.hpp) for human inspection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "solver/waveform_io.hpp"
+
+namespace matex::solver {
+
+/// Current on-disk version (header field `version`). Readers reject
+/// files with a newer major version instead of misparsing them.
+inline constexpr std::uint32_t kWaveformStoreVersion = 1;
+
+/// One scenario's waveforms as stored (reader-side view). The spans
+/// alias the reader's mapping and are valid only while it lives.
+struct WaveformStoreChunk {
+  std::uint32_t scenario_index = 0;  ///< position in the campaign
+  std::uint64_t fingerprint = 0;     ///< scenario spec fingerprint
+  std::string name;                  ///< scenario display name
+  std::vector<std::string> probe_names;
+  std::span<const double> times;     ///< shared time axis
+  /// columns[p][i] = probe p at times[i]; aligned with probe_names.
+  std::vector<std::span<const double>> columns;
+
+  /// Copies the chunk into a standalone plain-text table.
+  WaveformTable to_table() const;
+};
+
+/// Append-side of the store. Writes the header on construction, one
+/// flushed chunk per append, and the footer index on close(). Any I/O
+/// failure throws matex::Error -- campaign output is a deliverable, not
+/// best-effort telemetry.
+class WaveformStoreWriter {
+ public:
+  /// Creates/truncates `path` and writes the header.
+  explicit WaveformStoreWriter(const std::string& path);
+  /// close()s if still open; destructor failures are swallowed (call
+  /// close() yourself to observe them).
+  ~WaveformStoreWriter();
+
+  WaveformStoreWriter(const WaveformStoreWriter&) = delete;
+  WaveformStoreWriter& operator=(const WaveformStoreWriter&) = delete;
+
+  /// Appends one scenario chunk. `columns` must all have `times.size()`
+  /// samples and there must be one per `probe_names` entry.
+  void append(std::uint32_t scenario_index, std::uint64_t fingerprint,
+              std::string_view name,
+              std::span<const std::string> probe_names,
+              std::span<const double> times,
+              std::span<const std::vector<double>> columns);
+
+  /// Writes the footer index + trailer and closes the file. Idempotent.
+  void close();
+
+  std::size_t chunks_written() const { return index_.size(); }
+
+ private:
+  struct IndexEntry {
+    std::uint64_t offset;
+    std::uint64_t fingerprint;
+    std::uint32_t scenario_index;
+  };
+
+  void write_raw(const void* data, std::size_t bytes);
+  void pad_to_alignment();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t offset_ = 0;  ///< bytes written so far
+  std::vector<IndexEntry> index_;
+};
+
+/// Read-side: maps the file (POSIX mmap; a heap copy elsewhere) and
+/// decodes the chunk views. A valid footer makes opening O(index); a
+/// missing or corrupt footer triggers a sequential scan that recovers
+/// every intact chunk (crash-truncated tails and checksum-failing chunks
+/// are skipped and counted, never fatal). A file that is not a waveform
+/// store at all throws ParseError.
+class WaveformStoreReader {
+ public:
+  explicit WaveformStoreReader(const std::string& path);
+  ~WaveformStoreReader();
+
+  WaveformStoreReader(const WaveformStoreReader&) = delete;
+  WaveformStoreReader& operator=(const WaveformStoreReader&) = delete;
+
+  const std::vector<WaveformStoreChunk>& chunks() const { return chunks_; }
+
+  /// True when the footer index was unusable and the chunks were
+  /// recovered by scanning (crash before close(), or footer corruption).
+  bool recovered_by_scan() const { return recovered_by_scan_; }
+
+  /// Chunks dropped for checksum mismatch or truncation during the scan.
+  long long corrupt_chunks_skipped() const { return corrupt_chunks_; }
+
+ private:
+  const unsigned char* data() const;
+  std::size_t size_ = 0;
+  void* mapping_ = nullptr;           ///< non-null iff mmap succeeded
+  std::vector<unsigned char> copy_;   ///< fallback storage
+  std::vector<WaveformStoreChunk> chunks_;
+  bool recovered_by_scan_ = false;
+  long long corrupt_chunks_ = 0;
+};
+
+}  // namespace matex::solver

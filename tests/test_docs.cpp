@@ -1,0 +1,133 @@
+/// \file test_docs.cpp
+/// \brief Keeps the documentation tree wired to reality: docs/CLI.md's
+///        flags section must list exactly the flags `matex_cli --help`
+///        prints (diffed both directions), and every relative markdown
+///        link in README.md + docs/ must point at a file that exists.
+///
+/// The flag diff needs the built matex_cli (MATEX_CLI_PATH); the
+/// sanitizer CI legs build with examples off and skip it. The link
+/// check only needs the source tree (MATEX_REPO_ROOT).
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Every `--flag` token in `text`: a "--" run followed by a lowercase
+/// letter, extending over [a-z0-9-]. Table rules (`---|`), HTML comment
+/// fences (`<!--`) and prose dashes never start with "--" + letter, so
+/// no filtering is needed beyond the grammar itself.
+std::set<std::string> flag_tokens(const std::string& text) {
+  std::set<std::string> flags;
+  for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] != '-' || text[i + 1] != '-') continue;
+    if (i > 0 && text[i - 1] == '-') continue;  // inside a ---- rule
+    std::size_t j = i + 2;
+    if (!std::islower(static_cast<unsigned char>(text[j]))) continue;
+    while (j < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[j])) ||
+            std::isdigit(static_cast<unsigned char>(text[j])) ||
+            text[j] == '-'))
+      ++j;
+    std::string flag = text.substr(i, j - i);
+    while (!flag.empty() && flag.back() == '-') flag.pop_back();
+    flags.insert(flag);
+    i = j - 1;
+  }
+  return flags;
+}
+
+std::string repo_path(const std::string& rel) {
+  return std::string(MATEX_REPO_ROOT) + "/" + rel;
+}
+
+// ------------------------------------------------- CLI.md vs --help
+
+#if defined(MATEX_CLI_PATH) && defined(__unix__)
+
+TEST(DocsCli, FlagsSectionMatchesHelpOutput) {
+  const std::string doc = slurp(repo_path("docs/CLI.md"));
+  const std::string begin_marker = "<!-- flags:begin -->";
+  const std::string end_marker = "<!-- flags:end -->";
+  const std::size_t begin = doc.find(begin_marker);
+  const std::size_t end = doc.find(end_marker);
+  ASSERT_NE(begin, std::string::npos) << "docs/CLI.md lost " << begin_marker;
+  ASSERT_NE(end, std::string::npos) << "docs/CLI.md lost " << end_marker;
+  ASSERT_LT(begin, end);
+  const std::set<std::string> documented = flag_tokens(
+      doc.substr(begin, end - begin));
+
+  std::FILE* pipe =
+      popen((std::string(MATEX_CLI_PATH) + " --help").c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string help;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+    help.append(buf, got);
+  ASSERT_EQ(pclose(pipe), 0) << "--help must exit 0";
+  const std::set<std::string> printed = flag_tokens(help);
+  ASSERT_FALSE(printed.empty());
+
+  for (const std::string& flag : printed)
+    EXPECT_TRUE(documented.count(flag))
+        << flag << " is in --help but missing from docs/CLI.md's "
+        << "flags section";
+  for (const std::string& flag : documented)
+    EXPECT_TRUE(printed.count(flag))
+        << flag << " is documented in docs/CLI.md but absent from "
+        << "--help (stale docs or help must mention it)";
+}
+
+#else
+
+TEST(DocsCli, DISABLED_RequiresCliBinary) {}
+
+#endif  // MATEX_CLI_PATH && __unix__
+
+// --------------------------------------------------- relative links
+
+TEST(DocsLinks, RelativeTargetsExist) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> pages = {repo_path("README.md")};
+  for (const auto& entry : fs::directory_iterator(repo_path("docs")))
+    if (entry.path().extension() == ".md")
+      pages.push_back(entry.path().string());
+  ASSERT_GE(pages.size(), 7u);
+
+  for (const std::string& page : pages) {
+    const std::string text = slurp(page);
+    const fs::path base = fs::path(page).parent_path();
+    // Inline markdown links: ](target). Anchors are stripped; absolute
+    // URLs are the link checker's job (tools/docs/check_links.sh covers
+    // both in CI); here we pin the cheap, always-on property.
+    for (std::size_t pos = text.find("]("); pos != std::string::npos;
+         pos = text.find("](", pos + 2)) {
+      const std::size_t close = text.find(')', pos + 2);
+      ASSERT_NE(close, std::string::npos) << page << ": unclosed link";
+      std::string target = text.substr(pos + 2, close - pos - 2);
+      if (target.find("://") != std::string::npos) continue;
+      const std::size_t hash = target.find('#');
+      if (hash != std::string::npos) target.resize(hash);
+      if (target.empty()) continue;  // pure same-page anchor
+      EXPECT_TRUE(fs::exists(base / target))
+          << page << " links to missing file " << target;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+/// \file test_waveform_store.cpp
+/// \brief Locks the binary waveform store: bit-exact round trips, the
+///        deterministic-bytes guarantee the sharded campaign gate relies
+///        on, and recovery from truncation / chunk / footer corruption.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/error.hpp"
+#include "solver/waveform_store.hpp"
+#include "test_util.hpp"
+
+namespace matex::solver {
+namespace {
+
+using testing::Rng;
+
+struct TestChunk {
+  std::uint32_t scenario_index;
+  std::uint64_t fingerprint;
+  std::string name;
+  std::vector<std::string> probe_names;
+  std::vector<double> times;
+  std::vector<std::vector<double>> columns;
+};
+
+TestChunk random_chunk(Rng& rng, std::uint32_t scenario_index) {
+  TestChunk c;
+  c.scenario_index = scenario_index;
+  c.fingerprint = rng.next_u64();
+  c.name = testing::numbered("scenario-", scenario_index);
+  const std::size_t probes = 1 + rng.next_u64() % 4;
+  const std::size_t samples = rng.next_u64() % 200;  // 0 is legal
+  for (std::size_t p = 0; p < probes; ++p)
+    c.probe_names.push_back(testing::numbered("n", static_cast<long long>(
+                                                       rng.next_u64() % 997)));
+  for (std::size_t i = 0; i < samples; ++i)
+    c.times.push_back(rng.uniform(0.0, 1e-9));
+  for (std::size_t p = 0; p < probes; ++p) {
+    std::vector<double> col;
+    for (std::size_t i = 0; i < samples; ++i)
+      col.push_back(rng.uniform(-2.0, 2.0));
+    c.columns.push_back(std::move(col));
+  }
+  return c;
+}
+
+void write_chunks(const std::string& path,
+                  const std::vector<TestChunk>& chunks) {
+  WaveformStoreWriter writer(path);
+  for (const TestChunk& c : chunks)
+    writer.append(c.scenario_index, c.fingerprint, c.name, c.probe_names,
+                  c.times, c.columns);
+  writer.close();
+}
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Bitwise (not tolerance) comparison: the store must round-trip the
+/// exact doubles it was given.
+void expect_bit_identical(const WaveformStoreChunk& got, const TestChunk& want) {
+  EXPECT_EQ(got.scenario_index, want.scenario_index);
+  EXPECT_EQ(got.fingerprint, want.fingerprint);
+  EXPECT_EQ(got.name, want.name);
+  ASSERT_EQ(got.probe_names, want.probe_names);
+  ASSERT_EQ(got.times.size(), want.times.size());
+  for (std::size_t i = 0; i < want.times.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.times[i]),
+              std::bit_cast<std::uint64_t>(want.times[i]));
+  ASSERT_EQ(got.columns.size(), want.columns.size());
+  for (std::size_t p = 0; p < want.columns.size(); ++p) {
+    ASSERT_EQ(got.columns[p].size(), want.columns[p].size());
+    for (std::size_t i = 0; i < want.columns[p].size(); ++i)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got.columns[p][i]),
+                std::bit_cast<std::uint64_t>(want.columns[p][i]));
+  }
+}
+
+TEST(WaveformStore, RoundTripFuzzBitIdentical) {
+  const long cases = testing::env_long("MATEX_FUZZ_CASES", 20);
+  Rng rng(static_cast<std::uint64_t>(
+      testing::env_long("MATEX_FUZZ_SEED", 20140601)));
+  const std::string path = "waveform_store_roundtrip.tmp";
+  for (long cs = 0; cs < cases; ++cs) {
+    std::vector<TestChunk> chunks;
+    const std::size_t n = 1 + rng.next_u64() % 5;
+    for (std::size_t i = 0; i < n; ++i)
+      chunks.push_back(random_chunk(rng, static_cast<std::uint32_t>(i)));
+    write_chunks(path, chunks);
+
+    WaveformStoreReader reader(path);
+    EXPECT_FALSE(reader.recovered_by_scan());
+    EXPECT_EQ(reader.corrupt_chunks_skipped(), 0);
+    ASSERT_EQ(reader.chunks().size(), chunks.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+      expect_bit_identical(reader.chunks()[i], chunks[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, SameChunksSameBytes) {
+  Rng rng(7);
+  std::vector<TestChunk> chunks;
+  for (std::uint32_t i = 0; i < 4; ++i) chunks.push_back(random_chunk(rng, i));
+  write_chunks("waveform_store_a.tmp", chunks);
+  write_chunks("waveform_store_b.tmp", chunks);
+  EXPECT_EQ(slurp("waveform_store_a.tmp"), slurp("waveform_store_b.tmp"));
+  std::remove("waveform_store_a.tmp");
+  std::remove("waveform_store_b.tmp");
+}
+
+TEST(WaveformStore, ToTableCopiesChunk) {
+  Rng rng(11);
+  const TestChunk c = random_chunk(rng, 3);
+  const std::string path = "waveform_store_table.tmp";
+  write_chunks(path, {c});
+  WaveformStoreReader reader(path);
+  ASSERT_EQ(reader.chunks().size(), 1u);
+  const WaveformTable table = reader.chunks()[0].to_table();
+  EXPECT_EQ(table.names, c.probe_names);
+  EXPECT_EQ(table.times, c.times);
+  EXPECT_EQ(table.columns, c.columns);
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, EmptyStoreRoundTrips) {
+  const std::string path = "waveform_store_empty.tmp";
+  write_chunks(path, {});
+  WaveformStoreReader reader(path);
+  EXPECT_FALSE(reader.recovered_by_scan());
+  EXPECT_TRUE(reader.chunks().empty());
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, TruncatedTailRecoversIntactChunks) {
+  Rng rng(13);
+  std::vector<TestChunk> chunks;
+  for (std::uint32_t i = 0; i < 3; ++i) chunks.push_back(random_chunk(rng, i));
+  const std::string path = "waveform_store_trunc.tmp";
+  write_chunks(path, chunks);
+  std::vector<unsigned char> bytes = slurp(path);
+  // Cut mid-way through the file: the footer is gone and the chunk at
+  // the cut is half-written, exactly the shape a killed worker leaves.
+  bytes.resize(bytes.size() / 2);
+  spit(path, bytes);
+
+  WaveformStoreReader reader(path);
+  EXPECT_TRUE(reader.recovered_by_scan());
+  EXPECT_LT(reader.chunks().size(), chunks.size());
+  for (std::size_t i = 0; i < reader.chunks().size(); ++i)
+    expect_bit_identical(reader.chunks()[i], chunks[i]);
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, CorruptChunkSkippedNotFatal) {
+  Rng rng(17);
+  std::vector<TestChunk> chunks;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    TestChunk c = random_chunk(rng, i);
+    if (c.times.empty()) {  // guarantee payload bytes to flip
+      c.times.push_back(1e-12);
+      for (auto& col : c.columns) col.push_back(0.5);
+    }
+    chunks.push_back(std::move(c));
+  }
+  const std::string path = "waveform_store_corrupt.tmp";
+  write_chunks(path, chunks);
+  std::vector<unsigned char> bytes = slurp(path);
+  // Flip one payload byte in the last chunk (the 8 bytes right before
+  // the footer are waveform data, well clear of any chunk header).
+  const std::size_t footer_off = bytes.size() - 16 - 8 -
+                                 3 * 24 - 8;  // trailer+checksum+entries+hdr
+  bytes[footer_off - 4] ^= 0x40;
+  spit(path, bytes);
+
+  WaveformStoreReader reader(path);
+  EXPECT_FALSE(reader.recovered_by_scan());  // footer index still valid
+  EXPECT_EQ(reader.corrupt_chunks_skipped(), 1);
+  ASSERT_EQ(reader.chunks().size(), 2u);
+  expect_bit_identical(reader.chunks()[0], chunks[0]);
+  expect_bit_identical(reader.chunks()[1], chunks[1]);
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, CorruptFooterFallsBackToScan) {
+  Rng rng(19);
+  std::vector<TestChunk> chunks;
+  for (std::uint32_t i = 0; i < 3; ++i) chunks.push_back(random_chunk(rng, i));
+  const std::string path = "waveform_store_footer.tmp";
+  write_chunks(path, chunks);
+  std::vector<unsigned char> bytes = slurp(path);
+  bytes[bytes.size() - 16 - 8 - 2] ^= 0x01;  // inside the index checksum
+  spit(path, bytes);
+
+  WaveformStoreReader reader(path);
+  EXPECT_TRUE(reader.recovered_by_scan());
+  ASSERT_EQ(reader.chunks().size(), chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i)
+    expect_bit_identical(reader.chunks()[i], chunks[i]);
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, RejectsNonStoreFiles) {
+  const std::string path = "waveform_store_not_a_store.tmp";
+  {
+    std::ofstream out(path);
+    out << "time n1 n2\n0.0 1.0 1.8\n";
+  }
+  EXPECT_THROW(WaveformStoreReader{path}, ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, RejectsNewerVersion) {
+  Rng rng(23);
+  const std::string path = "waveform_store_version.tmp";
+  write_chunks(path, {random_chunk(rng, 0)});
+  std::vector<unsigned char> bytes = slurp(path);
+  bytes[8] = 0xFF;  // version field, little-endian low byte
+  spit(path, bytes);
+  EXPECT_THROW(WaveformStoreReader{path}, ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(WaveformStore, MissingFileThrows) {
+  EXPECT_THROW(WaveformStoreReader{"waveform_store_missing.tmp"}, Error);
+}
+
+}  // namespace
+}  // namespace matex::solver

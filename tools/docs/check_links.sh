@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Link checker for the documentation tree (README.md + docs/*.md).
+#
+# Checks, with nothing beyond coreutils/grep/sed:
+#   - every relative markdown link targets a file that exists;
+#   - every #anchor (same-page or cross-file) resolves to a heading in
+#     the target, using GitHub's slug rules (lowercase, punctuation
+#     stripped, spaces to hyphens);
+#   - external http(s) links are syntax-checked only (CI must not
+#     depend on the network).
+#
+# Usage: tools/docs/check_links.sh [repo-root]   (exits non-zero on rot)
+set -u
+
+root="${1:-.}"
+fail=0
+
+pages=("$root/README.md")
+for f in "$root"/docs/*.md; do
+  [ -e "$f" ] && pages+=("$f")
+done
+
+# GitHub heading slug: strip formatting, lowercase, drop everything but
+# alphanumerics/spaces/hyphens, spaces become hyphens.
+slugs_of() {
+  sed -n 's/^#\{1,6\} //p' "$1" |
+    tr '[:upper:]' '[:lower:]' |
+    sed -e 's/`//g' -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+for page in "${pages[@]}"; do
+  dir=$(dirname "$page")
+  # One inline link target per line: grab every ](...) group.
+  targets=$(grep -o ']([^)]*)' "$page" | sed -e 's/^](//' -e 's/)$//')
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*) continue ;;
+      *://*)
+        echo "$page: unsupported scheme in link '$target'"
+        fail=1
+        continue
+        ;;
+    esac
+    file="${target%%#*}"
+    anchor=""
+    case "$target" in *#*) anchor="${target#*#}" ;; esac
+    if [ -n "$file" ]; then
+      resolved="$dir/$file"
+      if [ ! -e "$resolved" ]; then
+        echo "$page: broken link '$target' (no such file: $resolved)"
+        fail=1
+        continue
+      fi
+    else
+      resolved="$page"  # pure same-page anchor
+    fi
+    if [ -n "$anchor" ]; then
+      case "$resolved" in
+        *.md)
+          if ! slugs_of "$resolved" | grep -qx "$anchor"; then
+            echo "$page: broken anchor '#$anchor' in '$target'" \
+                 "(no matching heading in $resolved)"
+            fail=1
+          fi
+          ;;
+      esac
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_links: ${#pages[@]} pages clean"
+fi
+exit "$fail"

@@ -715,8 +715,8 @@ std::vector<Finding> check_sites(const std::vector<Site>& sites,
           {site.file, site.line, "site-strings",
            std::string(site.failpoint ? "failpoint" : "trace") +
                " site '" + site.name +
-               "' is not registered in the README site tables; add it as "
-               "`" + site.name + "`"});
+               "' is not registered in the docs/OBSERVABILITY.md site "
+               "tables; add it as `" + site.name + "`"});
     }
   }
   std::sort(findings.begin(), findings.end(),
@@ -732,9 +732,16 @@ std::vector<Finding> lint_tree(const std::string& root) {
   std::vector<Finding> findings;
   LintConfig config;
   {
-    std::ifstream readme(root + "/README.md");
+    // The site tables live in docs/OBSERVABILITY.md (with the README kept
+    // as a fallback location); a site is registered if either file quotes
+    // its name in backticks.
     std::ostringstream buf;
-    buf << readme.rdbuf();
+    for (const char* rel : {"/README.md", "/docs/OBSERVABILITY.md"}) {
+      std::ifstream in(root + rel);
+      buf << in.rdbuf();
+      buf.clear();  // a missing/empty file inserts nothing and sets failbit
+      buf << '\n';
+    }
     config.readme = buf.str();
   }
 

@@ -13,7 +13,8 @@
 ///                  a bare `.load()`).
 ///   site-strings   MATEX_FAILPOINT site names are unique repo-wide, and
 ///                  every failpoint / span / instant name is registered in
-///                  the README tables (backtick-quoted).
+///                  the docs/OBSERVABILITY.md site tables
+///                  (backtick-quoted; the README counts too).
 ///   determinism    no wall-clock or nondeterministic randomness in
 ///                  waveform-determining code (steady_clock and seeded
 ///                  generators are fine).
@@ -53,8 +54,9 @@ struct Finding {
 };
 
 struct LintConfig {
-  /// README text used by the site-strings registration check; when empty
-  /// the registration check is skipped (uniqueness is still enforced).
+  /// Registration text for the site-strings check (README.md plus
+  /// docs/OBSERVABILITY.md, concatenated); when empty the registration
+  /// check is skipped (uniqueness is still enforced).
   std::string readme;
   /// Apply every rule to every file regardless of path (fixture tests).
   bool force_all_scopes = false;
@@ -88,7 +90,7 @@ std::vector<Finding> check_sites(const std::vector<Site>& sites,
 
 /// Walks `root`/src and `root`/tools (skipping any path containing
 /// "testdata"), lints every .hpp/.cpp, and cross-checks the collected
-/// sites against `root`/README.md.
+/// sites against `root`/README.md + `root`/docs/OBSERVABILITY.md.
 std::vector<Finding> lint_tree(const std::string& root);
 
 }  // namespace matex::lint
